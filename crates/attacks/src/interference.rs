@@ -1,0 +1,157 @@
+//! Speculative-interference-style MSHR contention channel.
+//!
+//! A transient burst of loads, gated on a secret bit, fills all four L1D
+//! MSHRs. An **older** load whose address arrives mid-burst then finds no
+//! MSHR and is delayed — a backwards-in-time timing change on an
+//! instruction that commits. Rollback and invisible-fill defences do not
+//! help (no cache *state* is involved); GhostMinion's leapfrogging (§4.5)
+//! lets the older load steal an MSHR back, restoring its timing.
+
+use crate::AttackOutcome;
+use ghostminion::{Machine, Scheme, SystemConfig};
+use gm_isa::{Asm, DataSegment, MemSize, Reg};
+use gm_sim::MemoryBackend;
+
+const TRAIN_CALLS: i64 = 48;
+const SIZE_ADDR: u64 = 0x0010_0000;
+const BITS: u64 = 0x0011_0000;
+const SECRET_OFF: u64 = 0x200;
+const PTR_ADDR: u64 = 0x0012_0000; // holds the older load's target address
+/// Older load's (cold) target; chosen to sit on DRAM bank 5, away from
+/// the burst lines' banks, so bank conflicts don't mask the MSHR channel.
+const TARGET: u64 = 0x0100_a000;
+/// Burst base; per-`x` region so training-time (architectural) bursts
+/// touch different lines than the attack-time (transient) burst.
+const BURST: u64 = 0x0200_0000;
+/// Per-burst-load stride: staggers DRAM banks (9 rows apart).
+const BURST_STEP: u64 = 0x1_2000;
+const RESULT: u64 = 0x0040_0000;
+/// L2 is 2 MiB 8-way => 4096 sets: lines 256 KiB apart share an L2 set
+/// (and, since 256 KiB is a multiple of 32 KiB, an L1 set too).
+const L2_ALIAS_STRIDE: u64 = 256 * 1024;
+
+pub(crate) fn program_for_debug(bit: u8) -> gm_isa::Program {
+    program(bit)
+}
+
+fn program(secret_bit: u8) -> gm_isa::Program {
+    assert!(secret_bit <= 1);
+    let mut a = Asm::new("spec-interference");
+    a.data(DataSegment::words(SIZE_ADDR, &[16]));
+    let mut bits = vec![0u8; (SECRET_OFF + 1) as usize];
+    // The victim legitimately runs the burst path for some inputs, so its
+    // code is warm in the instruction hierarchy (it is real victim code,
+    // not attacker-injected).
+    bits[3] = 1;
+    bits[7] = 1;
+    bits[SECRET_OFF as usize] = secret_bit;
+    a.data(DataSegment {
+        base: BITS,
+        bytes: bits,
+    });
+    a.data(DataSegment::words(PTR_ADDR, &[TARGET]));
+
+    let (x, ra) = (Reg::x(10), Reg::x(1));
+    let (size, b, t) = (Reg::x(11), Reg::x(12), Reg::x(13));
+    let (i, n) = (Reg::x(14), Reg::x(15));
+    let (t0, t1, p, v) = (Reg::x(16), Reg::x(17), Reg::x(18), Reg::x(19));
+
+    let gadget = a.label();
+    let main = a.label();
+    a.j(main);
+
+    // ---- victim gadget: transient load burst when bits[x] is set ----
+    a.bind(gadget);
+    a.emit(gm_isa::Inst::new(
+        gm_isa::Op::Ld(MemSize::B8),
+        size,
+        Reg::ZERO,
+        Reg::ZERO,
+        SIZE_ADDR as i64,
+    ));
+    let skip = a.label();
+    let no_burst = a.label();
+    a.bge(x, size, skip);
+    a.addi(t, x, BITS as i64);
+    a.ld_sized(MemSize::B1, b, t, 0);
+    a.beq(b, Reg::ZERO, no_burst);
+    // Four independent cold loads (per-x region, bank-staggered):
+    // occupy every L1D MSHR.
+    a.slli(Reg::x(24), x, 16);
+    a.addi(Reg::x(24), Reg::x(24), BURST as i64);
+    for k in 0..5i64 {
+        a.ld(Reg::x(25), Reg::x(24), k * BURST_STEP as i64);
+    }
+    a.bind(no_burst);
+    a.bind(skip);
+    a.jalr(Reg::ZERO, ra, 0);
+
+    a.bind(main);
+    // Victim warm-up of the secret line and pointer line.
+    a.li(t, (BITS + SECRET_OFF) as i64);
+    a.ld_sized(MemSize::B1, Reg::x(24), t, 0);
+    a.li(t, PTR_ADDR as i64);
+    a.ld(Reg::x(24), t, 0);
+
+    // Train the bounds check.
+    a.li(i, 0);
+    a.li(n, TRAIN_CALLS);
+    let train = a.here();
+    a.andi(x, i, 15);
+    a.jal(ra, gadget);
+    a.addi(i, i, 1);
+    a.bne(i, n, train);
+
+    // Evict SIZE_ADDR all the way to DRAM (9 aliases sharing its L1 and
+    // L2 sets): the bounds check then resolves only after ~a full memory
+    // latency, leaving the transient burst in flight the whole time.
+    for k in 1..=9u64 {
+        a.li(t, (SIZE_ADDR + k * L2_ALIAS_STRIDE) as i64);
+        a.ld(Reg::x(24), t, 0);
+        // Serialise evictions: each must commit (and under GhostMinion,
+        // be moved into the L1/L2) before the next, or they contend for
+        // the same minion set and are lost (§6.4).
+        a.fence();
+    }
+
+    // ---- measured sequence ----
+    a.rdcycle(t0);
+    a.li(t, PTR_ADDR as i64);
+    a.ld(p, t, 0); // address arrives via the L2 (~22 cycles)
+    // Short dependent chain: v's address is ready a few cycles after p's
+    // MSHR frees, so the retrying burst loads re-occupy the file first.
+    a.addi(p, p, 0);
+    a.addi(p, p, 0);
+    a.addi(p, p, 0);
+    a.ld(v, p, 0); // the OLDER load (cold line, needs an MSHR)
+    a.li(x, SECRET_OFF as i64);
+    a.jal(ra, gadget); // transient burst runs concurrently
+    a.xor(Reg::x(25), v, v); // consume v
+    a.fence();
+    a.rdcycle(t1);
+    a.sub(t, t1, t0);
+    a.li(Reg::x(26), RESULT as i64);
+    a.st(t, Reg::x(26), 0);
+    a.halt();
+    a.assemble()
+}
+
+fn measure(scheme: Scheme, bit: u8) -> u64 {
+    let mut m = Machine::new(scheme, SystemConfig::micro2021(), vec![program(bit)]);
+    m.run(20_000_000);
+    m.mem().read_value(RESULT, 8)
+}
+
+/// Distinguishes the planted secret bit by timing the older load.
+/// `leaked` is true iff the two bit values are separable by more than 8
+/// cycles.
+pub fn speculative_interference(scheme: Scheme) -> AttackOutcome {
+    let t0 = measure(scheme, 0);
+    let t1 = measure(scheme, 1);
+    let delta = t1.abs_diff(t0);
+    AttackOutcome {
+        scheme: scheme.name(),
+        leaked: delta > 8,
+        evidence: format!("older-load time: bit0={t0} bit1={t1} (delta {delta})"),
+    }
+}

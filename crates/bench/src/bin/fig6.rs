@@ -1,0 +1,18 @@
+//! Regenerates Figure 6: SPEC CPU2006 normalised execution time for
+//! GhostMinion vs MuonTrap(-Flush), InvisiSpec-Spectre/-Future and
+//! STT-Spectre/-Future.
+//!
+//! Paper shape to check: GhostMinion geomean ≈ 1.025 with mcf its ≈1.3
+//! worst case; STT large on pointer-chasing workloads (astar, mcf,
+//! omnetpp, xalancbmk) and ≈1.0 on compute-bound ones; InvisiSpec-Future
+//! the most expensive overall.
+
+use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
+use ghostminion::Scheme;
+use gm_workloads::spec2006_analogs;
+
+fn main() {
+    let workloads = spec2006_analogs(scale_from_args());
+    let t = normalized_sweep(&workloads, &Scheme::figure_lineup(), run_workload);
+    emit("Figure 6: SPEC CPU2006 normalised execution time", &t);
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 7: 4-thread Parsec normalised execution time.
+//!
+//! Paper shape: GhostMinion ≈ 0% overhead; InvisiSpec variants the worst
+//! (up to ≈2.4×), driven by commit-time coherence work.
+
+use gm_bench::{emit, run_parsec, scale_from_args};
+use ghostminion::Scheme;
+use gm_stats::{geomean, Table};
+use gm_workloads::parsec_analogs;
+
+fn main() {
+    let workloads = parsec_analogs(scale_from_args());
+    let schemes = Scheme::figure_lineup();
+    let mut header = vec!["workload".to_owned()];
+    header.extend(schemes.iter().skip(1).map(|s| s.name().to_owned()));
+    let mut t = Table::new(header);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
+    for w in &workloads {
+        let base = run_parsec(schemes[0], w).cycles as f64;
+        let mut row = Vec::new();
+        for (i, s) in schemes.iter().skip(1).enumerate() {
+            let r = run_parsec(*s, w).cycles as f64 / base;
+            cols[i].push(r);
+            row.push(r);
+        }
+        t.row_f64(w.name, &row);
+    }
+    let geo: Vec<f64> = cols.iter().map(|c| geomean(c).unwrap()).collect();
+    t.row_f64("geomean", &geo);
+    emit("Figure 7: Parsec (4 threads) normalised execution time", &t);
+}

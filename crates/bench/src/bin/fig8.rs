@@ -1,0 +1,15 @@
+//! Regenerates Figure 8: SPECspeed 2017 normalised execution time.
+//!
+//! Paper shape: lower overheads than SPEC2006 across the board
+//! (GhostMinion ≈ 0.6% geomean); mcf and wrf keep visible GhostMinion
+//! overhead from lost misspeculated prefetching.
+
+use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
+use ghostminion::Scheme;
+use gm_workloads::spec2017_analogs;
+
+fn main() {
+    let workloads = spec2017_analogs(scale_from_args());
+    let t = normalized_sweep(&workloads, &Scheme::figure_lineup(), run_workload);
+    emit("Figure 8: SPECspeed 2017 normalised execution time", &t);
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 9: breakdown of GhostMinion's overheads into its
+//! components — DMinion-Timeless, DMinion (with TimeGuarding and
+//! leapfrogging), IMinion alone, DMinion+Coherence, DMinion+Prefetcher
+//! gate, and the full system.
+//!
+//! Paper shape: most of the overhead comes from the data-side minion and
+//! the coherence extension; the instruction side is ≈0; TimeGuarding
+//! over the timeless minion adds only ≈0.2%.
+
+use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
+use ghostminion::Scheme;
+use gm_workloads::spec2006_analogs;
+
+fn main() {
+    let workloads = spec2006_analogs(scale_from_args());
+    let mut schemes = vec![Scheme::unsafe_baseline()];
+    schemes.extend(Scheme::breakdown_lineup());
+    let t = normalized_sweep(&workloads, &schemes, run_workload);
+    emit("Figure 9: GhostMinion overhead breakdown", &t);
+}

@@ -1,0 +1,59 @@
+//! **GhostMinion**: a strictness-ordered cache system for Spectre
+//! mitigation — a from-scratch Rust reproduction of the MICRO 2021 paper
+//! by Sam Ainsworth.
+//!
+//! # What this crate provides
+//!
+//! * [`timestamp`] — the sliding-window timestamp encoding of §4.4
+//!   (2×ROB-entries window with wrap-around), verified against unbounded
+//!   comparison.
+//! * [`order`] — executable definitions of **Strictness Order**
+//!   (Definition 1) and **Temporal Order** (Definition 2), plus a runtime
+//!   [`order::OrderAuditor`] that checks an execution's observed
+//!   information flows against Temporal Order.
+//! * [`minion`] — the GhostMinion cache itself: TimeGuarded reads and
+//!   fills (§4.4), free-slotting (§4.3), and the timing-invariant
+//!   wipe-above-timestamp (§4.2).
+//! * [`memsys`] — the full memory hierarchy of Table 1 (L1I/L1D + minions
+//!   per core, shared L2 with stride prefetcher, DDR3 DRAM, MSHRs at every
+//!   level with leapfrogging and timeleaping, MESI coherence across
+//!   cores), implementing `gm_sim::MemoryBackend` once for **every**
+//!   mitigation scheme the paper compares.
+//! * [`scheme`] — the scheme definitions: GhostMinion (and its Fig. 9
+//!   breakdown variants), MuonTrap / MuonTrap-Flush, InvisiSpec-Spectre /
+//!   -Future, STT-Spectre / -Future, and the unprotected baseline.
+//! * [`machine`] — cores + memory system assembled into a runnable
+//!   [`machine::Machine`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ghostminion::{Machine, Scheme, SystemConfig};
+//! use gm_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new("demo");
+//! a.li(Reg::x(1), 2);
+//! a.li(Reg::x(2), 40);
+//! a.add(Reg::x(3), Reg::x(1), Reg::x(2));
+//! a.halt();
+//! let prog = a.assemble();
+//!
+//! let mut m = Machine::new(Scheme::ghost_minion(), SystemConfig::tiny(), vec![prog]);
+//! let result = m.run(100_000);
+//! assert_eq!(m.core(0).reg(Reg::x(3)), 42);
+//! assert!(result.cycles > 0);
+//! ```
+
+pub mod machine;
+pub mod memsys;
+pub mod minion;
+pub mod order;
+pub mod scheme;
+pub mod timestamp;
+
+pub use machine::{Machine, MachineResult, SystemConfig};
+pub use memsys::{MemStats, MemorySystem};
+pub use minion::GhostMinionCache;
+pub use order::{OrderAuditor, OrderViolation};
+pub use scheme::{GhostMinionConfig, Scheme, SchemeKind};
+pub use timestamp::TsWindow;

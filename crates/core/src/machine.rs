@@ -1,0 +1,312 @@
+//! The full machine: out-of-order cores plus the scheme's memory system.
+
+use crate::memsys::{HierarchyConfig, MemStats, MemorySystem};
+use crate::scheme::Scheme;
+use gm_isa::Program;
+use gm_sim::{Core, CoreConfig, CoreStats};
+
+/// Complete system configuration (Table 1 by default).
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    pub core: CoreConfig,
+    pub hierarchy: HierarchyConfig,
+    /// Hard cap used by [`Machine::run`]'s default deadline accounting.
+    pub max_cycles: u64,
+}
+
+impl SystemConfig {
+    /// The paper's Table 1 system.
+    pub fn micro2021() -> Self {
+        Self {
+            core: CoreConfig::micro2021(),
+            hierarchy: HierarchyConfig::micro2021(),
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// Small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            core: CoreConfig::tiny(),
+            hierarchy: HierarchyConfig::tiny(),
+            max_cycles: u64::MAX,
+        }
+    }
+}
+
+/// Result of a completed run.
+#[derive(Clone, Debug)]
+pub struct MachineResult {
+    /// Cycles until every core halted.
+    pub cycles: u64,
+    /// Per-core pipeline statistics.
+    pub core_stats: Vec<CoreStats>,
+    /// Memory-system statistics.
+    pub mem_stats: MemStats,
+    /// Scheme that was run (for report labelling).
+    pub scheme_name: &'static str,
+}
+
+impl MachineResult {
+    /// Total committed instructions across cores.
+    pub fn committed(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.committed).sum()
+    }
+}
+
+/// Cores + memory system under one mitigation scheme.
+pub struct Machine {
+    cores: Vec<Core>,
+    mem: MemorySystem,
+    cycle: u64,
+}
+
+impl Machine {
+    /// Builds a machine running one program per core. Core-side scheme
+    /// settings (STT taint mode, §4.9 FU ordering) are applied to the
+    /// core configuration automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty.
+    pub fn new(scheme: Scheme, cfg: SystemConfig, programs: Vec<Program>) -> Self {
+        assert!(!programs.is_empty(), "need at least one program");
+        let n = programs.len();
+        let mut core_cfg = cfg.core;
+        core_cfg.taint_mode = scheme.taint_mode();
+        core_cfg.strict_fu_order = scheme.strict_fu_order;
+        let mut mem = MemorySystem::new(scheme, cfg.hierarchy, n);
+        let cores: Vec<Core> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Core::new(i, core_cfg, p))
+            .collect();
+        for c in &cores {
+            c.install_program_data(&mut mem);
+        }
+        Self {
+            cores,
+            mem,
+            cycle: 0,
+        }
+    }
+
+    /// Enables the Strictness-Order auditor (records timing flows for
+    /// post-hoc checking; slows simulation).
+    pub fn enable_auditor(&mut self) {
+        self.mem.auditor = Some(crate::order::OrderAuditor::new());
+    }
+
+    /// The auditor, if enabled.
+    pub fn auditor(&self) -> Option<&crate::order::OrderAuditor> {
+        self.mem.auditor.as_ref()
+    }
+
+    /// Access to a core (register readout, stats).
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Access to the memory system (stats, probes in tests).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Advances the whole machine one cycle.
+    pub fn tick(&mut self) {
+        for core in &mut self.cores {
+            core.tick(&mut self.mem, self.cycle);
+        }
+        self.cycle += 1;
+    }
+
+    /// Whether every core has halted.
+    pub fn halted(&self) -> bool {
+        self.cores.iter().all(|c| c.halted())
+    }
+
+    /// Runs until all cores halt (or `max_cycles`), returning the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any core fails to halt within `max_cycles` — a workload
+    /// that does not terminate is a harness bug.
+    pub fn run(&mut self, max_cycles: u64) -> MachineResult {
+        while !self.halted() && self.cycle < max_cycles {
+            self.tick();
+        }
+        assert!(
+            self.halted(),
+            "machine did not halt within {max_cycles} cycles (scheme {})",
+            self.mem.scheme().name()
+        );
+        MachineResult {
+            cycles: self.cycle,
+            core_stats: self.cores.iter().map(|c| *c.stats()).collect(),
+            mem_stats: self.mem.stats().clone(),
+            scheme_name: self.mem.scheme().name(),
+        }
+    }
+}
+
+/// Convenience: runs `program` once under `scheme` on a single core and
+/// returns the result.
+pub fn run_single(scheme: Scheme, cfg: SystemConfig, program: Program) -> MachineResult {
+    Machine::new(scheme, cfg, vec![program]).run(cfg.max_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_isa::{Asm, DataSegment, Reg};
+    use gm_sim::MemoryBackend;
+
+    fn sum_array_program(n: u64) -> Program {
+        let mut a = Asm::new("sum-array");
+        let base = 0x10_0000u64;
+        let data: Vec<u64> = (0..n).collect();
+        a.data(DataSegment::words(base, &data));
+        let (ptr, end, acc, v) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4));
+        a.li(ptr, base as i64);
+        a.li(end, (base + 8 * n) as i64);
+        a.li(acc, 0);
+        let top = a.here();
+        a.ld(v, ptr, 0);
+        a.add(acc, acc, v);
+        a.addi(ptr, ptr, 8);
+        a.bne(ptr, end, top);
+        a.halt();
+        a.assemble()
+    }
+
+    #[test]
+    fn all_schemes_compute_the_same_result() {
+        let expected: u64 = (0..64).sum();
+        for scheme in Scheme::figure_lineup() {
+            let mut m = Machine::new(scheme, SystemConfig::tiny(), vec![sum_array_program(64)]);
+            let r = m.run(2_000_000);
+            assert_eq!(
+                m.core(0).reg(Reg::x(3)),
+                expected,
+                "scheme {} must be functionally transparent",
+                r.scheme_name
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_schemes_compute_the_same_result() {
+        let expected: u64 = (0..64).sum();
+        for scheme in Scheme::breakdown_lineup() {
+            let mut m = Machine::new(scheme, SystemConfig::tiny(), vec![sum_array_program(64)]);
+            let r = m.run(2_000_000);
+            assert_eq!(m.core(0).reg(Reg::x(3)), expected, "{}", r.scheme_name);
+        }
+    }
+
+    #[test]
+    fn protected_schemes_are_not_faster_than_unsafe_here() {
+        // On a cache-unfriendly workload the unsafe baseline should be at
+        // least as fast as the strongly-protected InvisiSpec-Future.
+        let base = run_single(
+            Scheme::unsafe_baseline(),
+            SystemConfig::tiny(),
+            sum_array_program(256),
+        );
+        let future = run_single(
+            Scheme::invisispec_future(),
+            SystemConfig::tiny(),
+            sum_array_program(256),
+        );
+        assert!(
+            future.cycles >= base.cycles,
+            "InvisiSpec-Future ({}) should not beat unsafe ({})",
+            future.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn ghostminion_overhead_is_bounded_on_simple_streaming() {
+        let base = run_single(
+            Scheme::unsafe_baseline(),
+            SystemConfig::tiny(),
+            sum_array_program(256),
+        );
+        let gm = run_single(
+            Scheme::ghost_minion(),
+            SystemConfig::tiny(),
+            sum_array_program(256),
+        );
+        let ratio = gm.cycles as f64 / base.cycles as f64;
+        assert!(
+            ratio < 2.0,
+            "GhostMinion ratio {ratio:.2} should be far below heavyweight schemes"
+        );
+    }
+
+    #[test]
+    fn multicore_shared_counter_with_ll_sc() {
+        // 4 cores each add 1 to a shared counter 50 times under a
+        // spinlock built from LL/SC.
+        let lock = 0x20_0000u64;
+        let counter = 0x20_0040u64;
+        let make = |id: u64| {
+            let mut a = Asm::new(format!("locker-{id}"));
+            let (laddr, caddr, tmp, ok, i, n, one) = (
+                Reg::x(1),
+                Reg::x(2),
+                Reg::x(3),
+                Reg::x(4),
+                Reg::x(5),
+                Reg::x(6),
+                Reg::x(7),
+            );
+            a.li(laddr, lock as i64);
+            a.li(caddr, counter as i64);
+            a.li(i, 0);
+            a.li(n, 50);
+            a.li(one, 1);
+            let outer = a.here();
+            // acquire: spin until ll sees 0 and sc of 1 succeeds
+            let acquire = a.here();
+            a.ll(tmp, laddr);
+            a.bne(tmp, Reg::ZERO, acquire);
+            a.sc(ok, one, laddr);
+            a.bne(ok, Reg::ZERO, acquire);
+            // Acquire fence: the critical-section load must not be
+            // hoisted above the lock acquisition by the OoO core.
+            a.fence();
+            // critical section
+            a.ld(tmp, caddr, 0);
+            a.addi(tmp, tmp, 1);
+            a.st(tmp, caddr, 0);
+            // release
+            a.st(Reg::ZERO, laddr, 0);
+            a.addi(i, i, 1);
+            a.bne(i, n, outer);
+            a.halt();
+            a.assemble()
+        };
+        let programs = (0..4).map(make).collect();
+        let mut m = Machine::new(Scheme::ghost_minion(), SystemConfig::tiny(), programs);
+        m.run(10_000_000);
+        assert_eq!(
+            m.mem().read_value(counter, 8),
+            200,
+            "LL/SC spinlock must serialise all 200 increments"
+        );
+    }
+
+    #[test]
+    fn result_reports_scheme_and_counts() {
+        let r = run_single(
+            Scheme::ghost_minion(),
+            SystemConfig::tiny(),
+            sum_array_program(16),
+        );
+        assert_eq!(r.scheme_name, "GhostMinion");
+        assert!(r.committed() > 16 * 4);
+        assert!(r.mem_stats.get("loads") > 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! The GhostMinion cache: a small set-associative compartment next to the
+//! L1 that buffers speculative fills, with TimeGuarding on reads and
+//! fills, free-slotting, and a timing-invariant wipe.
+//!
+//! The three rules (§4.3–§4.4):
+//!
+//! * **Read rule** — a load at timestamp `t` may only read a line whose
+//!   stamp is ≤ `t` (fig. 4a). A blocked read behaves exactly like a
+//!   miss, so the *existence* of a newer instruction's fill is invisible.
+//! * **Fill rule** — a fill at timestamp `t` may only take a free slot or
+//!   replace a line stamped ≥ `t` (fig. 4b); among eligible victims the
+//!   highest stamp is chosen (footnote 4: only the highest-timestamped
+//!   instruction knows the set is full). If no slot is eligible the data
+//!   is returned to the CPU but **not retained** — the load will not have
+//!   a line to move to the L1 at commit.
+//! * **Free-slotting** — when a load commits, its line moves to the L1
+//!   and is removed from the minion, creating a free slot so speculative
+//!   fills need never evict committed data.
+
+use gm_mem::{Cache, CacheConfig, MesiState};
+
+/// Outcome of a TimeGuarded read probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MinionRead {
+    /// Line present and visible: hit, with the line's stamp.
+    Hit { stamp: u64 },
+    /// Line present but stamped newer than the reader: behaves as a miss
+    /// (§6.3 counts these as "TimeGuards").
+    TimeGuarded,
+    /// Line absent.
+    Miss,
+}
+
+/// Outcome of a TimeGuarded fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MinionFill {
+    /// Stored (possibly displacing a newer-stamped line).
+    Filled,
+    /// No eligible slot: data bypasses the minion (counted as a fill
+    /// failure; the line is "lost" for commit, §6.4).
+    Rejected,
+}
+
+/// A GhostMinion cache (data- or instruction-side).
+#[derive(Clone, Debug)]
+pub struct GhostMinionCache {
+    cache: Cache,
+    timeguard: bool,
+    // Event counters for Fig. 10 / §6.3.
+    reads: u64,
+    hits: u64,
+    timeguards: u64,
+    fills: u64,
+    fill_rejects: u64,
+    wipes: u64,
+    wiped_lines: u64,
+}
+
+impl GhostMinionCache {
+    /// Builds a minion of `bytes` capacity and `ways` associativity.
+    /// `timeguard: false` gives the Fig. 9 "DMinion-Timeless" variant.
+    pub fn new(bytes: u64, ways: usize, timeguard: bool) -> Self {
+        Self {
+            cache: Cache::new(CacheConfig {
+                size_bytes: bytes,
+                ways,
+                // Accessed in parallel with the L1 (§4.3): the latency the
+                // core observes is the L1's; the minion never adds cycles.
+                latency: 0,
+            }),
+            timeguard,
+            reads: 0,
+            hits: 0,
+            timeguards: 0,
+            fills: 0,
+            fill_rejects: 0,
+            wipes: 0,
+            wiped_lines: 0,
+        }
+    }
+
+    /// TimeGuarded read probe by an instruction at timestamp `ts`.
+    pub fn read(&mut self, addr: u64, ts: u64) -> MinionRead {
+        self.reads += 1;
+        match self.cache.access(addr) {
+            Some(meta) => {
+                if !self.timeguard || meta.stamp <= ts {
+                    self.hits += 1;
+                    MinionRead::Hit { stamp: meta.stamp }
+                } else {
+                    self.timeguards += 1;
+                    MinionRead::TimeGuarded
+                }
+            }
+            None => MinionRead::Miss,
+        }
+    }
+
+    /// Probe without counting or LRU update (commit path, tests).
+    pub fn probe_stamp(&self, addr: u64) -> Option<u64> {
+        self.cache.probe(addr).map(|m| m.stamp)
+    }
+
+    /// TimeGuarded fill by an instruction at timestamp `ts`.
+    ///
+    /// Minion lines are always coherence-state `Shared` (§4.6) and never
+    /// dirty (no writeback on wipe, §4.2).
+    pub fn fill(&mut self, addr: u64, ts: u64) -> MinionFill {
+        // A line already present: refresh only if the resident stamp is
+        // >= ours (fill rule); a resident *older* line simply stays — the
+        // requester could read it anyway.
+        if let Some(meta) = self.cache.probe(addr) {
+            if !self.timeguard || meta.stamp >= ts {
+                self.cache.fill(addr, MesiState::Shared, ts);
+                self.fills += 1;
+            }
+            return MinionFill::Filled;
+        }
+        if !self.timeguard {
+            self.cache.fill(addr, MesiState::Shared, ts);
+            self.fills += 1;
+            return MinionFill::Filled;
+        }
+        if self.cache.free_ways(addr) > 0 {
+            self.cache.fill(addr, MesiState::Shared, ts);
+            self.fills += 1;
+            return MinionFill::Filled;
+        }
+        // No free slot: evict the highest-stamped line that is >= ts.
+        let victim = self
+            .cache
+            .set_lines(addr)
+            .filter(|(_, m)| m.stamp >= ts)
+            .max_by_key(|(_, m)| m.stamp)
+            .map(|(a, _)| a);
+        match victim {
+            Some(v) => {
+                self.cache.fill_replacing(addr, v, MesiState::Shared, ts);
+                self.fills += 1;
+                MinionFill::Filled
+            }
+            None => {
+                self.fill_rejects += 1;
+                MinionFill::Rejected
+            }
+        }
+    }
+
+    /// Commit-time extraction (§4.3 free-slotting): if the line is
+    /// present and readable at `ts`, removes it and returns `true` so the
+    /// caller can write it into the L1.
+    pub fn take_for_commit(&mut self, addr: u64, ts: u64) -> bool {
+        match self.cache.probe(addr) {
+            Some(meta) if !self.timeguard || meta.stamp <= ts => {
+                self.cache.invalidate(addr);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Coherence invalidation of a specific line (a remote store upgraded
+    /// the line, §4.6).
+    pub fn invalidate(&mut self, addr: u64) {
+        self.cache.invalidate(addr);
+    }
+
+    /// Squash wipe (§4.2): clears all lines stamped strictly above
+    /// `above_ts`, in constant time (parallel validity registers), so no
+    /// timing channel reveals how much state was cleared.
+    pub fn wipe_above(&mut self, above_ts: u64) -> usize {
+        self.wipes += 1;
+        let n = if self.timeguard {
+            self.cache.invalidate_where(|stamp| stamp > above_ts)
+        } else {
+            // Timeless minion cannot distinguish ages: wipe everything.
+            let n = self.cache.valid_lines();
+            self.cache.invalidate_all();
+            n
+        };
+        self.wiped_lines += n as u64;
+        n
+    }
+
+    /// Lines currently resident.
+    pub fn resident(&self) -> usize {
+        self.cache.valid_lines()
+    }
+
+    /// `(reads, hits, timeguards, fills, fill_rejects, wipes, wiped_lines)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            self.reads,
+            self.hits,
+            self.timeguards,
+            self.fills,
+            self.fill_rejects,
+            self.wipes,
+            self.wiped_lines,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 KiB, 2-way: 16 sets of 2 — the Table 1 minion.
+    fn minion() -> GhostMinionCache {
+        GhostMinionCache::new(2048, 2, true)
+    }
+
+    #[test]
+    fn read_respects_timeguard() {
+        let mut m = minion();
+        assert_eq!(m.fill(0x1000, 22), MinionFill::Filled);
+        // Fig. 4a: timestamp 21 must not see the line from 22.
+        assert_eq!(m.read(0x1000, 21), MinionRead::TimeGuarded);
+        // Timestamp 22 and later may.
+        assert_eq!(m.read(0x1000, 22), MinionRead::Hit { stamp: 22 });
+        assert_eq!(m.read(0x1000, 30), MinionRead::Hit { stamp: 22 });
+        assert_eq!(m.read(0x2000, 30), MinionRead::Miss);
+    }
+
+    #[test]
+    fn timeless_minion_ignores_stamps() {
+        let mut m = GhostMinionCache::new(2048, 2, false);
+        m.fill(0x1000, 22);
+        assert_eq!(m.read(0x1000, 21), MinionRead::Hit { stamp: 22 });
+    }
+
+    #[test]
+    fn fill_takes_free_slot_first() {
+        let mut m = minion();
+        assert_eq!(m.fill(0x1000, 10), MinionFill::Filled);
+        // Same set (16 sets x 64B lines -> stride 1024).
+        assert_eq!(m.fill(0x1000 + 1024, 5), MinionFill::Filled);
+        assert_eq!(m.resident(), 2);
+        // Both lines retained: the older fill went to the free way.
+        assert!(m.probe_stamp(0x1000).is_some());
+        assert!(m.probe_stamp(0x1000 + 1024).is_some());
+    }
+
+    #[test]
+    fn fill_evicts_only_newer_stamped_lines() {
+        let mut m = minion();
+        // Fill both ways of one set with stamps 10 and 20.
+        m.fill(0x1000, 10);
+        m.fill(0x1000 + 1024, 20);
+        // Fig. 4b: a fill at ts 15 may evict the ts-20 line but not ts-10.
+        assert_eq!(m.fill(0x1000 + 2048, 15), MinionFill::Filled);
+        assert!(m.probe_stamp(0x1000).is_some(), "older line survives");
+        assert!(
+            m.probe_stamp(0x1000 + 1024).is_none(),
+            "newest line was the victim"
+        );
+        assert_eq!(m.probe_stamp(0x1000 + 2048), Some(15));
+    }
+
+    #[test]
+    fn fill_rejected_when_all_lines_older() {
+        let mut m = minion();
+        m.fill(0x1000, 10);
+        m.fill(0x1000 + 1024, 20);
+        // ts 25 may not evict lines stamped 10 or 20 (both < 25).
+        assert_eq!(m.fill(0x1000 + 2048, 25), MinionFill::Rejected);
+        assert_eq!(m.resident(), 2);
+        let (_, _, _, _, rejects, _, _) = m.counters();
+        assert_eq!(rejects, 1);
+    }
+
+    #[test]
+    fn fill_victim_is_highest_stamp() {
+        let mut m = minion();
+        m.fill(0x1000, 30);
+        m.fill(0x1000 + 1024, 40);
+        // ts 25 can evict either; must choose stamp 40 (footnote 4).
+        assert_eq!(m.fill(0x1000 + 2048, 25), MinionFill::Filled);
+        assert!(m.probe_stamp(0x1000).is_some(), "stamp 30 survives");
+        assert!(m.probe_stamp(0x1000 + 1024).is_none(), "stamp 40 evicted");
+    }
+
+    #[test]
+    fn refill_of_resident_line_keeps_oldest_stamp() {
+        let mut m = minion();
+        m.fill(0x1000, 30);
+        // An older instruction re-fills the same line: stamp lowers to 10,
+        // widening visibility (safe: 10 could have brought it itself).
+        m.fill(0x1000, 10);
+        assert_eq!(m.probe_stamp(0x1000), Some(10));
+        // A newer fill must NOT raise the stamp (that would hide the line
+        // from instructions between 10 and 50 that may validly read it).
+        m.fill(0x1000, 50);
+        assert_eq!(m.probe_stamp(0x1000), Some(10));
+    }
+
+    #[test]
+    fn take_for_commit_frees_slot() {
+        let mut m = minion();
+        m.fill(0x1000, 10);
+        assert!(m.take_for_commit(0x1000, 10));
+        assert_eq!(m.resident(), 0, "free-slotting evicts on commit");
+        assert!(!m.take_for_commit(0x1000, 10), "already gone");
+    }
+
+    #[test]
+    fn take_for_commit_respects_guard() {
+        let mut m = minion();
+        m.fill(0x1000, 22);
+        // A committing instruction at ts 21 cannot take 22's line.
+        assert!(!m.take_for_commit(0x1000, 21));
+        assert_eq!(m.resident(), 1);
+    }
+
+    #[test]
+    fn wipe_above_clears_only_newer() {
+        let mut m = minion();
+        // Distinct sets so all three fills land (2 KiB 2-way = 16 sets).
+        m.fill(0x1000, 10);
+        m.fill(0x1040, 20);
+        m.fill(0x1080, 30);
+        // Squash above ts 15 (footnote 2: wipe only above the
+        // misspeculation point, not everything).
+        assert_eq!(m.wipe_above(15), 2);
+        assert!(m.probe_stamp(0x1000).is_some());
+        assert!(m.probe_stamp(0x1040).is_none());
+        assert!(m.probe_stamp(0x1080).is_none());
+    }
+
+    #[test]
+    fn timeless_wipe_clears_everything() {
+        let mut m = GhostMinionCache::new(2048, 2, false);
+        m.fill(0x1000, 10);
+        m.fill(0x2000, 20);
+        assert_eq!(m.wipe_above(15), 2);
+        assert_eq!(m.resident(), 0);
+    }
+
+    #[test]
+    fn counters_track_events() {
+        let mut m = minion();
+        m.fill(0x1000, 22);
+        m.read(0x1000, 21); // timeguard
+        m.read(0x1000, 22); // hit
+        m.read(0x9000, 22); // miss
+        let (reads, hits, guards, fills, rejects, wipes, wiped) = m.counters();
+        assert_eq!(reads, 3);
+        assert_eq!(hits, 1);
+        assert_eq!(guards, 1);
+        assert_eq!(fills, 1);
+        assert_eq!(rejects, 0);
+        assert_eq!((wipes, wiped), (0, 0));
+    }
+
+    #[test]
+    fn coherence_invalidate_removes_line() {
+        let mut m = minion();
+        m.fill(0x1000, 5);
+        m.invalidate(0x1000);
+        assert_eq!(m.read(0x1000, 10), MinionRead::Miss);
+    }
+}

@@ -1,0 +1,263 @@
+//! Executable definitions of Strictness Order (Definition 1) and Temporal
+//! Order (Definition 2), and a runtime auditor that checks an execution's
+//! observed timing flows against them.
+//!
+//! The paper's central claim is that if no instruction's timing is
+//! influenced by an instruction it may not *strictly observe*, transient
+//! execution attacks are impossible. The [`OrderAuditor`] makes this
+//! checkable in simulation: mechanisms report each cross-instruction
+//! timing influence (a TimeGuard-free minion read hit, an eviction, an
+//! MSHR coalesce), and squashes/commits settle each instruction's fate.
+//! Any flow from an instruction that was eventually *squashed* to one that
+//! eventually *committed*, where the receiver does not temporally succeed
+//! the source, is a violation — exactly the channel Spectre-class attacks
+//! need. Under the GhostMinion scheme the auditor must stay empty; under
+//! the unsafe baseline an attack program trips it.
+
+use std::collections::HashMap;
+
+/// Whether `y` may temporally succeed `x` within one thread (Definition
+/// 2): `commit(x) ∨ seq(x, y)`.
+///
+/// With timestamps allocated in program order, `seq(x, y)` is `ts_x <=
+/// ts_y`; `x_committed` covers the `commit(x)` disjunct.
+pub fn temporal_allows(ts_x: u64, x_committed: bool, ts_y: u64) -> bool {
+    x_committed || ts_x <= ts_y
+}
+
+/// Whether `y` may strictly observe `x` (Definition 1):
+/// `commit(y) → commit(x)`.
+///
+/// Evaluated post-hoc, once both instructions' fates are known.
+pub fn strictness_allows(x_committed: bool, y_committed: bool) -> bool {
+    !y_committed || x_committed
+}
+
+/// A recorded timing influence from instruction `src` to instruction
+/// `dst` (same core; cross-thread flows are only permitted from committed
+/// instructions, which the auditor models with `src_committed`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flow {
+    pub core: usize,
+    /// Timestamp of the influencing instruction.
+    pub src_ts: u64,
+    /// Timestamp of the influenced instruction.
+    pub dst_ts: u64,
+    /// What mechanism carried the influence (for diagnostics).
+    pub kind: FlowKind,
+}
+
+/// The mechanism through which a timing influence travelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowKind {
+    /// `dst` read a cache line that `src` filled.
+    CacheLineRead,
+    /// `dst`'s line was evicted by `src`'s fill.
+    Eviction,
+    /// `dst` coalesced onto an MSHR that `src` allocated.
+    MshrCoalesce,
+    /// `dst` was denied a resource held by `src`.
+    ResourceContention,
+}
+
+/// A Strictness-Order violation: a squashed instruction influenced the
+/// timing of a committed one it did not temporally precede.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrderViolation {
+    pub flow: Flow,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fate {
+    Committed,
+    Squashed,
+}
+
+/// Records timing flows during a run and settles them against
+/// instruction fates.
+///
+/// Usage: mechanisms call [`OrderAuditor::record_flow`] as influences
+/// happen; the machine calls [`OrderAuditor::settle_commit`] /
+/// [`OrderAuditor::settle_squash`] as instructions retire or die;
+/// [`OrderAuditor::violations`] lists every flow whose source was
+/// squashed, destination committed, and `src_ts > dst_ts` (a
+/// backwards-in-time flow from transient execution — the SpectreRewind /
+/// Speculative-Interference channel), plus forward flows from squashed
+/// instructions that persisted to committed readers (the classic Spectre
+/// channel) when `strict_forward` is set.
+#[derive(Clone, Debug, Default)]
+pub struct OrderAuditor {
+    flows: Vec<Flow>,
+    fates: HashMap<(usize, u64), Fate>,
+    /// Also flag squashed→committed flows where `src_ts <= dst_ts`
+    /// (forward flows). Temporal Order permits these *while in flight*;
+    /// they become attacks only if the effect persists past the squash,
+    /// so this is enabled for post-squash persistence checks.
+    pub strict_forward: bool,
+}
+
+impl OrderAuditor {
+    /// Creates an empty auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a timing influence.
+    pub fn record_flow(&mut self, flow: Flow) {
+        self.flows.push(flow);
+    }
+
+    /// Marks an instruction as committed.
+    pub fn settle_commit(&mut self, core: usize, ts: u64) {
+        self.fates.insert((core, ts), Fate::Committed);
+    }
+
+    /// Marks every instruction of `core` with timestamp above `above_ts`
+    /// as squashed.
+    ///
+    /// Fates are first-write-wins: an instruction that committed cannot
+    /// later be squashed.
+    pub fn settle_squash(&mut self, core: usize, above_ts: u64, max_ts: u64) {
+        for ts in (above_ts + 1)..=max_ts {
+            self.fates.entry((core, ts)).or_insert(Fate::Squashed);
+        }
+    }
+
+    fn fate(&self, core: usize, ts: u64) -> Option<Fate> {
+        self.fates.get(&(core, ts)).copied()
+    }
+
+    /// Evaluates all settled flows against Strictness Order.
+    pub fn violations(&self) -> Vec<OrderViolation> {
+        self.flows
+            .iter()
+            .filter_map(|f| {
+                let src = self.fate(f.core, f.src_ts)?;
+                let dst = self.fate(f.core, f.dst_ts)?;
+                let src_committed = src == Fate::Committed;
+                let dst_committed = dst == Fate::Committed;
+                let backwards = f.src_ts > f.dst_ts;
+                let illegal = !strictness_allows(src_committed, dst_committed)
+                    && (backwards || self.strict_forward);
+                illegal.then_some(OrderViolation { flow: *f })
+            })
+            .collect()
+    }
+
+    /// Number of recorded flows (settled or not).
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Clears all recorded state.
+    pub fn clear(&mut self) {
+        self.flows.clear();
+        self.fates.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temporal_order_definition() {
+        // commit(x) allows anything.
+        assert!(temporal_allows(10, true, 5));
+        // seq(x, y) allows forward flow.
+        assert!(temporal_allows(5, false, 10));
+        assert!(temporal_allows(5, false, 5));
+        // Speculative backwards flow is forbidden.
+        assert!(!temporal_allows(10, false, 5));
+    }
+
+    #[test]
+    fn strictness_order_definition() {
+        // commit(y) -> commit(x): violated only when y commits and x does not.
+        assert!(strictness_allows(true, true));
+        assert!(strictness_allows(true, false));
+        assert!(strictness_allows(false, false));
+        assert!(!strictness_allows(false, true));
+    }
+
+    fn flow(src_ts: u64, dst_ts: u64) -> Flow {
+        Flow {
+            core: 0,
+            src_ts,
+            dst_ts,
+            kind: FlowKind::CacheLineRead,
+        }
+    }
+
+    #[test]
+    fn backwards_flow_from_squashed_to_committed_is_violation() {
+        let mut a = OrderAuditor::new();
+        a.record_flow(flow(20, 10)); // ts 20 influenced ts 10
+        a.settle_commit(0, 10);
+        a.settle_squash(0, 15, 25); // ts 16..=25 squashed
+        let v = a.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].flow.src_ts, 20);
+    }
+
+    #[test]
+    fn forward_flow_between_committed_is_fine() {
+        let mut a = OrderAuditor::new();
+        a.record_flow(flow(10, 20));
+        a.settle_commit(0, 10);
+        a.settle_commit(0, 20);
+        assert!(a.violations().is_empty());
+    }
+
+    #[test]
+    fn backwards_flow_between_committed_is_fine() {
+        // Both commit: commit(y) -> commit(x) holds.
+        let mut a = OrderAuditor::new();
+        a.record_flow(flow(20, 10));
+        a.settle_commit(0, 10);
+        a.settle_commit(0, 20);
+        assert!(a.violations().is_empty());
+    }
+
+    #[test]
+    fn flow_to_squashed_receiver_is_fine() {
+        let mut a = OrderAuditor::new();
+        a.record_flow(flow(20, 18));
+        a.settle_squash(0, 15, 25); // both squashed
+        assert!(a.violations().is_empty());
+    }
+
+    #[test]
+    fn forward_persistence_flagged_only_in_strict_mode() {
+        // A squashed instruction's fill read later by a committed one:
+        // the classic Spectre channel (forward in timestamp order).
+        let mut a = OrderAuditor::new();
+        a.record_flow(flow(10, 20));
+        a.settle_squash(0, 5, 15); // 10 squashed
+        a.settle_commit(0, 20);
+        assert!(a.violations().is_empty(), "lenient mode permits");
+        a.strict_forward = true;
+        assert_eq!(a.violations().len(), 1, "strict mode flags persistence");
+    }
+
+    #[test]
+    fn commit_wins_over_later_squash_range() {
+        let mut a = OrderAuditor::new();
+        a.settle_commit(0, 10);
+        a.settle_squash(0, 5, 15);
+        a.record_flow(flow(10, 12));
+        a.settle_commit(0, 12);
+        // src ts 10 committed first; squash range must not flip it.
+        assert!(a.violations().is_empty());
+    }
+
+    #[test]
+    fn unsettled_flows_are_not_judged() {
+        let mut a = OrderAuditor::new();
+        a.record_flow(flow(20, 10));
+        assert!(a.violations().is_empty(), "no fate, no verdict");
+        assert_eq!(a.flow_count(), 1);
+        a.clear();
+        assert_eq!(a.flow_count(), 0);
+    }
+}

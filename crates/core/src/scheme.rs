@@ -1,0 +1,334 @@
+//! Mitigation schemes: GhostMinion, its Fig. 9 breakdown variants, and
+//! every baseline the paper compares against (Figures 6–8).
+
+use gm_sim::TaintMode;
+
+/// Configuration of the GhostMinion mechanisms, enabling the Fig. 9
+/// breakdown: each component can be enabled independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GhostMinionConfig {
+    /// Data-side GhostMinion attached to the L1D.
+    pub dminion: bool,
+    /// Instruction-side GhostMinion attached to the L1I (§4.8).
+    pub iminion: bool,
+    /// TimeGuarding on minion reads/fills (§4.4). Without it the minion
+    /// is "DMinion-Timeless": wiped on misspeculation but blind to
+    /// backwards-in-time channels.
+    pub timeguard: bool,
+    /// Leapfrogging/timeleaping in the MSHR hierarchy (§4.5).
+    pub leapfrog: bool,
+    /// Coherence extensions: minion lines Shared-only, non-coherent
+    /// forwarding with commit-time replay (§4.6).
+    pub coherence: bool,
+    /// Prefetcher trained only on committed accesses (§4.7).
+    pub prefetch_gate: bool,
+    /// Per-minion capacity in bytes (Table 1 default: 2 KiB).
+    pub minion_bytes: u64,
+    /// Minion associativity (Table 1 default: 2-way).
+    pub minion_ways: usize,
+    /// §6.4: asynchronously reload lines that were lost from the minion
+    /// before commit (removes the small-minion performance spikes).
+    pub async_reload: bool,
+}
+
+impl Default for GhostMinionConfig {
+    fn default() -> Self {
+        Self {
+            dminion: true,
+            iminion: true,
+            timeguard: true,
+            leapfrog: true,
+            coherence: true,
+            prefetch_gate: true,
+            minion_bytes: 2048,
+            minion_ways: 2,
+            async_reload: false,
+        }
+    }
+}
+
+/// Which mitigation is in effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Unprotected out-of-order baseline (the figures' 1.0 line).
+    Unsafe,
+    /// GhostMinion with the given component configuration.
+    GhostMinion(GhostMinionConfig),
+    /// MuonTrap: an L0 filter cache for speculative fills, accessed
+    /// serially before the L1. `flush` selects MuonTrap-Flush, which
+    /// clears the filter cache on misspeculation.
+    MuonTrap { flush: bool },
+    /// InvisiSpec: speculative loads are invisible (no fill anywhere);
+    /// the data becomes visible via a commit-time exposure/validation.
+    /// `future` selects InvisiSpec-Future (blocking validation at
+    /// commit); otherwise InvisiSpec-Spectre (non-blocking exposure).
+    InvisiSpec { future: bool },
+    /// Speculative Taint Tracking: loads whose address depends on a
+    /// speculatively loaded value are delayed until their visibility
+    /// point. `future` selects STT-Future.
+    Stt { future: bool },
+}
+
+/// A complete scheme: the kind plus core-side knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scheme {
+    pub kind: SchemeKind,
+    /// §4.9 strictness-ordered scheduling of non-pipelined functional
+    /// units. Off by default even for GhostMinion, mirroring the paper's
+    /// evaluation ("we do not include this cost saving in the rest of the
+    /// evaluation"); the `fu_order` bench turns it on.
+    pub strict_fu_order: bool,
+}
+
+impl Scheme {
+    /// The unprotected baseline.
+    pub fn unsafe_baseline() -> Self {
+        Self {
+            kind: SchemeKind::Unsafe,
+            strict_fu_order: false,
+        }
+    }
+
+    /// Full GhostMinion (all components, Table 1 sizing).
+    pub fn ghost_minion() -> Self {
+        Self {
+            kind: SchemeKind::GhostMinion(GhostMinionConfig::default()),
+            strict_fu_order: false,
+        }
+    }
+
+    /// GhostMinion with a custom component configuration.
+    pub fn ghost_minion_with(cfg: GhostMinionConfig) -> Self {
+        Self {
+            kind: SchemeKind::GhostMinion(cfg),
+            strict_fu_order: false,
+        }
+    }
+
+    /// Fig. 9 "DMinion-Timeless": data minion, wiped on misspeculation,
+    /// no timestamps.
+    pub fn dminion_timeless() -> Self {
+        Self::ghost_minion_with(GhostMinionConfig {
+            iminion: false,
+            timeguard: false,
+            leapfrog: false,
+            coherence: false,
+            prefetch_gate: false,
+            ..GhostMinionConfig::default()
+        })
+    }
+
+    /// Fig. 9 "DMinion": data minion with TimeGuarding and leapfrogging.
+    pub fn dminion_only() -> Self {
+        Self::ghost_minion_with(GhostMinionConfig {
+            iminion: false,
+            coherence: false,
+            prefetch_gate: false,
+            ..GhostMinionConfig::default()
+        })
+    }
+
+    /// Fig. 9 "IMinion": instruction-side minion only.
+    pub fn iminion_only() -> Self {
+        Self::ghost_minion_with(GhostMinionConfig {
+            dminion: false,
+            coherence: false,
+            prefetch_gate: false,
+            ..GhostMinionConfig::default()
+        })
+    }
+
+    /// Fig. 9 "Coherence": DMinion plus the coherence extensions.
+    pub fn dminion_coherence() -> Self {
+        Self::ghost_minion_with(GhostMinionConfig {
+            iminion: false,
+            prefetch_gate: false,
+            ..GhostMinionConfig::default()
+        })
+    }
+
+    /// Fig. 9 "Prefetcher": DMinion plus commit-only prefetcher training.
+    pub fn dminion_prefetcher() -> Self {
+        Self::ghost_minion_with(GhostMinionConfig {
+            iminion: false,
+            coherence: false,
+            ..GhostMinionConfig::default()
+        })
+    }
+
+    /// MuonTrap without post-misspeculation flush.
+    pub fn muontrap() -> Self {
+        Self {
+            kind: SchemeKind::MuonTrap { flush: false },
+            strict_fu_order: false,
+        }
+    }
+
+    /// MuonTrap-Flush.
+    pub fn muontrap_flush() -> Self {
+        Self {
+            kind: SchemeKind::MuonTrap { flush: true },
+            strict_fu_order: false,
+        }
+    }
+
+    /// InvisiSpec-Spectre.
+    pub fn invisispec_spectre() -> Self {
+        Self {
+            kind: SchemeKind::InvisiSpec { future: false },
+            strict_fu_order: false,
+        }
+    }
+
+    /// InvisiSpec-Future.
+    pub fn invisispec_future() -> Self {
+        Self {
+            kind: SchemeKind::InvisiSpec { future: true },
+            strict_fu_order: false,
+        }
+    }
+
+    /// STT-Spectre.
+    pub fn stt_spectre() -> Self {
+        Self {
+            kind: SchemeKind::Stt { future: false },
+            strict_fu_order: false,
+        }
+    }
+
+    /// STT-Future.
+    pub fn stt_future() -> Self {
+        Self {
+            kind: SchemeKind::Stt { future: true },
+            strict_fu_order: false,
+        }
+    }
+
+    /// The STT core-side taint mode this scheme requires, if any.
+    pub fn taint_mode(&self) -> Option<TaintMode> {
+        match self.kind {
+            SchemeKind::Stt { future: false } => Some(TaintMode::Spectre),
+            SchemeKind::Stt { future: true } => Some(TaintMode::Future),
+            _ => None,
+        }
+    }
+
+    /// The GhostMinion component configuration, when applicable.
+    pub fn gm_config(&self) -> Option<GhostMinionConfig> {
+        match self.kind {
+            SchemeKind::GhostMinion(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the figures' legends.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            SchemeKind::Unsafe => "Unsafe",
+            SchemeKind::GhostMinion(c) => {
+                if !c.timeguard {
+                    "DMinion-Timeless"
+                } else if c.dminion && c.iminion && c.coherence && c.prefetch_gate {
+                    "GhostMinion"
+                } else if !c.dminion {
+                    "IMinion"
+                } else if c.coherence {
+                    "Coherence"
+                } else if c.prefetch_gate {
+                    "Prefetcher"
+                } else {
+                    "DMinion"
+                }
+            }
+            SchemeKind::MuonTrap { flush: false } => "MuonTrap",
+            SchemeKind::MuonTrap { flush: true } => "MuonTrap-Flush",
+            SchemeKind::InvisiSpec { future: false } => "InvisiSpec-Spectre",
+            SchemeKind::InvisiSpec { future: true } => "InvisiSpec-Future",
+            SchemeKind::Stt { future: false } => "STT-Spectre",
+            SchemeKind::Stt { future: true } => "STT-Future",
+        }
+    }
+
+    /// The seven schemes plotted in Figures 6–8, in legend order,
+    /// preceded by the unsafe baseline.
+    pub fn figure_lineup() -> Vec<Scheme> {
+        vec![
+            Self::unsafe_baseline(),
+            Self::ghost_minion(),
+            Self::muontrap(),
+            Self::muontrap_flush(),
+            Self::invisispec_spectre(),
+            Self::invisispec_future(),
+            Self::stt_spectre(),
+            Self::stt_future(),
+        ]
+    }
+
+    /// The Fig. 9 breakdown lineup.
+    pub fn breakdown_lineup() -> Vec<Scheme> {
+        vec![
+            Self::dminion_timeless(),
+            Self::dminion_only(),
+            Self::iminion_only(),
+            Self::dminion_coherence(),
+            Self::dminion_prefetcher(),
+            Self::ghost_minion(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_figure_legends() {
+        assert_eq!(Scheme::ghost_minion().name(), "GhostMinion");
+        assert_eq!(Scheme::muontrap().name(), "MuonTrap");
+        assert_eq!(Scheme::muontrap_flush().name(), "MuonTrap-Flush");
+        assert_eq!(Scheme::invisispec_spectre().name(), "InvisiSpec-Spectre");
+        assert_eq!(Scheme::invisispec_future().name(), "InvisiSpec-Future");
+        assert_eq!(Scheme::stt_spectre().name(), "STT-Spectre");
+        assert_eq!(Scheme::stt_future().name(), "STT-Future");
+        assert_eq!(Scheme::dminion_timeless().name(), "DMinion-Timeless");
+        assert_eq!(Scheme::dminion_only().name(), "DMinion");
+        assert_eq!(Scheme::iminion_only().name(), "IMinion");
+        assert_eq!(Scheme::dminion_coherence().name(), "Coherence");
+        assert_eq!(Scheme::dminion_prefetcher().name(), "Prefetcher");
+        assert_eq!(Scheme::unsafe_baseline().name(), "Unsafe");
+    }
+
+    #[test]
+    fn taint_mode_only_for_stt() {
+        assert_eq!(Scheme::stt_spectre().taint_mode(), Some(TaintMode::Spectre));
+        assert_eq!(Scheme::stt_future().taint_mode(), Some(TaintMode::Future));
+        assert_eq!(Scheme::ghost_minion().taint_mode(), None);
+        assert_eq!(Scheme::unsafe_baseline().taint_mode(), None);
+    }
+
+    #[test]
+    fn default_gm_config_is_table1() {
+        let c = GhostMinionConfig::default();
+        assert_eq!(c.minion_bytes, 2048);
+        assert_eq!(c.minion_ways, 2);
+        assert!(c.dminion && c.iminion && c.timeguard && c.leapfrog);
+        assert!(c.coherence && c.prefetch_gate);
+        assert!(!c.async_reload);
+    }
+
+    #[test]
+    fn lineups_have_expected_sizes() {
+        assert_eq!(Scheme::figure_lineup().len(), 8);
+        assert_eq!(Scheme::breakdown_lineup().len(), 6);
+    }
+
+    #[test]
+    fn breakdown_variants_differ_from_full() {
+        let full = Scheme::ghost_minion().gm_config().unwrap();
+        let dm = Scheme::dminion_only().gm_config().unwrap();
+        assert!(full.coherence && !dm.coherence);
+        assert!(full.iminion && !dm.iminion);
+        assert!(dm.timeguard, "DMinion keeps TimeGuarding");
+        assert!(!Scheme::dminion_timeless().gm_config().unwrap().timeguard);
+    }
+}

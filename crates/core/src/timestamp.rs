@@ -1,0 +1,187 @@
+//! The sliding-window timestamp encoding of §4.4.
+//!
+//! > "Logically and behaviourally, the TimeGuard can be considered a
+//! > timestamp increasing to infinity. Implementation-wise, the maximum
+//! > timestamp is sized to be twice the number of reorder-buffer entries,
+//! > as a sliding window."
+//!
+//! The simulator carries unbounded `u64` sequence numbers; this module
+//! shows the hardware-feasible encoding is equivalent: because at most
+//! `N` (= ROB entries) instructions are in flight at once and timestamps
+//! are allocated in order, any two *live* timestamps are within `N` of
+//! each other, so a modulo-`2N` encoding distinguishes older from newer
+//! unambiguously. Property tests in this module verify agreement with the
+//! unbounded comparison for every in-window distance.
+
+/// A modulo-2N timestamp window (footnote 5 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TsWindow {
+    /// Number of reorder-buffer entries (`N`).
+    rob_entries: u64,
+}
+
+impl TsWindow {
+    /// Creates a window for a ROB of `rob_entries` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rob_entries` is zero.
+    pub fn new(rob_entries: u64) -> Self {
+        assert!(rob_entries > 0, "ROB must have at least one entry");
+        Self { rob_entries }
+    }
+
+    /// The modulus (`2N`).
+    pub fn modulus(&self) -> u64 {
+        2 * self.rob_entries
+    }
+
+    /// Encodes an unbounded sequence number into the window.
+    pub fn wrap(&self, seq: u64) -> u64 {
+        seq % self.modulus()
+    }
+
+    /// TimeGuarded **read** rule on wrapped timestamps: an instruction at
+    /// `inst_w` may read a line stamped `line_w` iff the line is *not* in
+    /// the "future" half-window `(inst_w, inst_w + N]`.
+    ///
+    /// Equivalent to `line_ts <= inst_ts` on unbounded timestamps whenever
+    /// both are live simultaneously (distance < N).
+    pub fn may_read(&self, line_w: u64, inst_w: u64) -> bool {
+        let n = self.rob_entries;
+        let m = self.modulus();
+        // Distance from the instruction forward to the line.
+        let fwd = (line_w + m - inst_w) % m;
+        !(1..=n).contains(&fwd)
+    }
+
+    /// TimeGuarded **fill** rule on wrapped timestamps: an instruction at
+    /// `inst_w` may overwrite a line stamped `line_w` iff the line *is*
+    /// in `[inst_w, inst_w + N)` — i.e. it is the same age or newer.
+    ///
+    /// Equivalent to `line_ts >= inst_ts` on unbounded timestamps for live
+    /// pairs.
+    pub fn may_overwrite(&self, line_w: u64, inst_w: u64) -> bool {
+        let n = self.rob_entries;
+        let m = self.modulus();
+        let fwd = (line_w + m - inst_w) % m;
+        fwd < n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrap_is_modulo_2n() {
+        let w = TsWindow::new(192);
+        assert_eq!(w.modulus(), 384);
+        assert_eq!(w.wrap(0), 0);
+        assert_eq!(w.wrap(383), 383);
+        assert_eq!(w.wrap(384), 0);
+        assert_eq!(w.wrap(385), 1);
+    }
+
+    #[test]
+    fn read_rule_simple_cases() {
+        let w = TsWindow::new(4); // window of 8
+        // Equal timestamps: readable (an instruction reads its own fill).
+        assert!(w.may_read(5, 5));
+        // Older line: readable.
+        assert!(w.may_read(4, 5));
+        // Newer line (future): not readable.
+        assert!(!w.may_read(6, 5));
+        // Wrapped: line 0 vs inst 7 — line is newer (7 -> 0 wraps forward
+        // by 1), so not readable.
+        assert!(!w.may_read(0, 7));
+        // Wrapped the other way: line 7, inst 1 (inst wrapped past line):
+        // forward distance from 1 to 7 is 6 > N=4, so 7 is "older".
+        assert!(w.may_read(7, 1));
+    }
+
+    #[test]
+    fn overwrite_rule_simple_cases() {
+        let w = TsWindow::new(4);
+        // Overwriting one's own or newer line: allowed.
+        assert!(w.may_overwrite(5, 5));
+        assert!(w.may_overwrite(6, 5));
+        // Overwriting older (possibly committed) data: forbidden.
+        assert!(!w.may_overwrite(4, 5));
+        // Wrapped: inst 7 may overwrite line 0/1/2 (newer after wrap).
+        assert!(w.may_overwrite(0, 7));
+        assert!(w.may_overwrite(2, 7));
+        assert!(!w.may_overwrite(3, 7), "distance N is out of the window");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_rob_panics() {
+        let _ = TsWindow::new(0);
+    }
+
+    proptest! {
+        /// For any two live timestamps (distance < N), the wrapped read
+        /// rule agrees with the unbounded `line <= inst`.
+        #[test]
+        fn read_agrees_with_unbounded(
+            base in 0u64..1_000_000,
+            delta in 0u64..191,   // |line - inst| < N = 192
+            line_is_newer in proptest::bool::ANY,
+        ) {
+            let w = TsWindow::new(192);
+            let (line, inst) = if line_is_newer {
+                (base + delta, base)
+            } else {
+                (base, base + delta)
+            };
+            let unbounded = line <= inst;
+            prop_assert_eq!(
+                w.may_read(w.wrap(line), w.wrap(inst)),
+                unbounded,
+                "line={} inst={}", line, inst
+            );
+        }
+
+        /// Same for the fill/overwrite rule vs unbounded `line >= inst`.
+        #[test]
+        fn overwrite_agrees_with_unbounded(
+            base in 0u64..1_000_000,
+            delta in 0u64..191,
+            line_is_newer in proptest::bool::ANY,
+        ) {
+            let w = TsWindow::new(192);
+            let (line, inst) = if line_is_newer {
+                (base + delta, base)
+            } else {
+                (base, base + delta)
+            };
+            let unbounded = line >= inst;
+            prop_assert_eq!(
+                w.may_overwrite(w.wrap(line), w.wrap(inst)),
+                unbounded,
+                "line={} inst={}", line, inst
+            );
+        }
+
+        /// Read and overwrite partition the live window: for distinct live
+        /// timestamps exactly one of may_read / may_overwrite-strictly
+        /// holds, and both hold at equality.
+        #[test]
+        fn rules_are_consistent(a in 0u64..10_000, d in 0u64..191) {
+            let w = TsWindow::new(192);
+            let (la, lb) = (w.wrap(a), w.wrap(a + d));
+            if d == 0 {
+                prop_assert!(w.may_read(la, lb) && w.may_overwrite(la, lb));
+            } else {
+                // Line `a` is older than inst `a+d`: readable, not overwritable.
+                prop_assert!(w.may_read(la, lb));
+                prop_assert!(!w.may_overwrite(la, lb));
+                // Line `a+d` is newer than inst `a`: overwritable, not readable.
+                prop_assert!(!w.may_read(lb, la));
+                prop_assert!(w.may_overwrite(lb, la));
+            }
+        }
+    }
+}

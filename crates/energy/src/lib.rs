@@ -1,0 +1,150 @@
+//! SRAM energy model reproducing the paper's §6.5 power analysis.
+//!
+//! The paper uses CACTI 6.0 at 22 nm and reports two anchor points:
+//!
+//! * 2 KiB GhostMinion: **0.47 mW** static, **1.5 pJ** per read;
+//! * 64 KiB L1 data cache: **12.8 mW** static, **8.6 pJ** per read.
+//!
+//! We fit simple power laws through those anchors (static power scales
+//! almost linearly with capacity; access energy roughly with its square
+//! root, as bitline/wordline lengths grow with each dimension of the
+//! array) and expose the §6.5 computation: given access counts from a
+//! simulation and its cycle count at 2 GHz, the extra dynamic power the
+//! GhostMinion accesses cost. The paper's result — ≈3 µW data-side,
+//! ≈1 µW instruction-side, negligible against ≈1 W/core — must
+//! reproduce.
+
+/// Energy/leakage figures for one SRAM array.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SramModel {
+    /// Capacity in bytes.
+    pub bytes: u64,
+    /// Static (leakage) power in milliwatts.
+    pub static_mw: f64,
+    /// Energy per read access in picojoules.
+    pub read_pj: f64,
+    /// Energy per write access in picojoules (CACTI puts writes close to
+    /// reads for these small arrays; we use the same figure).
+    pub write_pj: f64,
+}
+
+/// Core clock the paper models (Table 1): 2 GHz.
+pub const CLOCK_HZ: f64 = 2.0e9;
+
+// Anchor points from §6.5.
+const ANCHOR_SMALL_BYTES: f64 = 2048.0;
+const ANCHOR_SMALL_MW: f64 = 0.47;
+const ANCHOR_SMALL_PJ: f64 = 1.5;
+const ANCHOR_LARGE_BYTES: f64 = 65536.0;
+const ANCHOR_LARGE_MW: f64 = 12.8;
+const ANCHOR_LARGE_PJ: f64 = 8.6;
+
+fn fitted_exponent(small: f64, large: f64) -> f64 {
+    (large / small).ln() / (ANCHOR_LARGE_BYTES / ANCHOR_SMALL_BYTES).ln()
+}
+
+/// Builds the fitted model for an SRAM of `bytes` capacity.
+///
+/// # Panics
+///
+/// Panics for zero-sized arrays.
+pub fn sram_model(bytes: u64) -> SramModel {
+    assert!(bytes > 0, "SRAM must have capacity");
+    let ratio = bytes as f64 / ANCHOR_SMALL_BYTES;
+    let static_exp = fitted_exponent(ANCHOR_SMALL_MW, ANCHOR_LARGE_MW);
+    let read_exp = fitted_exponent(ANCHOR_SMALL_PJ, ANCHOR_LARGE_PJ);
+    let read_pj = ANCHOR_SMALL_PJ * ratio.powf(read_exp);
+    SramModel {
+        bytes,
+        static_mw: ANCHOR_SMALL_MW * ratio.powf(static_exp),
+        read_pj,
+        write_pj: read_pj,
+    }
+}
+
+/// Average dynamic power (in microwatts) of `reads` + `writes` accesses
+/// to `model` spread over `cycles` cycles at 2 GHz.
+///
+/// # Panics
+///
+/// Panics if `cycles` is zero.
+pub fn dynamic_uw(model: &SramModel, reads: u64, writes: u64, cycles: u64) -> f64 {
+    assert!(cycles > 0, "cannot average over zero cycles");
+    let energy_pj = reads as f64 * model.read_pj + writes as f64 * model.write_pj;
+    let seconds = cycles as f64 / CLOCK_HZ;
+    // 1 pJ/s = 1e-12 W = 1e-6 µW.
+    energy_pj * 1e-12 / seconds * 1e6
+}
+
+/// The §6.5 table: GhostMinion vs L1 static power and read energy.
+pub fn section65_report() -> String {
+    let minion = sram_model(2048);
+    let l1d = sram_model(64 * 1024);
+    format!(
+        "structure        size    static(mW)  read(pJ)\n\
+         GhostMinion      2KiB    {:>8.2}  {:>8.1}\n\
+         L1 data cache    64KiB   {:>8.1}  {:>8.1}\n",
+        minion.static_mw, minion.read_pj, l1d.static_mw, l1d.read_pj
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_reproduce_paper_numbers() {
+        let minion = sram_model(2048);
+        assert!((minion.static_mw - 0.47).abs() < 1e-9);
+        assert!((minion.read_pj - 1.5).abs() < 1e-9);
+        let l1 = sram_model(64 * 1024);
+        assert!((l1.static_mw - 12.8).abs() < 1e-9);
+        assert!((l1.read_pj - 8.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_is_monotonic() {
+        let sizes = [128u64, 512, 2048, 8192, 65536, 2 * 1024 * 1024];
+        let mut last = sram_model(sizes[0]);
+        for &s in &sizes[1..] {
+            let m = sram_model(s);
+            assert!(m.static_mw > last.static_mw, "{s}");
+            assert!(m.read_pj > last.read_pj, "{s}");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn minion_dynamic_power_is_microwatt_scale() {
+        let minion = sram_model(2048);
+        let cycles = 1_000_000;
+        let uw = dynamic_uw(&minion, cycles / 3, cycles / 30, cycles);
+        assert!(
+            uw < 2500.0,
+            "minion dynamic power must be trivially small: {uw} µW"
+        );
+        let uw_paper = dynamic_uw(&minion, cycles / 200, cycles / 2000, cycles);
+        assert!(uw_paper < 20.0, "{uw_paper} µW");
+    }
+
+    #[test]
+    fn report_contains_anchor_rows() {
+        let r = section65_report();
+        assert!(r.contains("0.47"));
+        assert!(r.contains("12.8"));
+        assert!(r.contains("8.6"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_size_panics() {
+        let _ = sram_model(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cycles")]
+    fn zero_cycles_panics() {
+        let m = sram_model(2048);
+        let _ = dynamic_uw(&m, 1, 1, 0);
+    }
+}

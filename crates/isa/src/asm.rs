@@ -1,0 +1,356 @@
+//! A small assembler DSL for building [`Program`]s in Rust code.
+//!
+//! Labels are created with [`Asm::label`], placed with [`Asm::bind`], and
+//! may be referenced before they are bound; [`Asm::assemble`] patches all
+//! forward references and validates the result.
+//!
+//! # Examples
+//!
+//! ```
+//! use gm_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new("count-to-ten");
+//! let (x1, x2) = (Reg::x(1), Reg::x(2));
+//! a.li(x1, 0);
+//! a.li(x2, 10);
+//! let top = a.label();
+//! a.bind(top);
+//! a.addi(x1, x1, 1);
+//! a.bne(x1, x2, top);
+//! a.halt();
+//! let prog = a.assemble();
+//! assert_eq!(prog.len(), 5);
+//! ```
+
+use crate::{DataSegment, Inst, MemSize, Op, Program, Reg};
+
+/// An opaque label handle; create with [`Asm::label`], place with
+/// [`Asm::bind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builder for [`Program`]s. See the module docs for an example.
+#[derive(Debug)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    // One entry per label: Some(pc) once bound.
+    labels: Vec<Option<u64>>,
+    // (inst index, label) pairs to patch at assemble time.
+    fixups: Vec<(usize, Label)>,
+    data: Vec<DataSegment>,
+    init_regs: Vec<(Reg, u64)>,
+    name: String,
+}
+
+impl Asm {
+    /// Starts a new program with the given report name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            insts: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            data: Vec::new(),
+            init_regs: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len() as u64);
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Current instruction index (the pc the next emitted instruction will
+    /// occupy).
+    pub fn pc(&self) -> u64 {
+        self.insts.len() as u64
+    }
+
+    /// Adds an initial-memory segment.
+    pub fn data(&mut self, seg: DataSegment) {
+        self.data.push(seg);
+    }
+
+    /// Sets an initial register value.
+    pub fn init(&mut self, reg: Reg, value: u64) {
+        self.init_regs.push((reg, value));
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    fn emit_branch(&mut self, op: Op, rs1: Reg, rs2: Reg, target: Label) {
+        self.fixups.push((self.insts.len(), target));
+        self.insts.push(Inst::new(op, Reg::ZERO, rs1, rs2, 0));
+    }
+
+    /// Finalises the program, patching label references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label is unbound, or if validation finds a
+    /// control-flow target out of range.
+    pub fn assemble(self) -> Program {
+        let Asm {
+            mut insts,
+            labels,
+            fixups,
+            data,
+            init_regs,
+            name,
+        } = self;
+        for (idx, label) in fixups {
+            let target = labels[label.0]
+                .unwrap_or_else(|| panic!("label {label:?} referenced but never bound"));
+            insts[idx].imm = target as i64;
+        }
+        let prog = Program {
+            insts,
+            data,
+            init_regs,
+            name,
+        };
+        if let Err(i) = prog.validate() {
+            panic!("instruction {i} has an out-of-range control-flow target");
+        }
+        prog
+    }
+
+    // ---- integer ALU ----
+
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Add, rd, rs1, rs2, 0));
+    }
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Sub, rd, rs1, rs2, 0));
+    }
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::And, rd, rs1, rs2, 0));
+    }
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Or, rd, rs1, rs2, 0));
+    }
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Xor, rd, rs1, rs2, 0));
+    }
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Sll, rd, rs1, rs2, 0));
+    }
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Srl, rd, rs1, rs2, 0));
+    }
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Slt, rd, rs1, rs2, 0));
+    }
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Sltu, rd, rs1, rs2, 0));
+    }
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::new(Op::Addi, rd, rs1, Reg::ZERO, imm));
+    }
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::new(Op::Andi, rd, rs1, Reg::ZERO, imm));
+    }
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::new(Op::Ori, rd, rs1, Reg::ZERO, imm));
+    }
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::new(Op::Xori, rd, rs1, Reg::ZERO, imm));
+    }
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::new(Op::Slli, rd, rs1, Reg::ZERO, imm));
+    }
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::new(Op::Srli, rd, rs1, Reg::ZERO, imm));
+    }
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit(Inst::new(Op::Li, rd, Reg::ZERO, Reg::ZERO, imm));
+    }
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    // ---- multiply / divide ----
+
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Mul, rd, rs1, rs2, 0));
+    }
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Div, rd, rs1, rs2, 0));
+    }
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Rem, rd, rs1, rs2, 0));
+    }
+
+    // ---- floating point ----
+
+    pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Fadd, rd, rs1, rs2, 0));
+    }
+    pub fn fsub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Fsub, rd, rs1, rs2, 0));
+    }
+    pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Fmul, rd, rs1, rs2, 0));
+    }
+    pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::new(Op::Fdiv, rd, rs1, rs2, 0));
+    }
+    pub fn fsqrt(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Inst::new(Op::Fsqrt, rd, rs1, Reg::ZERO, 0));
+    }
+
+    // ---- memory ----
+
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::new(Op::Ld(MemSize::B8), rd, base, Reg::ZERO, offset));
+    }
+    pub fn ld_sized(&mut self, size: MemSize, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::new(Op::Ld(size), rd, base, Reg::ZERO, offset));
+    }
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::new(Op::St(MemSize::B8), Reg::ZERO, base, src, offset));
+    }
+    pub fn st_sized(&mut self, size: MemSize, src: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::new(Op::St(size), Reg::ZERO, base, src, offset));
+    }
+    pub fn ll(&mut self, rd: Reg, base: Reg) {
+        self.emit(Inst::new(Op::Ll, rd, base, Reg::ZERO, 0));
+    }
+    pub fn sc(&mut self, rd: Reg, src: Reg, base: Reg) {
+        self.emit(Inst::new(Op::Sc, rd, base, src, 0));
+    }
+
+    // ---- control flow ----
+
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Op::Beq, rs1, rs2, target);
+    }
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Op::Bne, rs1, rs2, target);
+    }
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Op::Blt, rs1, rs2, target);
+    }
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Op::Bge, rs1, rs2, target);
+    }
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Op::Bltu, rs1, rs2, target);
+    }
+    pub fn jal(&mut self, rd: Reg, target: Label) {
+        self.fixups.push((self.insts.len(), target));
+        self.insts.push(Inst::new(Op::Jal, rd, Reg::ZERO, Reg::ZERO, 0));
+    }
+    pub fn jalr(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::new(Op::Jalr, rd, base, Reg::ZERO, offset));
+    }
+    /// Unconditional jump (jal with discarded link).
+    pub fn j(&mut self, target: Label) {
+        self.jal(Reg::ZERO, target);
+    }
+
+    // ---- miscellaneous ----
+
+    pub fn rdcycle(&mut self, rd: Reg) {
+        self.emit(Inst::new(Op::Rdcycle, rd, Reg::ZERO, Reg::ZERO, 0));
+    }
+    pub fn nop(&mut self) {
+        self.emit(Inst::nop());
+    }
+    pub fn fence(&mut self) {
+        self.emit(Inst::new(Op::Fence, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0));
+    }
+    pub fn halt(&mut self) {
+        self.emit(Inst::new(Op::Halt, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new("t");
+        let fwd = a.label();
+        a.j(fwd); // forward reference
+        let back = a.here();
+        a.bind(fwd);
+        a.beq(Reg::x(1), Reg::x(2), back); // backward reference
+        a.halt();
+        let p = a.assemble();
+        assert_eq!(p.insts[0].imm, 1); // fwd bound at pc 1
+        assert_eq!(p.insts[1].imm, 1); // back bound at pc 1
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics_at_assemble() {
+        let mut a = Asm::new("t");
+        let l = a.label();
+        a.j(l);
+        let _ = a.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new("t");
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn data_and_init_regs_carried_through() {
+        let mut a = Asm::new("t");
+        a.data(DataSegment::words(0x1000, &[1, 2, 3]));
+        a.init(Reg::x(5), 0x1000);
+        a.halt();
+        let p = a.assemble();
+        assert_eq!(p.data.len(), 1);
+        assert_eq!(p.init_regs, vec![(Reg::x(5), 0x1000)]);
+        assert_eq!(p.name, "t");
+    }
+
+    #[test]
+    fn pc_tracks_emission() {
+        let mut a = Asm::new("t");
+        assert_eq!(a.pc(), 0);
+        a.nop();
+        a.nop();
+        assert_eq!(a.pc(), 2);
+    }
+
+    #[test]
+    fn store_encodes_data_in_rs2() {
+        let mut a = Asm::new("t");
+        a.st(Reg::x(3), Reg::x(4), 8);
+        let p = a.assemble();
+        assert_eq!(p.insts[0].rs2, Reg::x(3));
+        assert_eq!(p.insts[0].rs1, Reg::x(4));
+        assert_eq!(p.insts[0].imm, 8);
+    }
+}

@@ -1,0 +1,171 @@
+//! Functional (value) semantics of the ALU and branch ops.
+//!
+//! The out-of-order core in `gm-sim` calls these from its execute stage;
+//! keeping them here means the semantics are defined once, next to the
+//! opcode definitions, and can be tested exhaustively without a pipeline.
+
+use crate::Op;
+
+fn f(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+fn b(v: f64) -> u64 {
+    v.to_bits()
+}
+
+/// Evaluates a non-memory, non-control op over its operand values.
+///
+/// `a` and `b_` are the values of `rs1` and `rs2`; `imm` the immediate;
+/// `cycle` the current cycle (for [`Op::Rdcycle`]). Division by zero
+/// follows the RISC-V convention (`u64::MAX` quotient, dividend
+/// remainder) so workloads cannot fault.
+///
+/// # Panics
+///
+/// Panics when called with a memory or control-flow op — those are
+/// handled by the LSQ and branch unit, and routing them here is a core
+/// bug.
+pub fn alu_eval(op: Op, a: u64, b_: u64, imm: i64, cycle: u64) -> u64 {
+    use Op::*;
+    match op {
+        Add => a.wrapping_add(b_),
+        Sub => a.wrapping_sub(b_),
+        And => a & b_,
+        Or => a | b_,
+        Xor => a ^ b_,
+        Sll => a.wrapping_shl((b_ & 63) as u32),
+        Srl => a.wrapping_shr((b_ & 63) as u32),
+        Sra => ((a as i64).wrapping_shr((b_ & 63) as u32)) as u64,
+        Slt => ((a as i64) < (b_ as i64)) as u64,
+        Sltu => (a < b_) as u64,
+        Addi => a.wrapping_add(imm as u64),
+        Andi => a & imm as u64,
+        Ori => a | imm as u64,
+        Xori => a ^ imm as u64,
+        Slli => a.wrapping_shl((imm & 63) as u32),
+        Srli => a.wrapping_shr((imm & 63) as u32),
+        Li => imm as u64,
+        Mul => a.wrapping_mul(b_),
+        Div => {
+            if b_ == 0 {
+                u64::MAX
+            } else {
+                a / b_
+            }
+        }
+        Rem => {
+            if b_ == 0 {
+                a
+            } else {
+                a % b_
+            }
+        }
+        Fadd => b(f(a) + f(b_)),
+        Fsub => b(f(a) - f(b_)),
+        Fmul => b(f(a) * f(b_)),
+        Fdiv => b(f(a) / f(b_)),
+        Fsqrt => b(f(a).sqrt()),
+        Rdcycle => cycle,
+        Nop | Fence | Halt => 0,
+        // Jumps write the link register: handled here so the execute stage
+        // is uniform. `imm` is unused; the caller passes the return pc.
+        Jal | Jalr => a, // caller passes return pc in `a` for link value
+        Ld(_) | St(_) | Ll | Sc | Beq | Bne | Blt | Bge | Bltu => {
+            panic!("alu_eval called on non-ALU op {op:?}")
+        }
+    }
+}
+
+/// Whether a conditional branch is taken, given its operand values.
+///
+/// # Panics
+///
+/// Panics for non-branch ops.
+pub fn branch_taken(op: Op, a: u64, b_: u64) -> bool {
+    match op {
+        Op::Beq => a == b_,
+        Op::Bne => a != b_,
+        Op::Blt => (a as i64) < (b_ as i64),
+        Op::Bge => (a as i64) >= (b_ as i64),
+        Op::Bltu => a < b_,
+        _ => panic!("branch_taken called on non-branch op {op:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic_wraps() {
+        assert_eq!(alu_eval(Op::Add, u64::MAX, 1, 0, 0), 0);
+        assert_eq!(alu_eval(Op::Sub, 0, 1, 0, 0), u64::MAX);
+        assert_eq!(alu_eval(Op::Mul, 1 << 63, 2, 0, 0), 0);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(alu_eval(Op::Sll, 1, 64, 0, 0), 1); // 64 & 63 == 0
+        assert_eq!(alu_eval(Op::Srl, 0x80, 4, 0, 0), 0x8);
+        assert_eq!(alu_eval(Op::Sra, (-8i64) as u64, 1, 0, 0), (-4i64) as u64);
+    }
+
+    #[test]
+    fn comparisons_signed_and_unsigned() {
+        assert_eq!(alu_eval(Op::Slt, (-1i64) as u64, 0, 0, 0), 1);
+        assert_eq!(alu_eval(Op::Sltu, (-1i64) as u64, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn division_by_zero_follows_riscv() {
+        assert_eq!(alu_eval(Op::Div, 42, 0, 0, 0), u64::MAX);
+        assert_eq!(alu_eval(Op::Rem, 42, 0, 0, 0), 42);
+        assert_eq!(alu_eval(Op::Div, 42, 5, 0, 0), 8);
+        assert_eq!(alu_eval(Op::Rem, 42, 5, 0, 0), 2);
+    }
+
+    #[test]
+    fn fp_roundtrips_through_bits() {
+        let two = 2.0f64.to_bits();
+        let three = 3.0f64.to_bits();
+        assert_eq!(f64::from_bits(alu_eval(Op::Fadd, two, three, 0, 0)), 5.0);
+        assert_eq!(f64::from_bits(alu_eval(Op::Fmul, two, three, 0, 0)), 6.0);
+        assert_eq!(f64::from_bits(alu_eval(Op::Fdiv, three, two, 0, 0)), 1.5);
+        assert_eq!(f64::from_bits(alu_eval(Op::Fsqrt, 4.0f64.to_bits(), 0, 0, 0)), 2.0);
+    }
+
+    #[test]
+    fn rdcycle_returns_cycle() {
+        assert_eq!(alu_eval(Op::Rdcycle, 0, 0, 0, 1234), 1234);
+    }
+
+    #[test]
+    fn immediates() {
+        assert_eq!(alu_eval(Op::Li, 0, 0, -7, 0), (-7i64) as u64);
+        assert_eq!(alu_eval(Op::Addi, 10, 0, -3, 0), 7);
+        assert_eq!(alu_eval(Op::Slli, 1, 0, 12, 0), 4096);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(branch_taken(Op::Beq, 5, 5));
+        assert!(!branch_taken(Op::Beq, 5, 6));
+        assert!(branch_taken(Op::Bne, 5, 6));
+        assert!(branch_taken(Op::Blt, (-1i64) as u64, 0));
+        assert!(!branch_taken(Op::Bltu, (-1i64) as u64, 0));
+        assert!(branch_taken(Op::Bge, 3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ALU")]
+    fn alu_eval_rejects_loads() {
+        let _ = alu_eval(Op::Ld(crate::MemSize::B8), 0, 0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-branch")]
+    fn branch_taken_rejects_alu_ops() {
+        let _ = branch_taken(Op::Add, 0, 0);
+    }
+}

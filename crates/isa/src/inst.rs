@@ -1,0 +1,134 @@
+//! A single decoded instruction.
+
+use crate::{Op, Reg};
+use std::fmt;
+
+/// A decoded instruction: opcode, register operands and immediate.
+///
+/// Fields that an opcode does not use are ignored (conventionally
+/// [`Reg::ZERO`] / 0). Branch and jump targets are absolute instruction
+/// indices carried in `imm`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Inst {
+    pub op: Op,
+    pub rd: Reg,
+    pub rs1: Reg,
+    pub rs2: Reg,
+    pub imm: i64,
+}
+
+impl Inst {
+    /// Builds an instruction; prefer the [`crate::Asm`] DSL in workload
+    /// code.
+    pub fn new(op: Op, rd: Reg, rs1: Reg, rs2: Reg, imm: i64) -> Self {
+        Self {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        }
+    }
+
+    /// A no-op instruction.
+    pub fn nop() -> Self {
+        Self::new(Op::Nop, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// The destination register, if this op writes one. The zero register
+    /// never counts as a real destination.
+    pub fn dest(&self) -> Option<Reg> {
+        if self.op.writes_rd() && !self.rd.is_zero() {
+            Some(self.rd)
+        } else {
+            None
+        }
+    }
+
+    /// Source registers actually read by this op (zero register excluded —
+    /// it is constant and creates no dependence).
+    pub fn sources(&self) -> impl Iterator<Item = Reg> {
+        let s1 = (self.op.reads_rs1() && !self.rs1.is_zero()).then_some(self.rs1);
+        let s2 = (self.op.reads_rs2() && !self.rs2.is_zero()).then_some(self.rs2);
+        s1.into_iter().chain(s2)
+    }
+
+    /// The branch/jump target as an instruction index, for direct
+    /// control-flow ops.
+    pub fn direct_target(&self) -> Option<u64> {
+        if self.op.is_cond_branch() || self.op == Op::Jal {
+            Some(self.imm as u64)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Op::*;
+        match self.op {
+            Nop | Fence | Halt => write!(f, "{}", self.op),
+            Li => write!(f, "li {}, {}", self.rd, self.imm),
+            Rdcycle => write!(f, "rdcycle {}", self.rd),
+            Ld(_) | Ll => write!(f, "{} {}, {}({})", self.op, self.rd, self.imm, self.rs1),
+            St(_) | Sc => write!(f, "{} {}, {}({})", self.op, self.rs2, self.imm, self.rs1),
+            Beq | Bne | Blt | Bge | Bltu => {
+                write!(f, "{} {}, {}, @{}", self.op, self.rs1, self.rs2, self.imm)
+            }
+            Jal => write!(f, "jal {}, @{}", self.rd, self.imm),
+            Jalr => write!(f, "jalr {}, {}({})", self.rd, self.imm, self.rs1),
+            Addi | Andi | Ori | Xori | Slli | Srli => {
+                write!(f, "{} {}, {}, {}", self.op, self.rd, self.rs1, self.imm)
+            }
+            _ => write!(
+                f,
+                "{} {}, {}, {}",
+                self.op, self.rd, self.rs1, self.rs2
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemSize;
+
+    #[test]
+    fn dest_excludes_zero_register_and_non_writers() {
+        let add = Inst::new(Op::Add, Reg::x(1), Reg::x(2), Reg::x(3), 0);
+        assert_eq!(add.dest(), Some(Reg::x(1)));
+        let addz = Inst::new(Op::Add, Reg::ZERO, Reg::x(2), Reg::x(3), 0);
+        assert_eq!(addz.dest(), None);
+        let st = Inst::new(Op::St(MemSize::B8), Reg::ZERO, Reg::x(1), Reg::x(2), 0);
+        assert_eq!(st.dest(), None);
+    }
+
+    #[test]
+    fn sources_reflect_op_and_skip_zero() {
+        let add = Inst::new(Op::Add, Reg::x(1), Reg::x(2), Reg::ZERO, 0);
+        let srcs: Vec<Reg> = add.sources().collect();
+        assert_eq!(srcs, vec![Reg::x(2)]);
+        let li = Inst::new(Op::Li, Reg::x(1), Reg::ZERO, Reg::ZERO, 42);
+        assert_eq!(li.sources().count(), 0);
+    }
+
+    #[test]
+    fn direct_target_for_branches_and_jal_only() {
+        let b = Inst::new(Op::Beq, Reg::ZERO, Reg::x(1), Reg::x(2), 17);
+        assert_eq!(b.direct_target(), Some(17));
+        let j = Inst::new(Op::Jal, Reg::x(1), Reg::ZERO, Reg::ZERO, 9);
+        assert_eq!(j.direct_target(), Some(9));
+        let jr = Inst::new(Op::Jalr, Reg::x(1), Reg::x(2), Reg::ZERO, 0);
+        assert_eq!(jr.direct_target(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let ld = Inst::new(Op::Ld(MemSize::B8), Reg::x(1), Reg::x(2), Reg::ZERO, 16);
+        assert_eq!(ld.to_string(), "ld8 x1, 16(x2)");
+        let b = Inst::new(Op::Bne, Reg::ZERO, Reg::x(1), Reg::x(2), 3);
+        assert_eq!(b.to_string(), "bne x1, x2, @3");
+    }
+}

@@ -1,0 +1,49 @@
+//! The instruction set of the GhostMinion reproduction.
+//!
+//! The paper evaluates GhostMinion in gem5 running Aarch64 binaries. We
+//! cannot ship SPEC binaries, so this crate defines a small, RISC-style
+//! instruction set that the cycle-level core in `gm-sim` executes both
+//! *functionally* (values) and *temporally* (cycles). The set is chosen so
+//! that every microarchitectural behaviour the paper depends on is
+//! expressible:
+//!
+//! * loads/stores of 1–8 bytes with register+immediate addressing (cache
+//!   and MSHR behaviour, speculative fills, data-dependent addresses for
+//!   Spectre gadgets);
+//! * conditional branches and indirect jumps (misspeculation, branch
+//!   predictor training, BTB attacks);
+//! * pipelined and **non-pipelined** arithmetic (integer divide, FP divide,
+//!   FP square root) — the structural-hazard channel SpectreRewind uses;
+//! * `rdcycle`, the in-simulation timer attackers use to measure channels;
+//! * load-linked/store-conditional, so the Parsec-analog workloads can
+//!   build real spinlocks over the coherence protocol.
+//!
+//! Programs are built with the [`Asm`] assembler DSL and carry initial
+//! data segments, so workloads are self-contained values.
+
+mod asm;
+mod exec;
+mod inst;
+mod op;
+mod program;
+mod reg;
+
+pub use asm::{Asm, Label};
+pub use exec::{alu_eval, branch_taken};
+pub use inst::Inst;
+pub use op::{FuClass, MemSize, Op};
+pub use program::{DataSegment, Program};
+pub use reg::{Reg, NUM_ARCH_REGS};
+
+/// Byte address of the first instruction; instruction `i` occupies
+/// `ITEXT_BASE + 4*i`. Kept well away from workload data so instruction
+/// and data footprints never alias in the caches.
+pub const ITEXT_BASE: u64 = 0x4000_0000;
+
+/// Size of one instruction in bytes (fixed-width encoding).
+pub const INST_BYTES: u64 = 4;
+
+/// Byte address of instruction index `pc`.
+pub fn pc_to_addr(pc: u64) -> u64 {
+    ITEXT_BASE + pc * INST_BYTES
+}

@@ -1,0 +1,334 @@
+//! Opcodes and their static properties (functional-unit class, latency,
+//! pipelining), mirroring the gem5 O3 configuration in the paper's Table 1.
+
+use std::fmt;
+
+/// Access width of a memory operation, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    B1,
+    B2,
+    B4,
+    B8,
+}
+
+impl MemSize {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+            MemSize::B8 => 8,
+        }
+    }
+}
+
+/// Operation code.
+///
+/// Every op reads up to two registers (`rs1`, `rs2`), an immediate, and
+/// writes at most one destination (`rd`). Branch targets are absolute
+/// instruction indices carried in the immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    // ---- integer ALU (single-cycle, pipelined) ----
+    /// `rd = rs1 + rs2`
+    Add,
+    /// `rd = rs1 - rs2`
+    Sub,
+    /// `rd = rs1 & rs2`
+    And,
+    /// `rd = rs1 | rs2`
+    Or,
+    /// `rd = rs1 ^ rs2`
+    Xor,
+    /// `rd = rs1 << (rs2 & 63)`
+    Sll,
+    /// `rd = rs1 >> (rs2 & 63)` (logical)
+    Srl,
+    /// `rd = (rs1 as i64) >> (rs2 & 63)`
+    Sra,
+    /// `rd = (rs1 as i64) < (rs2 as i64)`
+    Slt,
+    /// `rd = rs1 < rs2` (unsigned)
+    Sltu,
+    /// `rd = rs1 + imm`
+    Addi,
+    /// `rd = rs1 & imm`
+    Andi,
+    /// `rd = rs1 | imm`
+    Ori,
+    /// `rd = rs1 ^ imm`
+    Xori,
+    /// `rd = rs1 << imm`
+    Slli,
+    /// `rd = rs1 >> imm` (logical)
+    Srli,
+    /// `rd = imm` (load immediate)
+    Li,
+
+    // ---- integer multiply/divide (Mult/Div ALU pool) ----
+    /// `rd = rs1 * rs2`; 3-cycle, pipelined.
+    Mul,
+    /// `rd = rs1 / rs2` (unsigned; `u64::MAX` on divide-by-zero);
+    /// 12-cycle, **non-pipelined** — the SpectreRewind contention unit.
+    Div,
+    /// `rd = rs1 % rs2` (unsigned; `rs1` on divide-by-zero); non-pipelined.
+    Rem,
+
+    // ---- floating point (values are f64 bit patterns) ----
+    /// `rd = rs1 +. rs2`; 4-cycle, pipelined.
+    Fadd,
+    /// `rd = rs1 -. rs2`; 4-cycle, pipelined.
+    Fsub,
+    /// `rd = rs1 *. rs2`; 4-cycle, pipelined.
+    Fmul,
+    /// `rd = rs1 /. rs2`; 20-cycle, **non-pipelined**.
+    Fdiv,
+    /// `rd = sqrt(rs1)`; 24-cycle, **non-pipelined**.
+    Fsqrt,
+
+    // ---- memory ----
+    /// `rd = mem[rs1 + imm]` (zero-extended).
+    Ld(MemSize),
+    /// `mem[rs1 + imm] = rs2` (low bytes).
+    St(MemSize),
+    /// Load-linked: as `Ld(B8)`, and sets the reservation for the line.
+    Ll,
+    /// Store-conditional: if the reservation is intact, stores `rs2` and
+    /// writes 0 to `rd`; otherwise writes 1 and stores nothing.
+    Sc,
+
+    // ---- control flow; target = absolute instruction index in `imm` ----
+    /// Branch if `rs1 == rs2`.
+    Beq,
+    /// Branch if `rs1 != rs2`.
+    Bne,
+    /// Branch if `(rs1 as i64) < (rs2 as i64)`.
+    Blt,
+    /// Branch if `(rs1 as i64) >= (rs2 as i64)`.
+    Bge,
+    /// Branch if `rs1 < rs2` (unsigned).
+    Bltu,
+    /// Unconditional jump to `imm`; `rd = return pc + 1`.
+    Jal,
+    /// Indirect jump to instruction index `rs1 + imm`; `rd = return pc + 1`.
+    Jalr,
+
+    // ---- miscellaneous ----
+    /// `rd = current cycle` — the attacker's timer (cf. `rdtsc` in §1.1).
+    Rdcycle,
+    /// No operation.
+    Nop,
+    /// Fence: does not issue until it is the oldest instruction, and
+    /// blocks all younger instructions from issuing until it commits
+    /// (lfence-style serialisation).
+    Fence,
+    /// Stop the hart; the simulator ends when `Halt` commits.
+    Halt,
+}
+
+/// Functional-unit class an op issues to (Table 1: 6 Int ALUs, 4 FP ALUs,
+/// 2 Mult/Div ALUs, plus cache ports for memory ops).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Single-cycle integer ALU; also executes branches and `rdcycle`.
+    IntAlu,
+    /// Pipelined integer multiplier (Mult/Div pool).
+    IntMult,
+    /// Non-pipelined integer divider (Mult/Div pool).
+    IntDiv,
+    /// Pipelined FP add/mul unit.
+    FpAlu,
+    /// Non-pipelined FP divider (Mult/Div pool).
+    FpDiv,
+    /// Non-pipelined FP square root (Mult/Div pool).
+    FpSqrt,
+    /// Cache read port.
+    MemRead,
+    /// Cache write port.
+    MemWrite,
+}
+
+impl Op {
+    /// Functional-unit class this op executes on.
+    pub fn fu_class(self) -> FuClass {
+        use Op::*;
+        match self {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slli | Srli | Li | Beq | Bne | Blt | Bge | Bltu | Jal | Jalr | Rdcycle
+            | Nop | Fence | Halt => FuClass::IntAlu,
+            Mul => FuClass::IntMult,
+            Div | Rem => FuClass::IntDiv,
+            Fadd | Fsub | Fmul => FuClass::FpAlu,
+            Fdiv => FuClass::FpDiv,
+            Fsqrt => FuClass::FpSqrt,
+            Ld(_) | Ll => FuClass::MemRead,
+            St(_) | Sc => FuClass::MemWrite,
+        }
+    }
+
+    /// Execution latency in cycles, excluding memory time for loads/stores
+    /// (latencies follow the gem5 O3 defaults the paper's setup uses).
+    pub fn latency(self) -> u64 {
+        match self.fu_class() {
+            FuClass::IntAlu => 1,
+            FuClass::IntMult => 3,
+            FuClass::IntDiv => 12,
+            FuClass::FpAlu => 4,
+            FuClass::FpDiv => 20,
+            FuClass::FpSqrt => 24,
+            FuClass::MemRead | FuClass::MemWrite => 1, // address generation
+        }
+    }
+
+    /// Whether the functional unit is pipelined. Non-pipelined units are
+    /// occupied for the whole latency — the structural hazard exploited by
+    /// SpectreRewind and scheduled in strictness order by §4.9.
+    pub fn is_pipelined(self) -> bool {
+        !matches!(
+            self.fu_class(),
+            FuClass::IntDiv | FuClass::FpDiv | FuClass::FpSqrt
+        )
+    }
+
+    /// Returns `true` for loads (including load-linked).
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::Ld(_) | Op::Ll)
+    }
+
+    /// Returns `true` for stores (including store-conditional).
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::St(_) | Op::Sc)
+    }
+
+    /// Returns `true` for any memory operation.
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Returns `true` for conditional branches.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu)
+    }
+
+    /// Returns `true` for any control-flow op (branches and jumps).
+    pub fn is_ctrl(self) -> bool {
+        self.is_cond_branch() || matches!(self, Op::Jal | Op::Jalr)
+    }
+
+    /// Returns `true` if the op architecturally writes `rd`.
+    pub fn writes_rd(self) -> bool {
+        use Op::*;
+        !matches!(
+            self,
+            St(_) | Beq | Bne | Blt | Bge | Bltu | Nop | Fence | Halt
+        )
+    }
+
+    /// Returns `true` if the op reads `rs1`.
+    pub fn reads_rs1(self) -> bool {
+        use Op::*;
+        !matches!(self, Li | Jal | Rdcycle | Nop | Fence | Halt)
+    }
+
+    /// Returns `true` if the op reads `rs2`.
+    pub fn reads_rs2(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Div | Rem | Fadd
+                | Fsub | Fmul | Fdiv | St(_) | Sc | Beq | Bne | Blt | Bge | Bltu
+        )
+    }
+
+    /// Memory access width, if this is a memory op.
+    pub fn mem_size(self) -> Option<MemSize> {
+        match self {
+            Op::Ld(s) | Op::St(s) => Some(s),
+            Op::Ll | Op::Sc => Some(MemSize::B8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Op::Ld(s) => return write!(f, "ld{}", s.bytes()),
+            Op::St(s) => return write!(f, "st{}", s.bytes()),
+            other => format!("{other:?}").to_lowercase(),
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_classification() {
+        assert!(Op::Ld(MemSize::B8).is_load());
+        assert!(Op::Ll.is_load());
+        assert!(Op::St(MemSize::B1).is_store());
+        assert!(Op::Sc.is_store());
+        assert!(!Op::Add.is_mem());
+        assert_eq!(Op::Ll.mem_size(), Some(MemSize::B8));
+        assert_eq!(Op::Add.mem_size(), None);
+    }
+
+    #[test]
+    fn ctrl_classification() {
+        assert!(Op::Beq.is_cond_branch());
+        assert!(Op::Jalr.is_ctrl());
+        assert!(!Op::Jal.is_cond_branch());
+        assert!(!Op::Add.is_ctrl());
+    }
+
+    #[test]
+    fn nonpipelined_units_match_paper() {
+        // §4.9: "functional units that are not pipelined (in our case, the
+        // IntDiv, FloatDiv, and FloatSqrt units)".
+        assert!(!Op::Div.is_pipelined());
+        assert!(!Op::Rem.is_pipelined());
+        assert!(!Op::Fdiv.is_pipelined());
+        assert!(!Op::Fsqrt.is_pipelined());
+        assert!(Op::Mul.is_pipelined());
+        assert!(Op::Add.is_pipelined());
+        assert!(Op::Fadd.is_pipelined());
+    }
+
+    #[test]
+    fn register_read_write_sets() {
+        assert!(Op::Add.writes_rd() && Op::Add.reads_rs1() && Op::Add.reads_rs2());
+        assert!(Op::Addi.reads_rs1() && !Op::Addi.reads_rs2());
+        assert!(!Op::St(MemSize::B8).writes_rd());
+        assert!(Op::St(MemSize::B8).reads_rs2()); // store data
+        assert!(!Op::Li.reads_rs1());
+        assert!(Op::Jalr.reads_rs1() && Op::Jalr.writes_rd());
+        assert!(!Op::Beq.writes_rd());
+        assert!(Op::Sc.writes_rd()); // success flag
+    }
+
+    #[test]
+    fn latencies_are_positive_and_divides_are_long() {
+        assert_eq!(Op::Add.latency(), 1);
+        assert!(Op::Div.latency() > Op::Mul.latency());
+        assert!(Op::Fsqrt.latency() >= Op::Fdiv.latency());
+    }
+
+    #[test]
+    fn mem_size_bytes() {
+        assert_eq!(MemSize::B1.bytes(), 1);
+        assert_eq!(MemSize::B8.bytes(), 8);
+    }
+
+    #[test]
+    fn display_is_lowercase_mnemonic() {
+        assert_eq!(Op::Add.to_string(), "add");
+        assert_eq!(Op::Ld(MemSize::B4).to_string(), "ld4");
+        assert_eq!(Op::St(MemSize::B8).to_string(), "st8");
+        assert_eq!(Op::Fsqrt.to_string(), "fsqrt");
+    }
+}

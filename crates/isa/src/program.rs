@@ -1,0 +1,137 @@
+//! Executable programs: an instruction sequence plus initial data.
+
+use crate::{Inst, Reg};
+use std::fmt;
+
+/// A contiguous block of initial memory contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Byte address of the first byte.
+    pub base: u64,
+    /// The bytes to place there before execution.
+    pub bytes: Vec<u8>,
+}
+
+impl DataSegment {
+    /// A segment of `count` little-endian u64 words starting at `base`.
+    pub fn words(base: u64, words: &[u64]) -> Self {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        Self { base, bytes }
+    }
+
+    /// Exclusive end address of the segment.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+}
+
+/// A self-contained executable program for the simulated machine: the
+/// instruction stream, initial data segments, and initial register values.
+///
+/// Workload generators in `gm-workloads` produce these; the machine in
+/// `ghostminion` runs them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// The instruction stream; instruction `i` lives at pc `i`.
+    pub insts: Vec<Inst>,
+    /// Initial memory image.
+    pub data: Vec<DataSegment>,
+    /// Initial architectural register values, applied before execution.
+    pub init_regs: Vec<(Reg, u64)>,
+    /// Human-readable name (workload identifier in reports).
+    pub name: String,
+}
+
+impl Program {
+    /// Creates an empty program with the given report name.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Fetches the instruction at `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: u64) -> Option<Inst> {
+        self.insts.get(pc as usize).copied()
+    }
+
+    /// Validates static well-formedness: all direct control-flow targets
+    /// must be in range. Returns the offending instruction index on error.
+    pub fn validate(&self) -> Result<(), usize> {
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Some(t) = inst.direct_target() {
+                if t as usize >= self.insts.len() {
+                    return Err(i);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program {} ({} insts)", self.name, self.insts.len())?;
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{i:5}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Reg};
+
+    #[test]
+    fn data_segment_words_little_endian() {
+        let seg = DataSegment::words(0x100, &[0x0102_0304_0506_0708]);
+        assert_eq!(seg.bytes[0], 0x08);
+        assert_eq!(seg.bytes[7], 0x01);
+        assert_eq!(seg.end(), 0x108);
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let mut p = Program::named("t");
+        p.insts.push(Inst::nop());
+        assert_eq!(p.fetch(0), Some(Inst::nop()));
+        assert_eq!(p.fetch(1), None);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn validate_catches_wild_branch() {
+        let mut p = Program::named("t");
+        p.insts
+            .push(Inst::new(Op::Beq, Reg::ZERO, Reg::ZERO, Reg::ZERO, 99));
+        assert_eq!(p.validate(), Err(0));
+        p.insts[0].imm = 0;
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let mut p = Program::named("demo");
+        p.insts.push(Inst::nop());
+        let s = p.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("nop"));
+    }
+}

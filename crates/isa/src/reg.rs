@@ -1,0 +1,103 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of architectural registers: 32 integer (`x0`–`x31`, with `x0`
+/// hardwired to zero) followed by 32 floating-point (`f0`–`f31`).
+pub const NUM_ARCH_REGS: usize = 64;
+
+/// An architectural register.
+///
+/// A single flat namespace keeps the rename machinery simple: indices
+/// 0–31 are the integer registers, 32–63 the floating-point registers.
+/// Values are always 64-bit (`u64`); FP ops interpret them as `f64` bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The integer zero register; reads as 0, writes are discarded.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Integer register `xN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn x(n: u8) -> Reg {
+        assert!(n < 32, "integer register index out of range");
+        Reg(n)
+    }
+
+    /// Floating-point register `fN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn f(n: u8) -> Reg {
+        assert!(n < 32, "fp register index out of range");
+        Reg(32 + n)
+    }
+
+    /// Returns `true` for the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` for floating-point registers.
+    pub fn is_fp(self) -> bool {
+        self.0 >= 32
+    }
+
+    /// Flat index into the architectural register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - 32)
+        } else {
+            write!(f, "x{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_map_to_flat_indices() {
+        assert_eq!(Reg::x(5).index(), 5);
+        assert_eq!(Reg::f(5).index(), 37);
+        assert_eq!(Reg::ZERO, Reg::x(0));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::x(1).is_zero());
+        assert!(Reg::f(0).is_fp());
+        assert!(!Reg::x(31).is_fp());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::x(7).to_string(), "x7");
+        assert_eq!(Reg::f(31).to_string(), "f31");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn x_rejects_large_index() {
+        let _ = Reg::x(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn f_rejects_large_index() {
+        let _ = Reg::f(32);
+    }
+}

@@ -1,0 +1,548 @@
+//! Set-associative cache tag array with LRU replacement and per-line
+//! MESI coherence state.
+//!
+//! This models *tags and state only*: data values live in the functional
+//! memory ([`crate::SparseMem`]); a timing simulator only needs to know
+//! hit/miss/state, which is also all an attacker can sense.
+
+use crate::{line_addr, LINE_BYTES};
+
+/// MESI coherence state of a cache line.
+///
+/// GhostMinion (§4.6) restricts minion lines to `Shared`/`Invalid`; the
+/// non-speculative hierarchy uses all four states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    Modified,
+    Exclusive,
+    Shared,
+    Invalid,
+}
+
+impl MesiState {
+    /// Whether the line holds valid data in this state.
+    pub fn is_valid(self) -> bool {
+        self != MesiState::Invalid
+    }
+
+    /// Whether a store may hit this state without an upgrade.
+    pub fn is_writable(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+}
+
+/// Geometry and latency of one cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency in cycles (lookup, hit).
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by size and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, or capacity not a
+    /// whole number of ways of lines).
+    pub fn num_sets(&self) -> usize {
+        assert!(self.ways > 0, "cache must have at least one way");
+        let lines = self.size_bytes / LINE_BYTES;
+        assert!(
+            lines as usize % self.ways == 0 && lines > 0,
+            "cache size {} not divisible into {} ways of {}B lines",
+            self.size_bytes,
+            self.ways,
+            LINE_BYTES
+        );
+        lines as usize / self.ways
+    }
+}
+
+/// Per-line metadata returned by probes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineMeta {
+    pub state: MesiState,
+    pub dirty: bool,
+    /// Opaque per-line tag used by callers (GhostMinion stores the fill
+    /// timestamp here; non-speculative caches leave it zero).
+    pub stamp: u64,
+}
+
+/// A line displaced by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedLine {
+    pub addr: u64,
+    pub dirty: bool,
+    pub state: MesiState,
+    pub stamp: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    state: MesiState,
+    dirty: bool,
+    stamp: u64,
+    last_use: u64,
+}
+
+impl Way {
+    fn empty() -> Self {
+        Way {
+            tag: 0,
+            state: MesiState::Invalid,
+            dirty: false,
+            stamp: 0,
+            last_use: 0,
+        }
+    }
+}
+
+/// A set-associative tag array with true-LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    use_tick: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let num_sets = cfg.num_sets();
+        Self {
+            cfg,
+            sets: vec![vec![Way::empty(); cfg.ways]; num_sets],
+            use_tick: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Hit latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.cfg.latency
+    }
+
+    /// Set index for an address.
+    pub fn set_index(&self, addr: u64) -> usize {
+        ((line_addr(addr) / LINE_BYTES) % self.sets.len() as u64) as usize
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        line_addr(addr) / LINE_BYTES / self.sets.len() as u64
+    }
+
+    fn find(&self, addr: u64) -> Option<usize> {
+        let set = self.set_index(addr);
+        let tag = self.tag_of(addr);
+        self.sets[set]
+            .iter()
+            .position(|w| w.state.is_valid() && w.tag == tag)
+    }
+
+    /// Probes without updating replacement state; returns metadata on hit.
+    pub fn probe(&self, addr: u64) -> Option<LineMeta> {
+        self.find(addr).map(|i| {
+            let w = &self.sets[self.set_index(addr)][i];
+            LineMeta {
+                state: w.state,
+                dirty: w.dirty,
+                stamp: w.stamp,
+            }
+        })
+    }
+
+    /// Looks up `addr`, updating LRU on hit. Returns metadata on hit.
+    pub fn access(&mut self, addr: u64) -> Option<LineMeta> {
+        let set = self.set_index(addr);
+        if let Some(i) = self.find(addr) {
+            self.use_tick += 1;
+            let tick = self.use_tick;
+            let w = &mut self.sets[set][i];
+            w.last_use = tick;
+            Some(LineMeta {
+                state: w.state,
+                dirty: w.dirty,
+                stamp: w.stamp,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Inserts `addr` with the given state and stamp, evicting the LRU
+    /// line if the set is full. Returns the displaced line, if any held
+    /// valid data.
+    ///
+    /// If the line is already present its state/stamp are overwritten in
+    /// place (no eviction).
+    pub fn fill(&mut self, addr: u64, state: MesiState, stamp: u64) -> Option<EvictedLine> {
+        self.use_tick += 1;
+        let tick = self.use_tick;
+        let set = self.set_index(addr);
+        let tag = self.tag_of(addr);
+        if let Some(i) = self.find(addr) {
+            let w = &mut self.sets[set][i];
+            w.state = state;
+            w.stamp = stamp;
+            w.last_use = tick;
+            return None;
+        }
+        // Prefer an invalid way; otherwise evict true-LRU.
+        let victim = self.sets[set]
+            .iter()
+            .position(|w| !w.state.is_valid())
+            .unwrap_or_else(|| {
+                self.sets[set]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.last_use)
+                    .map(|(i, _)| i)
+                    .expect("cache set cannot be empty")
+            });
+        let old = self.sets[set][victim];
+        let evicted = old.state.is_valid().then(|| EvictedLine {
+            addr: self.way_addr(set, old.tag),
+            dirty: old.dirty,
+            state: old.state,
+            stamp: old.stamp,
+        });
+        self.sets[set][victim] = Way {
+            tag,
+            state,
+            dirty: false,
+            stamp,
+            last_use: tick,
+        };
+        evicted
+    }
+
+    fn way_addr(&self, set: usize, tag: u64) -> u64 {
+        (tag * self.sets.len() as u64 + set as u64) * LINE_BYTES
+    }
+
+    /// Marks a present line dirty (store hit). No-op if absent.
+    pub fn mark_dirty(&mut self, addr: u64) {
+        if let Some(i) = self.find(addr) {
+            let set = self.set_index(addr);
+            self.sets[set][i].dirty = true;
+            self.sets[set][i].state = MesiState::Modified;
+        }
+    }
+
+    /// Downgrades or changes the coherence state of a present line.
+    /// No-op if absent.
+    pub fn set_state(&mut self, addr: u64, state: MesiState) {
+        if let Some(i) = self.find(addr) {
+            let set = self.set_index(addr);
+            if state == MesiState::Invalid {
+                self.sets[set][i] = Way::empty();
+            } else {
+                self.sets[set][i].state = state;
+            }
+        }
+    }
+
+    /// Invalidates a line if present; returns whether it was dirty.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        if let Some(i) = self.find(addr) {
+            let set = self.set_index(addr);
+            let dirty = self.sets[set][i].dirty;
+            self.sets[set][i] = Way::empty();
+            dirty
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates every line (used by whole-cache flush baselines).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for way in set {
+                *way = Way::empty();
+            }
+        }
+    }
+
+    /// Invalidates every line whose stamp satisfies `pred`. This is the
+    /// mechanism behind the GhostMinion single-cycle parallel wipe (§4.2):
+    /// the timing model charges constant time regardless of how many lines
+    /// match, which this bulk operation reflects.
+    pub fn invalidate_where(&mut self, mut pred: impl FnMut(u64) -> bool) -> usize {
+        let mut n = 0;
+        for set in &mut self.sets {
+            for way in set {
+                if way.state.is_valid() && pred(way.stamp) {
+                    *way = Way::empty();
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn valid_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|w| w.state.is_valid())
+            .count()
+    }
+
+    /// Iterates over `(line_addr, meta)` for all valid lines in `addr`'s
+    /// set — the candidates a fill of `addr` could displace.
+    pub fn set_lines(&self, addr: u64) -> impl Iterator<Item = (u64, LineMeta)> + '_ {
+        let set = self.set_index(addr);
+        self.sets[set].iter().filter(|w| w.state.is_valid()).map(move |w| {
+            (
+                self.way_addr(set, w.tag),
+                LineMeta {
+                    state: w.state,
+                    dirty: w.dirty,
+                    stamp: w.stamp,
+                },
+            )
+        })
+    }
+
+    /// Number of ways in `addr`'s set currently invalid (free slots).
+    pub fn free_ways(&self, addr: u64) -> usize {
+        let set = self.set_index(addr);
+        self.sets[set]
+            .iter()
+            .filter(|w| !w.state.is_valid())
+            .count()
+    }
+
+    /// Replaces a *specific* resident line with `addr` (used by
+    /// TimeGuarded fills that must evict the highest-stamped way rather
+    /// than the LRU way). Returns the displaced line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim_addr` is not resident in the same set as `addr`.
+    pub fn fill_replacing(
+        &mut self,
+        addr: u64,
+        victim_addr: u64,
+        state: MesiState,
+        stamp: u64,
+    ) -> EvictedLine {
+        let set = self.set_index(addr);
+        assert_eq!(
+            set,
+            self.set_index(victim_addr),
+            "victim must be in the same set"
+        );
+        let vi = self
+            .find(victim_addr)
+            .expect("victim line must be resident");
+        self.use_tick += 1;
+        let old = self.sets[set][vi];
+        let evicted = EvictedLine {
+            addr: self.way_addr(set, old.tag),
+            dirty: old.dirty,
+            state: old.state,
+            stamp: old.stamp,
+        };
+        self.sets[set][vi] = Way {
+            tag: self.tag_of(addr),
+            state,
+            dirty: false,
+            stamp,
+            last_use: self.use_tick,
+        };
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 sets x 2 ways of 64B lines = 256B.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            latency: 2,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().num_sets(), 2);
+        assert_eq!(c.set_index(0), 0);
+        assert_eq!(c.set_index(64), 1);
+        assert_eq!(c.set_index(128), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 100,
+            ways: 3,
+            latency: 1,
+        });
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert!(c.access(0x1000).is_none());
+        assert!(c.fill(0x1000, MesiState::Exclusive, 7).is_none());
+        let meta = c.access(0x1000).expect("hit after fill");
+        assert_eq!(meta.state, MesiState::Exclusive);
+        assert_eq!(meta.stamp, 7);
+        // Same line, different offset.
+        assert!(c.access(0x103f).is_some());
+        // Different line.
+        assert!(c.access(0x1040).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small();
+        // Set 0 holds lines at multiples of 128.
+        c.fill(0, MesiState::Shared, 0);
+        c.fill(128, MesiState::Shared, 0);
+        c.access(0); // 0 is now MRU
+        let ev = c.fill(256, MesiState::Shared, 0).expect("eviction");
+        assert_eq!(ev.addr, 128);
+        assert!(c.probe(0).is_some());
+        assert!(c.probe(128).is_none());
+        assert!(c.probe(256).is_some());
+    }
+
+    #[test]
+    fn fill_of_resident_line_updates_in_place() {
+        let mut c = small();
+        c.fill(0, MesiState::Shared, 1);
+        assert!(c.fill(0, MesiState::Exclusive, 2).is_none());
+        let m = c.probe(0).unwrap();
+        assert_eq!(m.state, MesiState::Exclusive);
+        assert_eq!(m.stamp, 2);
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn dirty_and_states() {
+        let mut c = small();
+        c.fill(0, MesiState::Exclusive, 0);
+        c.mark_dirty(0);
+        let m = c.probe(0).unwrap();
+        assert!(m.dirty);
+        assert_eq!(m.state, MesiState::Modified);
+        c.set_state(0, MesiState::Shared);
+        assert_eq!(c.probe(0).unwrap().state, MesiState::Shared);
+        assert!(c.invalidate(0)); // was dirty
+        assert!(c.probe(0).is_none());
+        assert!(!c.invalidate(0)); // already gone
+    }
+
+    #[test]
+    fn eviction_reports_dirty_writeback() {
+        let mut c = small();
+        c.fill(0, MesiState::Exclusive, 0);
+        c.mark_dirty(0);
+        c.fill(128, MesiState::Shared, 0);
+        let ev = c.fill(256, MesiState::Shared, 0).expect("eviction");
+        // LRU is line 0 (dirty).
+        assert_eq!(ev.addr, 0);
+        assert!(ev.dirty);
+        assert_eq!(ev.state, MesiState::Modified);
+    }
+
+    #[test]
+    fn invalidate_where_filters_on_stamp() {
+        let mut c = small();
+        c.fill(0, MesiState::Shared, 5);
+        c.fill(64, MesiState::Shared, 10);
+        c.fill(128, MesiState::Shared, 15);
+        let n = c.invalidate_where(|stamp| stamp > 7);
+        assert_eq!(n, 2);
+        assert!(c.probe(0).is_some());
+        assert!(c.probe(64).is_none());
+        assert!(c.probe(128).is_none());
+    }
+
+    #[test]
+    fn free_ways_and_set_lines() {
+        let mut c = small();
+        assert_eq!(c.free_ways(0), 2);
+        c.fill(0, MesiState::Shared, 3);
+        assert_eq!(c.free_ways(0), 1);
+        let lines: Vec<_> = c.set_lines(0).collect();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].0, 0);
+        assert_eq!(lines[0].1.stamp, 3);
+        // Other set unaffected.
+        assert_eq!(c.free_ways(64), 2);
+    }
+
+    #[test]
+    fn fill_replacing_targets_specific_victim() {
+        let mut c = small();
+        c.fill(0, MesiState::Shared, 1);
+        c.fill(128, MesiState::Shared, 9);
+        c.access(128); // make 128 MRU; plain LRU would evict 0
+        let ev = c.fill_replacing(256, 128, MesiState::Shared, 2);
+        assert_eq!(ev.addr, 128);
+        assert!(c.probe(0).is_some());
+        assert!(c.probe(256).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be resident")]
+    fn fill_replacing_missing_victim_panics() {
+        let mut c = small();
+        c.fill_replacing(256, 128, MesiState::Shared, 0);
+    }
+
+    #[test]
+    fn invalidate_all_empties() {
+        let mut c = small();
+        c.fill(0, MesiState::Shared, 0);
+        c.fill(64, MesiState::Shared, 0);
+        c.invalidate_all();
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn round_trip_way_addr() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 2,
+            latency: 2,
+        });
+        for &addr in &[0u64, 0x1fc0, 0xdead_c0, 0x7fff_ffc0] {
+            c.fill(addr, MesiState::Shared, 0);
+            let found: Vec<_> = c
+                .set_lines(addr)
+                .filter(|(a, _)| *a == line_addr(addr))
+                .collect();
+            assert_eq!(found.len(), 1, "line for {addr:#x} must round-trip");
+        }
+    }
+
+    #[test]
+    fn mesi_predicates() {
+        assert!(MesiState::Modified.is_writable());
+        assert!(MesiState::Exclusive.is_writable());
+        assert!(!MesiState::Shared.is_writable());
+        assert!(!MesiState::Invalid.is_valid());
+        assert!(MesiState::Shared.is_valid());
+    }
+}

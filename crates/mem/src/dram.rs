@@ -1,0 +1,228 @@
+//! A DDR3-style DRAM timing model.
+//!
+//! Models the features that matter for the paper's evaluation: per-bank
+//! open rows (row hits are much faster than row conflicts), per-bank busy
+//! time, and a shared data bus. The paper's setup is DDR3-1600 11-11-11;
+//! at the 2 GHz core clock that gives roughly the latencies in
+//! [`DramConfig::ddr3_1600`].
+//!
+//! Open-page policy is itself an implicit cache (§4.9 "DRAM contention");
+//! [`DramConfig::close_speculative_pages`] lets the protected schemes opt
+//! out of leaving speculatively opened pages open.
+
+/// DRAM timing parameters, in core cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks.
+    pub banks: usize,
+    /// Bytes per row (page).
+    pub row_bytes: u64,
+    /// Column access latency (row already open).
+    pub t_cas: u64,
+    /// Row activate latency.
+    pub t_rcd: u64,
+    /// Precharge latency (closing a row).
+    pub t_rp: u64,
+    /// Data-bus occupancy per 64-byte transfer.
+    pub t_burst: u64,
+    /// When `true`, rows opened by speculative accesses are closed again
+    /// after the access (auto-precharge), so misspeculation cannot leave
+    /// an open-page trace (§4.9).
+    pub close_speculative_pages: bool,
+}
+
+impl DramConfig {
+    /// DDR3-1600 11-11-11 as in Table 1, converted to 2 GHz core cycles
+    /// (one DRAM clock at 800 MHz = 2.5 core cycles; 11 DRAM clocks ≈ 28
+    /// core cycles).
+    pub fn ddr3_1600() -> Self {
+        Self {
+            banks: 8,
+            row_bytes: 8 * 1024,
+            t_cas: 28,
+            t_rcd: 28,
+            t_rp: 28,
+            t_burst: 8,
+            close_speculative_pages: false,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+}
+
+/// The DRAM device: banks with open-row state plus a shared bus.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    bus_free_at: u64,
+    row_hits: u64,
+    row_misses: u64,
+    row_conflicts: u64,
+}
+
+impl Dram {
+    /// Builds a DRAM with all banks idle and no rows open.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.banks.is_power_of_two(), "bank count must be 2^n");
+        Self {
+            cfg,
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    busy_until: 0
+                };
+                cfg.banks
+            ],
+            bus_free_at: 0,
+            row_hits: 0,
+            row_misses: 0,
+            row_conflicts: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    fn bank_and_row(&self, addr: u64) -> (usize, u64) {
+        let row_global = addr / self.cfg.row_bytes;
+        let bank = (row_global % self.cfg.banks as u64) as usize;
+        let row = row_global / self.cfg.banks as u64;
+        (bank, row)
+    }
+
+    /// Performs a line access beginning no earlier than `now`; returns the
+    /// cycle at which the data has fully transferred.
+    ///
+    /// `speculative` marks accesses issued on behalf of not-yet-committed
+    /// instructions; with [`DramConfig::close_speculative_pages`] set they
+    /// do not leave their row open.
+    pub fn access(&mut self, addr: u64, now: u64, speculative: bool) -> u64 {
+        let (bi, row) = self.bank_and_row(addr);
+        let bank = &mut self.banks[bi];
+        let start = now.max(bank.busy_until);
+        let access_time = match bank.open_row {
+            Some(r) if r == row => {
+                self.row_hits += 1;
+                self.cfg.t_cas
+            }
+            Some(_) => {
+                self.row_conflicts += 1;
+                self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
+            }
+            None => {
+                self.row_misses += 1;
+                self.cfg.t_rcd + self.cfg.t_cas
+            }
+        };
+        let data_ready = start + access_time;
+        // Shared-bus contention: transfers queue behind each other, but
+        // the synchronous walk books accesses in *request* order while
+        // data becomes ready out of order, so the queueing delay is
+        // capped at two transfers to avoid artificial convoying.
+        let queue = self
+            .bus_free_at
+            .saturating_sub(data_ready)
+            .min(2 * self.cfg.t_burst);
+        let done = data_ready + queue + self.cfg.t_burst;
+        self.bus_free_at = self.bus_free_at.max(done);
+        bank.busy_until = data_ready;
+        bank.open_row = if speculative && self.cfg.close_speculative_pages {
+            None
+        } else {
+            Some(row)
+        };
+        done
+    }
+
+    /// `(row hits, row misses, row conflicts)` so far.
+    pub fn row_stats(&self) -> (u64, u64, u64) {
+        (self.row_hits, self.row_misses, self.row_conflicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::ddr3_1600())
+    }
+
+    #[test]
+    fn first_access_is_row_miss_then_hit() {
+        let mut d = dram();
+        let c = DramConfig::ddr3_1600();
+        let t1 = d.access(0, 0, false);
+        assert_eq!(t1, c.t_rcd + c.t_cas + c.t_burst);
+        // Same row: hit, but bank was busy until data_ready of previous.
+        let t2 = d.access(64, t1, false);
+        assert_eq!(t2, t1 + c.t_cas + c.t_burst);
+        assert_eq!(d.row_stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn row_conflict_costs_precharge() {
+        let mut d = dram();
+        let c = DramConfig::ddr3_1600();
+        let row_span = c.row_bytes * c.banks as u64; // same bank, next row
+        let t1 = d.access(0, 0, false);
+        let t2 = d.access(row_span, t1, false);
+        assert_eq!(t2 - t1, c.t_rp + c.t_rcd + c.t_cas + c.t_burst);
+        assert_eq!(d.row_stats(), (0, 1, 1));
+    }
+
+    #[test]
+    fn different_banks_overlap_except_bus() {
+        let mut d = dram();
+        let c = DramConfig::ddr3_1600();
+        let t1 = d.access(0, 0, false);
+        // Next bank: starts immediately, only serialised on the bus.
+        let t2 = d.access(c.row_bytes, 0, false);
+        assert_eq!(t2, t1 + c.t_burst);
+    }
+
+    #[test]
+    fn speculative_page_closing_prevents_open_page_trace() {
+        let mut cfg = DramConfig::ddr3_1600();
+        cfg.close_speculative_pages = true;
+        let mut d = Dram::new(cfg);
+        let t1 = d.access(0, 0, true); // speculative: row closed after
+        let _ = d.access(64, t1, false);
+        // Second access to same row is a row *miss*, not a hit, because
+        // the speculative access did not leave the page open.
+        assert_eq!(d.row_stats().0, 0, "no row hit may occur");
+        assert_eq!(d.row_stats().1, 2);
+    }
+
+    #[test]
+    fn open_page_policy_leaves_speculative_trace_when_allowed() {
+        let mut d = dram(); // close_speculative_pages = false
+        let t1 = d.access(0, 0, true);
+        let _ = d.access(64, t1, false);
+        assert_eq!(d.row_stats().0, 1, "open page gives a row hit");
+    }
+
+    #[test]
+    fn bank_busy_serialises_same_bank() {
+        let mut d = dram();
+        let t1 = d.access(0, 0, false);
+        // Same bank, same row, issued at cycle 0 — must wait for the bank.
+        let t2 = d.access(128, 0, false);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n")]
+    fn non_power_of_two_banks_panics() {
+        let mut cfg = DramConfig::ddr3_1600();
+        cfg.banks = 6;
+        let _ = Dram::new(cfg);
+    }
+}

@@ -1,0 +1,59 @@
+//! Memory-hierarchy building blocks for the GhostMinion reproduction.
+//!
+//! This crate is deliberately free of any GhostMinion-specific logic: it
+//! provides the generic structures a gem5-classic-style hierarchy is made
+//! of — set-associative tag arrays ([`Cache`]), miss-status handling
+//! registers ([`MshrFile`]), a bank/row DRAM timing model ([`Dram`]), a
+//! stride (reference-prediction-table) prefetcher ([`StridePrefetcher`]),
+//! and MESI coherence states ([`MesiState`]). The `ghostminion` crate
+//! assembles these into the full hierarchy of the paper's Table 1 and
+//! layers TimeGuarding / leapfrogging / minions on top.
+//!
+//! All timing is expressed in core cycles; all addresses are byte
+//! addresses; cache lines are [`LINE_BYTES`] bytes.
+
+mod cache;
+mod dram;
+mod mshr;
+mod prefetch;
+mod sparse;
+
+pub use cache::{Cache, CacheConfig, EvictedLine, LineMeta, MesiState};
+pub use dram::{Dram, DramConfig};
+pub use mshr::{MshrEntry, MshrFile, MshrToken};
+pub use prefetch::{StridePrefetcher, StridePrefetcherConfig};
+pub use sparse::SparseMem;
+
+/// Bytes per cache line throughout the hierarchy.
+pub const LINE_BYTES: u64 = 64;
+
+/// Rounds a byte address down to its cache-line address.
+pub fn line_addr(addr: u64) -> u64 {
+    addr & !(LINE_BYTES - 1)
+}
+
+/// Returns `true` if `[addr, addr+size)` stays within one cache line.
+pub fn within_line(addr: u64, size: u64) -> bool {
+    line_addr(addr) == line_addr(addr + size - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_masks_low_bits() {
+        assert_eq!(line_addr(0), 0);
+        assert_eq!(line_addr(63), 0);
+        assert_eq!(line_addr(64), 64);
+        assert_eq!(line_addr(0x12345), 0x12340);
+    }
+
+    #[test]
+    fn within_line_detects_straddles() {
+        assert!(within_line(0, 8));
+        assert!(within_line(56, 8));
+        assert!(!within_line(60, 8));
+        assert!(within_line(63, 1));
+    }
+}

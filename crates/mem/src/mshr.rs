@@ -1,0 +1,303 @@
+//! Miss-status handling registers (MSHRs).
+//!
+//! MSHRs track in-flight misses. Their *occupancy* is a contention channel
+//! (§4.5): the paper propagates timestamps through the MSHR hierarchy so
+//! that an older-timestamped request can *leapfrog* (steal) an MSHR held
+//! by a younger one. This module provides the mechanism — allocation,
+//! lazy reclamation, lookup, and targeted steal — while the leapfrogging
+//! *policy* lives in the `ghostminion` crate.
+
+use crate::line_addr;
+
+/// Identifies an MSHR allocation so its owner can be told about a steal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MshrToken {
+    /// Index of the entry within its file.
+    pub slot: usize,
+    /// Generation counter distinguishing reuse of the same slot.
+    pub gen: u64,
+}
+
+/// One in-flight miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// Line address being fetched.
+    pub addr: u64,
+    /// Cycle at which the fill completes and the entry frees itself.
+    pub ready_at: u64,
+    /// Timestamp of the instruction that allocated the entry (Temporal
+    /// Order metadata, §4.5). `u64::MAX` marks non-speculative traffic
+    /// that must never be leapfrogged.
+    pub ts: u64,
+    /// Opaque owner id (the requesting core), for cancel notifications.
+    pub owner: usize,
+    /// Opaque payload — the owning load's ticket, so a steal can cancel it.
+    pub payload: u64,
+    gen: u64,
+}
+
+/// A file of MSHR entries with lazy, cycle-based reclamation.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    entries: Vec<Option<MshrEntry>>,
+    next_gen: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `n` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a cache without MSHRs cannot miss.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "MSHR file must have at least one entry");
+        Self {
+            entries: vec![None; n],
+            next_gen: 0,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Frees entries whose fills have completed by `now`.
+    pub fn reclaim(&mut self, now: u64) {
+        for e in &mut self.entries {
+            if e.map_or(false, |m| m.ready_at <= now) {
+                *e = None;
+            }
+        }
+    }
+
+    /// Number of free entries at `now` (after reclamation).
+    pub fn free_at(&mut self, now: u64) -> usize {
+        self.reclaim(now);
+        self.entries.iter().filter(|e| e.is_none()).count()
+    }
+
+    /// Finds the in-flight entry for `addr`'s line, if any.
+    pub fn find(&self, addr: u64) -> Option<(MshrToken, MshrEntry)> {
+        let la = line_addr(addr);
+        self.entries.iter().enumerate().find_map(|(i, e)| {
+            e.filter(|m| m.addr == la).map(|m| {
+                (
+                    MshrToken {
+                        slot: i,
+                        gen: m.gen,
+                    },
+                    m,
+                )
+            })
+        })
+    }
+
+    /// Allocates an entry; `None` when the file is full at `now`.
+    pub fn alloc(
+        &mut self,
+        addr: u64,
+        ready_at: u64,
+        ts: u64,
+        owner: usize,
+        payload: u64,
+        now: u64,
+    ) -> Option<MshrToken> {
+        self.reclaim(now);
+        let slot = self.entries.iter().position(|e| e.is_none())?;
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        self.entries[slot] = Some(MshrEntry {
+            addr: line_addr(addr),
+            ready_at,
+            ts,
+            owner,
+            payload,
+            gen,
+        });
+        Some(MshrToken { slot, gen })
+    }
+
+    /// The occupied entry with the numerically largest timestamp (the most
+    /// speculative in-flight miss) — the leapfrog victim (§4.5, footnote
+    /// 6: steal the *highest*-timestamped MSHR).
+    pub fn youngest(&self) -> Option<(MshrToken, MshrEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|m| (i, m)))
+            .max_by_key(|(_, m)| m.ts)
+            .map(|(i, m)| {
+                (
+                    MshrToken {
+                        slot: i,
+                        gen: m.gen,
+                    },
+                    m,
+                )
+            })
+    }
+
+    /// Removes a specific allocation (leapfrog steal or timeleap replay).
+    /// Returns the entry if the token was still live.
+    pub fn steal(&mut self, token: MshrToken) -> Option<MshrEntry> {
+        let e = self.entries.get_mut(token.slot)?;
+        if e.map_or(false, |m| m.gen == token.gen) {
+            e.take()
+        } else {
+            None
+        }
+    }
+
+    /// Rewrites the timestamp, owner and completion of a live allocation
+    /// (timeleap: an older request adopts a younger in-flight miss, §4.5,
+    /// restarting it so the timing matches a fresh issue).
+    pub fn retime(
+        &mut self,
+        token: MshrToken,
+        ts: u64,
+        owner: usize,
+        payload: u64,
+        ready_at: u64,
+    ) -> bool {
+        if let Some(e) = self.entries.get_mut(token.slot) {
+            if let Some(m) = e.as_mut() {
+                if m.gen == token.gen {
+                    m.ts = ts;
+                    m.owner = owner;
+                    m.payload = payload;
+                    m.ready_at = ready_at;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Retags entries owned by `owner` with `ts` strictly above `above_ts`
+    /// to `new_ts` (squash orphaning: the fill still occupies the slot,
+    /// but it no longer represents a live instruction's timestamp).
+    /// Returns how many entries were retagged.
+    pub fn retag_above(&mut self, above_ts: u64, owner: usize, new_ts: u64) -> usize {
+        let mut n = 0;
+        for e in self.entries.iter_mut().flatten() {
+            if e.owner == owner && e.ts > above_ts && e.ts != new_ts {
+                e.ts = new_ts;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Earliest cycle at which an entry will free up, if any are occupied.
+    pub fn next_free_at(&self) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.map(|m| m.ready_at))
+            .min()
+    }
+
+    /// Iterates over live entries.
+    pub fn iter(&self) -> impl Iterator<Item = (MshrToken, MshrEntry)> + '_ {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.map(|m| {
+                (
+                    MshrToken {
+                        slot: i,
+                        gen: m.gen,
+                    },
+                    m,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_full_then_reclaim() {
+        let mut f = MshrFile::new(2);
+        assert_eq!(f.capacity(), 2);
+        let a = f.alloc(0x40, 100, 1, 0, 0, 0).expect("first");
+        let _b = f.alloc(0x80, 200, 2, 0, 0, 0).expect("second");
+        assert!(f.alloc(0xc0, 300, 3, 0, 0, 0).is_none(), "full");
+        assert_eq!(f.free_at(99), 0);
+        // First completes at 100.
+        assert_eq!(f.free_at(100), 1);
+        assert!(f.alloc(0xc0, 300, 3, 0, 0, 100).is_some());
+        // Token for reclaimed entry is dead.
+        assert!(f.steal(a).is_none());
+    }
+
+    #[test]
+    fn find_matches_line_address() {
+        let mut f = MshrFile::new(2);
+        f.alloc(0x47, 100, 1, 0, 0, 0);
+        let (_, e) = f.find(0x40).expect("same line");
+        assert_eq!(e.addr, 0x40);
+        assert!(f.find(0x43).is_some(), "any offset in line matches");
+        assert!(f.find(0x80).is_none());
+    }
+
+    #[test]
+    fn youngest_is_max_timestamp() {
+        let mut f = MshrFile::new(3);
+        f.alloc(0x40, 100, 22, 0, 0, 0);
+        let t28 = f.alloc(0x80, 100, 28, 0, 0, 0).unwrap();
+        f.alloc(0xc0, 100, 23, 0, 0, 0);
+        let (tok, e) = f.youngest().expect("occupied");
+        assert_eq!(e.ts, 28);
+        assert_eq!(tok, t28);
+    }
+
+    #[test]
+    fn steal_frees_and_token_is_single_use() {
+        let mut f = MshrFile::new(1);
+        let t = f.alloc(0x40, 100, 9, 3, 0, 0).unwrap();
+        let e = f.steal(t).expect("live steal");
+        assert_eq!(e.owner, 3);
+        assert!(f.steal(t).is_none(), "second steal fails");
+        assert!(f.alloc(0x80, 50, 1, 0, 0, 0).is_some(), "slot reusable");
+    }
+
+    #[test]
+    fn stale_token_after_reuse_does_not_steal_new_entry() {
+        let mut f = MshrFile::new(1);
+        let t_old = f.alloc(0x40, 10, 1, 0, 0, 0).unwrap();
+        f.reclaim(10); // entry completes
+        let t_new = f.alloc(0x80, 20, 2, 0, 0, 10).unwrap();
+        assert_eq!(t_old.slot, t_new.slot, "slot reused");
+        assert!(f.steal(t_old).is_none(), "stale generation rejected");
+        assert!(f.find(0x80).is_some(), "new entry survives");
+    }
+
+    #[test]
+    fn retime_updates_live_entry_only() {
+        let mut f = MshrFile::new(1);
+        let t = f.alloc(0x40, 100, 30, 1, 0, 0).unwrap();
+        assert!(f.retime(t, 5, 2, 77, 200));
+        let (_, e) = f.find(0x40).unwrap();
+        assert_eq!(e.ts, 5);
+        assert_eq!(e.owner, 2);
+        f.steal(t);
+        assert!(!f.retime(t, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn next_free_at_reports_earliest_completion() {
+        let mut f = MshrFile::new(2);
+        assert_eq!(f.next_free_at(), None);
+        f.alloc(0x40, 120, 1, 0, 0, 0);
+        f.alloc(0x80, 90, 2, 0, 0, 0);
+        assert_eq!(f.next_free_at(), Some(90));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

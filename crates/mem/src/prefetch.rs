@@ -1,0 +1,261 @@
+//! Stride prefetcher with a reference prediction table (RPT).
+//!
+//! Table 1 gives the L2 a "stride prefetcher (64-entry RPT)". Entries are
+//! indexed by load PC and track the last address and observed stride with
+//! a saturating confidence counter; confident entries emit prefetches.
+//!
+//! The *training policy* is security-relevant (§4.7): under GhostMinion,
+//! prefetchers in the non-speculative hierarchy may only be trained on
+//! committed accesses, so the `ghostminion` crate decides *when* to call
+//! [`StridePrefetcher::train`]; this module only implements the mechanism.
+
+use crate::line_addr;
+
+/// Configuration of the stride prefetcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StridePrefetcherConfig {
+    /// Number of RPT entries (Table 1: 64).
+    pub entries: usize,
+    /// Confidence threshold at which prefetches are emitted.
+    pub threshold: u8,
+    /// Maximum confidence (saturation).
+    pub max_confidence: u8,
+    /// How many consecutive strided lines to prefetch per training event.
+    pub degree: u64,
+    /// Maximum look-ahead distance (in strides). The per-entry distance
+    /// ramps up as a stream proves itself, so prefetches stay timely even
+    /// when training lags the demand stream (e.g. commit-time training
+    /// under GhostMinion, §4.7).
+    pub max_distance: u64,
+}
+
+impl Default for StridePrefetcherConfig {
+    fn default() -> Self {
+        Self {
+            entries: 64,
+            threshold: 2,
+            max_confidence: 3,
+            degree: 4,
+            max_distance: 64,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct RptEntry {
+    valid: bool,
+    pc_tag: u64,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+    distance: u64,
+}
+
+/// The reference prediction table.
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    cfg: StridePrefetcherConfig,
+    table: Vec<RptEntry>,
+    trained: u64,
+    emitted: u64,
+}
+
+impl StridePrefetcher {
+    /// Builds an empty RPT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two (the table is indexed by
+    /// PC bits).
+    pub fn new(cfg: StridePrefetcherConfig) -> Self {
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "RPT entry count must be a power of two"
+        );
+        Self {
+            cfg,
+            table: vec![RptEntry::default(); cfg.entries],
+            trained: 0,
+            emitted: 0,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.cfg.entries - 1)
+    }
+
+    /// Trains the table on an access by `pc` to `addr` and returns the
+    /// line addresses to prefetch (empty unless the entry is confident).
+    pub fn train(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+        self.trained += 1;
+        let idx = self.index(pc);
+        let cfg = self.cfg;
+        let e = &mut self.table[idx];
+        if !e.valid || e.pc_tag != pc {
+            *e = RptEntry {
+                valid: true,
+                pc_tag: pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                distance: 1,
+            };
+            return Vec::new();
+        }
+        let new_stride = addr as i64 - e.last_addr as i64;
+        if new_stride == e.stride && new_stride != 0 {
+            e.confidence = (e.confidence + 1).min(cfg.max_confidence);
+        } else {
+            e.confidence = e.confidence.saturating_sub(1);
+            e.stride = new_stride;
+            e.distance = 1;
+        }
+        e.last_addr = addr;
+        if e.confidence >= cfg.threshold && e.stride != 0 {
+            let stride = e.stride;
+            let dist = e.distance;
+            // Ramp the look-ahead: a stream that keeps confirming earns a
+            // deeper prefetch horizon.
+            e.distance = (e.distance * 2).min(cfg.max_distance);
+            let out: Vec<u64> = (dist..dist + cfg.degree)
+                .map(|k| {
+                    line_addr((addr as i64 + stride * k as i64).max(0) as u64)
+                })
+                .collect();
+            self.emitted += out.len() as u64;
+            out
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// `(training events, prefetches emitted)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.trained, self.emitted)
+    }
+
+    /// Discards all training state (e.g. on a context switch in
+    /// flush-based defences).
+    pub fn reset(&mut self) {
+        self.table.fill(RptEntry::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> StridePrefetcher {
+        StridePrefetcher::new(StridePrefetcherConfig::default())
+    }
+
+    #[test]
+    fn constant_stride_becomes_confident_and_prefetches() {
+        let mut p = pf();
+        let pc = 0x400;
+        assert!(p.train(pc, 0x1000).is_empty()); // allocate
+        assert!(p.train(pc, 0x1040).is_empty()); // learn stride (conf 0->0, stride set)
+        assert!(p.train(pc, 0x1080).is_empty()); // conf 1
+        let out = p.train(pc, 0x10c0); // conf 2 -> emit at distance 1
+        assert_eq!(out, vec![0x1100, 0x1140, 0x1180, 0x11c0]);
+        // The next confirmation prefetches further ahead (ramped).
+        let out2 = p.train(pc, 0x1100);
+        assert_eq!(out2[0], 0x1100 + 2 * 64, "distance doubled");
+        assert_eq!(out2.len(), 4);
+    }
+
+    #[test]
+    fn irregular_pattern_never_prefetches() {
+        let mut p = pf();
+        let pc = 0x400;
+        let addrs = [0x1000u64, 0x5000, 0x2040, 0x9000, 0x100, 0x7777];
+        for a in addrs {
+            assert!(p.train(pc, a).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_stride_never_prefetches() {
+        let mut p = pf();
+        for _ in 0..10 {
+            assert!(p.train(0x400, 0x1000).is_empty());
+        }
+    }
+
+    #[test]
+    fn pc_collision_reallocates() {
+        let mut p = pf();
+        // Same low bits index, different full pc.
+        let pc_a = 0x40;
+        let pc_b = 0x40 + 64; // same index with 64-entry table
+        for i in 0..4 {
+            p.train(pc_a, 0x1000 + i * 64);
+        }
+        // pc_b evicts pc_a's entry.
+        assert!(p.train(pc_b, 0x9000).is_empty());
+        // pc_a must retrain from scratch: no immediate prefetch.
+        assert!(p.train(pc_a, 0x1100).is_empty());
+    }
+
+    #[test]
+    fn confidence_decays_on_broken_stride() {
+        let mut p = pf();
+        let pc = 0x400;
+        for i in 0..4 {
+            p.train(pc, 0x1000 + i * 64);
+        }
+        // Break the stride twice: confidence drains, no prefetch.
+        assert!(p.train(pc, 0x9000).is_empty());
+        assert!(p.train(pc, 0x9200).is_empty());
+    }
+
+    #[test]
+    fn stats_track_training_and_emission() {
+        let mut p = pf();
+        for i in 0..5 {
+            p.train(0x400, 0x1000 + i * 64);
+        }
+        let (trained, emitted) = p.stats();
+        assert_eq!(trained, 5);
+        assert!(emitted >= 2);
+    }
+
+    #[test]
+    fn reset_clears_training() {
+        let mut p = pf();
+        for i in 0..4 {
+            p.train(0x400, 0x1000 + i * 64);
+        }
+        p.reset();
+        assert!(p.train(0x400, 0x1100).is_empty(), "must retrain after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_entries_panics() {
+        let _ = StridePrefetcher::new(StridePrefetcherConfig {
+            entries: 48,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn distance_ramps_to_max_and_resets_on_break() {
+        let mut p = pf();
+        let pc = 0x400;
+        for i in 0..20u64 {
+            p.train(pc, 0x1000 + i * 64);
+        }
+        let out = p.train(pc, 0x1000 + 20 * 64);
+        let lead = (out[0] - (0x1000 + 20 * 64)) / 64;
+        assert_eq!(lead, 64, "distance saturates at max_distance");
+        // Breaking the stride resets the horizon.
+        p.train(pc, 0x9000);
+        p.train(pc, 0x9040);
+        p.train(pc, 0x9080);
+        let out = p.train(pc, 0x90c0);
+        if !out.is_empty() {
+            assert!(out[0] <= 0x90c0 + 2 * 64, "horizon restarted");
+        }
+    }
+}

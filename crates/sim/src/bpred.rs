@@ -1,0 +1,401 @@
+//! Tournament branch predictor, branch target buffer and return address
+//! stack, sized per Table 1: 2-bit counters, 2048-entry local, 8192-entry
+//! global, 8192-entry choice, 4096-entry BTB, 16-entry RAS.
+//!
+//! Direction tables are trained **at commit only** — the paper's stance
+//! (§4.9 "Other soft state") is that branch predictors should be updated
+//! non-speculatively, and training at commit also keeps the predictor
+//! deterministic across mitigation schemes so performance differences come
+//! from the memory system, not predictor noise. Global history *is*
+//! updated speculatively at fetch (that is fundamental to using it), and
+//! each in-flight branch carries a snapshot for squash repair.
+
+/// Predictor geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BpredConfig {
+    pub local_entries: usize,
+    pub global_entries: usize,
+    pub choice_entries: usize,
+    pub btb_entries: usize,
+    pub ras_entries: usize,
+}
+
+impl Default for BpredConfig {
+    /// Table 1 sizing.
+    fn default() -> Self {
+        Self {
+            local_entries: 2048,
+            global_entries: 8192,
+            choice_entries: 8192,
+            btb_entries: 4096,
+            ras_entries: 16,
+        }
+    }
+}
+
+/// A direction prediction plus the state needed to repair and train later.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    pub taken: bool,
+    /// Global history register value *before* this prediction was shifted
+    /// in; restored on squash.
+    pub ghist_before: u64,
+}
+
+/// Everything the predictor needs to learn from a resolved branch.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchUpdate {
+    pub pc: u64,
+    pub taken: bool,
+    /// Global history the branch was predicted under.
+    pub ghist_before: u64,
+    /// Resolved target (trains the BTB for taken branches).
+    pub target: u64,
+}
+
+fn sat_inc(c: &mut u8) {
+    if *c < 3 {
+        *c += 1;
+    }
+}
+
+fn sat_dec(c: &mut u8) {
+    if *c > 0 {
+        *c -= 1;
+    }
+}
+
+/// The tournament predictor (local + global, with a choice table), BTB
+/// and RAS.
+#[derive(Clone, Debug)]
+pub struct TournamentPredictor {
+    cfg: BpredConfig,
+    local_hist: Vec<u16>,
+    local_ctr: Vec<u8>,
+    global_ctr: Vec<u8>,
+    choice_ctr: Vec<u8>,
+    ghist: u64,
+    btb: Vec<Option<(u64, u64)>>, // (pc, target)
+    ras: Vec<u64>,
+    ras_sp: usize,
+}
+
+impl TournamentPredictor {
+    /// Builds a predictor with weakly-not-taken counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all table sizes are powers of two.
+    pub fn new(cfg: BpredConfig) -> Self {
+        for (name, n) in [
+            ("local", cfg.local_entries),
+            ("global", cfg.global_entries),
+            ("choice", cfg.choice_entries),
+            ("btb", cfg.btb_entries),
+        ] {
+            assert!(n.is_power_of_two(), "{name} table size must be 2^n");
+        }
+        assert!(cfg.ras_entries > 0, "RAS must have at least one entry");
+        Self {
+            cfg,
+            local_hist: vec![0; cfg.local_entries],
+            local_ctr: vec![1; cfg.local_entries],
+            global_ctr: vec![1; cfg.global_entries],
+            choice_ctr: vec![1; cfg.choice_entries],
+            ghist: 0,
+            btb: vec![None; cfg.btb_entries],
+            ras: vec![0; cfg.ras_entries],
+            ras_sp: 0,
+        }
+    }
+
+    fn local_index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.cfg.local_entries - 1)
+    }
+
+    fn local_ctr_index(&self, pc: u64) -> usize {
+        let hist = self.local_hist[self.local_index(pc)];
+        (hist as usize) & (self.cfg.local_entries - 1)
+    }
+
+    fn global_index(&self, ghist: u64) -> usize {
+        (ghist as usize) & (self.cfg.global_entries - 1)
+    }
+
+    fn choice_index(&self, ghist: u64) -> usize {
+        (ghist as usize) & (self.cfg.choice_entries - 1)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` and
+    /// speculatively shifts the prediction into global history.
+    pub fn predict(&mut self, pc: u64) -> Prediction {
+        let ghist_before = self.ghist;
+        let local = self.local_ctr[self.local_ctr_index(pc)] >= 2;
+        let global = self.global_ctr[self.global_index(ghist_before)] >= 2;
+        let use_global = self.choice_ctr[self.choice_index(ghist_before)] >= 2;
+        let taken = if use_global { global } else { local };
+        self.ghist = (ghist_before << 1) | taken as u64;
+        Prediction {
+            taken,
+            ghist_before,
+        }
+    }
+
+    /// Restores global history after a squash: history is rewound to the
+    /// mispredicted branch's snapshot and the *actual* outcome shifted in.
+    pub fn repair_ghist(&mut self, ghist_before: u64, actual_taken: bool) {
+        self.ghist = (ghist_before << 1) | actual_taken as u64;
+    }
+
+    /// Restores global history exactly (squash caused by a non-branch,
+    /// e.g. a jalr target mispredict).
+    pub fn restore_ghist(&mut self, ghist: u64) {
+        self.ghist = ghist;
+    }
+
+    /// Trains direction tables and BTB from a committed branch.
+    pub fn train(&mut self, u: &BranchUpdate) {
+        // Local.
+        let lci = self.local_ctr_index(u.pc);
+        if u.taken {
+            sat_inc(&mut self.local_ctr[lci]);
+        } else {
+            sat_dec(&mut self.local_ctr[lci]);
+        }
+        let li = self.local_index(u.pc);
+        self.local_hist[li] = (self.local_hist[li] << 1) | u.taken as u16;
+        // Global.
+        let gi = self.global_index(u.ghist_before);
+        let global_pred = self.global_ctr[gi] >= 2;
+        if u.taken {
+            sat_inc(&mut self.global_ctr[gi]);
+        } else {
+            sat_dec(&mut self.global_ctr[gi]);
+        }
+        // Choice: move towards whichever component was right (local
+        // prediction recomputed against the *pre-update* local counter is
+        // no longer available, so use the common simplification of
+        // comparing the global component only).
+        let ci = self.choice_index(u.ghist_before);
+        let local_pred = self.local_ctr[lci] >= 2;
+        if global_pred != local_pred {
+            if global_pred == u.taken {
+                sat_inc(&mut self.choice_ctr[ci]);
+            } else {
+                sat_dec(&mut self.choice_ctr[ci]);
+            }
+        }
+        if u.taken {
+            self.btb_insert(u.pc, u.target);
+        }
+    }
+
+    fn btb_index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.cfg.btb_entries - 1)
+    }
+
+    /// Looks up a branch target.
+    pub fn btb_lookup(&self, pc: u64) -> Option<u64> {
+        match self.btb[self.btb_index(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Inserts/overwrites a BTB entry.
+    pub fn btb_insert(&mut self, pc: u64, target: u64) {
+        let i = self.btb_index(pc);
+        self.btb[i] = Some((pc, target));
+    }
+
+    /// Pushes a return address (call at fetch). Returns a checkpoint for
+    /// squash repair.
+    pub fn ras_push(&mut self, ret: u64) -> RasCheckpoint {
+        let cp = RasCheckpoint {
+            sp: self.ras_sp,
+            overwritten: self.ras[self.ras_sp],
+        };
+        self.ras[self.ras_sp] = ret;
+        self.ras_sp = (self.ras_sp + 1) % self.cfg.ras_entries;
+        cp
+    }
+
+    /// Pops a predicted return address (return at fetch).
+    pub fn ras_pop(&mut self) -> (u64, RasCheckpoint) {
+        let cp = RasCheckpoint {
+            sp: self.ras_sp,
+            overwritten: 0,
+        };
+        self.ras_sp = (self.ras_sp + self.cfg.ras_entries - 1) % self.cfg.ras_entries;
+        (self.ras[self.ras_sp], cp)
+    }
+
+    /// Restores the RAS to a checkpoint taken at a squashed push/pop.
+    pub fn ras_restore(&mut self, cp: RasCheckpoint) {
+        // Undo a push by restoring the overwritten slot; undoing a pop
+        // only needs the stack pointer.
+        if cp.overwritten != 0 {
+            self.ras[cp.sp] = cp.overwritten;
+        }
+        self.ras_sp = cp.sp;
+    }
+
+    /// Current (speculative) global history.
+    pub fn ghist(&self) -> u64 {
+        self.ghist
+    }
+}
+
+/// Snapshot for undoing one RAS push or pop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RasCheckpoint {
+    sp: usize,
+    overwritten: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred() -> TournamentPredictor {
+        TournamentPredictor::new(BpredConfig::default())
+    }
+
+    #[test]
+    fn learns_always_taken_branch() {
+        let mut p = pred();
+        let pc = 0x40;
+        // The local component is two-level (history -> pattern table), so
+        // it needs enough iterations for the history register to saturate.
+        for _ in 0..32 {
+            let pr = p.predict(pc);
+            p.train(&BranchUpdate {
+                pc,
+                taken: true,
+                ghist_before: pr.ghist_before,
+                target: 7,
+            });
+        }
+        assert!(p.predict(pc).taken, "always-taken branch must be learned");
+        assert_eq!(p.btb_lookup(pc), Some(7));
+    }
+
+    #[test]
+    fn learns_never_taken_branch() {
+        let mut p = pred();
+        let pc = 0x80;
+        for _ in 0..8 {
+            let pr = p.predict(pc);
+            p.train(&BranchUpdate {
+                pc,
+                taken: false,
+                ghist_before: pr.ghist_before,
+                target: 0,
+            });
+        }
+        assert!(!p.predict(pc).taken);
+        assert_eq!(p.btb_lookup(pc), None, "not-taken trains no BTB entry");
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        let mut p = pred();
+        let pc = 0x100;
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..200u32 {
+            let taken = i % 2 == 0;
+            let pr = p.predict(pc);
+            if i >= 100 {
+                total += 1;
+                if pr.taken == taken {
+                    correct += 1;
+                }
+            }
+            p.train(&BranchUpdate {
+                pc,
+                taken,
+                ghist_before: pr.ghist_before,
+                target: 1,
+            });
+        }
+        assert!(
+            correct * 10 >= total * 9,
+            "history-based predictor should learn alternation: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn ghist_shifts_and_repairs() {
+        let mut p = pred();
+        let before = p.ghist();
+        let pr = p.predict(0x40);
+        assert_eq!(p.ghist(), (before << 1) | pr.taken as u64);
+        // Mispredict discovered: repair with the actual outcome.
+        p.repair_ghist(pr.ghist_before, !pr.taken);
+        assert_eq!(p.ghist(), (before << 1) | (!pr.taken) as u64);
+        p.restore_ghist(before);
+        assert_eq!(p.ghist(), before);
+    }
+
+    #[test]
+    fn btb_tag_rejects_aliased_pc() {
+        let mut p = pred();
+        p.btb_insert(0x40, 5);
+        // Same index (4096 entries), different pc tag.
+        assert_eq!(p.btb_lookup(0x40 + 4096), None);
+        assert_eq!(p.btb_lookup(0x40), Some(5));
+    }
+
+    #[test]
+    fn ras_push_pop_round_trip() {
+        let mut p = pred();
+        p.ras_push(101);
+        p.ras_push(202);
+        let (top, _) = p.ras_pop();
+        assert_eq!(top, 202);
+        let (next, _) = p.ras_pop();
+        assert_eq!(next, 101);
+    }
+
+    #[test]
+    fn ras_checkpoint_undoes_push_and_pop() {
+        let mut p = pred();
+        p.ras_push(101);
+        let cp = p.ras_push(202); // to be squashed
+        p.ras_restore(cp);
+        let (top, _) = p.ras_pop();
+        assert_eq!(top, 101, "squashed push must not be visible");
+
+        let mut p = pred();
+        p.ras_push(111);
+        let (v, cp) = p.ras_pop(); // to be squashed
+        assert_eq!(v, 111);
+        p.ras_restore(cp);
+        let (again, _) = p.ras_pop();
+        assert_eq!(again, 111, "squashed pop must restore the entry");
+    }
+
+    #[test]
+    fn ras_wraps_at_capacity() {
+        let mut p = TournamentPredictor::new(BpredConfig {
+            ras_entries: 2,
+            ..Default::default()
+        });
+        p.ras_push(1);
+        p.ras_push(2);
+        p.ras_push(3); // overwrites 1
+        assert_eq!(p.ras_pop().0, 3);
+        assert_eq!(p.ras_pop().0, 2);
+        assert_eq!(p.ras_pop().0, 3, "wrapped stack re-reads overwritten slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n")]
+    fn non_power_of_two_table_panics() {
+        let _ = TournamentPredictor::new(BpredConfig {
+            local_entries: 1000,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,173 @@
+//! Core configuration (Table 1) and security-relevant issue-stage options.
+
+use crate::BpredConfig;
+
+/// STT-style taint-based load delay (baseline mitigation, §7.2).
+///
+/// A load whose address depends (transitively) on the result of a
+/// speculatively issued load is a *transmitter* and is delayed until its
+/// visibility point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaintMode {
+    /// STT-Spectre: transmitters wait until all older branches resolved.
+    Spectre,
+    /// STT-Future: transmitters wait until all older branches resolved
+    /// *and* all older memory operations have completed (unsafe until
+    /// commit-equivalent, protecting exception attacks too).
+    Future,
+}
+
+/// Out-of-order core configuration; defaults follow the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched per cycle.
+    pub rename_width: usize,
+    /// Instructions issued per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Issue-queue entries.
+    pub iq_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Physical integer registers.
+    pub int_regs: usize,
+    /// Physical floating-point registers.
+    pub fp_regs: usize,
+    /// Integer ALUs (single-cycle ops and branches).
+    pub int_alu: usize,
+    /// FP ALUs (pipelined add/mul).
+    pub fp_alu: usize,
+    /// Mult/Div units (pipelined multiply; non-pipelined divides/sqrt).
+    pub muldiv: usize,
+    /// Cycles between fetch and rename (decode depth); sets the minimum
+    /// branch-misprediction penalty together with fetch redirect.
+    pub frontend_delay: u64,
+    /// Fetch-buffer capacity in instructions.
+    pub fetch_buffer: usize,
+    /// Branch predictor sizing.
+    pub bpred: BpredConfig,
+    /// §4.9: issue non-pipelined functional-unit ops in timestamp order
+    /// (strictness-ordered scheduling). `false` models the unprotected
+    /// greedy scheduler.
+    pub strict_fu_order: bool,
+    /// STT baseline: delay tainted transmitters. `None` for all other
+    /// schemes.
+    pub taint_mode: Option<TaintMode>,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::micro2021()
+    }
+}
+
+impl CoreConfig {
+    /// The paper's Table 1 core: 8-wide out-of-order, 192-entry ROB,
+    /// 64-entry IQ, 32-entry LQ/SQ, 256 int + 256 FP registers, 6 int
+    /// ALUs, 4 FP ALUs, 2 mult/div units, tournament predictor.
+    pub fn micro2021() -> Self {
+        Self {
+            fetch_width: 8,
+            rename_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            rob_entries: 192,
+            iq_entries: 64,
+            lq_entries: 32,
+            sq_entries: 32,
+            int_regs: 256,
+            fp_regs: 256,
+            int_alu: 6,
+            fp_alu: 4,
+            muldiv: 2,
+            frontend_delay: 3,
+            fetch_buffer: 16,
+            bpred: BpredConfig::default(),
+            strict_fu_order: false,
+            taint_mode: None,
+        }
+    }
+
+    /// A deliberately small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            fetch_width: 2,
+            rename_width: 2,
+            issue_width: 2,
+            commit_width: 2,
+            rob_entries: 16,
+            iq_entries: 8,
+            lq_entries: 4,
+            sq_entries: 4,
+            int_regs: 48,
+            fp_regs: 48,
+            int_alu: 2,
+            fp_alu: 1,
+            muldiv: 1,
+            frontend_delay: 2,
+            fetch_buffer: 4,
+            bpred: BpredConfig::default(),
+            strict_fu_order: false,
+            taint_mode: None,
+        }
+    }
+
+    /// Sanity-checks structural sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero-sized structures, or
+    /// fewer physical than architectural registers).
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0 && self.issue_width > 0 && self.commit_width > 0);
+        assert!(self.rob_entries > 0 && self.iq_entries > 0);
+        assert!(self.lq_entries > 0 && self.sq_entries > 0);
+        assert!(
+            self.int_regs >= 32 + self.rename_width,
+            "need headroom over the 32 architectural integer registers"
+        );
+        assert!(self.fp_regs >= 32 + self.rename_width);
+        assert!(self.int_alu > 0 && self.fp_alu > 0 && self.muldiv > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let c = CoreConfig::micro2021();
+        assert_eq!(c.rob_entries, 192);
+        assert_eq!(c.iq_entries, 64);
+        assert_eq!(c.lq_entries, 32);
+        assert_eq!(c.sq_entries, 32);
+        assert_eq!(c.int_regs, 256);
+        assert_eq!(c.fp_regs, 256);
+        assert_eq!(c.int_alu, 6);
+        assert_eq!(c.fp_alu, 4);
+        assert_eq!(c.muldiv, 2);
+        assert_eq!(c.fetch_width, 8);
+        c.validate();
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        CoreConfig::tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn too_few_phys_regs_panics() {
+        let mut c = CoreConfig::tiny();
+        c.int_regs = 32;
+        c.validate();
+    }
+}

@@ -1,0 +1,1230 @@
+//! The out-of-order pipeline engine.
+//!
+//! Stage order within one [`Core::tick`] is writeback → commit → issue →
+//! LSQ → rename → fetch, so results produced in cycle *n* can wake
+//! dependents issuing in cycle *n* (back-to-back execution), and resources
+//! freed by commit are reusable the same cycle.
+//!
+//! Speculation is real: fetch follows the branch predictor, wrong-path
+//! instructions execute with real values (reading real memory through the
+//! backend, which is precisely how Spectre gadgets obtain secrets), and a
+//! resolved misprediction squashes younger instructions, rolls back the
+//! rename map youngest-first, repairs predictor history, and notifies the
+//! memory backend so it can wipe speculative state above the squashing
+//! timestamp (§4.2).
+
+use crate::bpred::{BranchUpdate, TournamentPredictor};
+use crate::config::{CoreConfig, TaintMode};
+use crate::fu::FuPool;
+use crate::lsq::{ForwardResult, LoadQueue, LoadState, StoreQueue};
+use crate::mem_if::{AccessKind, LoadResp, MemReq, MemoryBackend};
+use crate::regfile::{PhysReg, RegFile};
+use crate::rob::{Rob, RobStatus};
+use gm_isa::{alu_eval, branch_taken, pc_to_addr, FuClass, Inst, Op, Program, Reg};
+use gm_mem::line_addr;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Data-cache ports: loads/stores the LSQ may send to memory per cycle.
+const MEM_PORTS: usize = 2;
+
+/// An instruction-cache response within this many cycles of `now` is
+/// treated as pipelined (no fetch stall); anything slower stalls fetch.
+const IFETCH_PIPELINED: u64 = 3;
+
+/// Cycles with no commit before the engine assumes deadlock and panics.
+const DEADLOCK_CYCLES: u64 = 200_000;
+
+#[derive(Clone, Debug)]
+struct Fetched {
+    pc: u64,
+    inst: Inst,
+    pred_taken: bool,
+    pred_target: u64,
+    ghist_before: u64,
+    ras_cp: Option<crate::bpred::RasCheckpoint>,
+    avail_at: u64,
+    fetch_line: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct IqEntry {
+    seq: u64,
+    srcs: [Option<PhysReg>; 2],
+    class: FuClass,
+}
+
+const EV_EXEC: u64 = 0;
+const EV_LOAD: u64 = 1;
+
+/// Aggregate per-core statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    pub cycles: u64,
+    pub committed: u64,
+    pub fetched: u64,
+    pub squashed: u64,
+    pub mispredicts: u64,
+    pub loads_committed: u64,
+    pub stores_committed: u64,
+    pub load_forwards: u64,
+    /// Loads delayed by the STT taint gate.
+    pub stt_delays: u64,
+    /// Non-pipelined ops delayed by strictness-ordered FU scheduling.
+    pub strict_fu_delays: u64,
+    /// Loads replayed after a leapfrog cancellation.
+    pub load_replays: u64,
+    /// Loads rejected with Retry (MSHR pressure).
+    pub load_retries: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle over the committed stream.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// One simulated out-of-order core.
+pub struct Core {
+    cfg: CoreConfig,
+    id: usize,
+    program: Program,
+    bpred: TournamentPredictor,
+    regs: RegFile,
+    rob: Rob,
+    iq: Vec<IqEntry>,
+    lq: LoadQueue,
+    sq: StoreQueue,
+    fu: FuPool,
+    fetch_pc: u64,
+    fetch_queue: VecDeque<Fetched>,
+    cur_fetch_line: Option<u64>,
+    fetch_stall_until: u64,
+    next_seq: u64,
+    halted: bool,
+    // (time, seq, kind, ticket) min-heap.
+    events: BinaryHeap<Reverse<(u64, u64, u64, u64)>>,
+    stall_commit_until: u64,
+    /// Load at the ROB head whose commit_load was already issued, with
+    /// the cycle it becomes committable (commit_load is called once).
+    pending_commit: Option<(u64, u64)>,
+    last_commit_cycle: u64,
+    last_committed_iline: u64,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Builds a core at reset, about to fetch `program` from pc 0.
+    ///
+    /// Initial register values from the program are applied; initial data
+    /// segments must be installed into the backend by the caller (see
+    /// [`Core::install_program_data`]).
+    pub fn new(id: usize, cfg: CoreConfig, program: Program) -> Self {
+        cfg.validate();
+        if let Err(i) = program.validate() {
+            panic!("program {:?} has invalid control target at {i}", program.name);
+        }
+        let mut regs = RegFile::new(cfg.int_regs, cfg.fp_regs);
+        for &(r, v) in &program.init_regs {
+            let p = regs.lookup(r);
+            regs.write(p, v);
+        }
+        Self {
+            bpred: TournamentPredictor::new(cfg.bpred),
+            regs,
+            rob: Rob::new(cfg.rob_entries),
+            iq: Vec::with_capacity(cfg.iq_entries),
+            lq: LoadQueue::new(cfg.lq_entries),
+            sq: StoreQueue::new(cfg.sq_entries),
+            fu: FuPool::new(cfg.int_alu, cfg.fp_alu, cfg.muldiv),
+            fetch_pc: 0,
+            fetch_queue: VecDeque::new(),
+            cur_fetch_line: None,
+            fetch_stall_until: 0,
+            next_seq: 1,
+            halted: false,
+            events: BinaryHeap::new(),
+            stall_commit_until: 0,
+            pending_commit: None,
+            last_commit_cycle: 0,
+            last_committed_iline: u64::MAX,
+            stats: CoreStats::default(),
+            cfg,
+            id,
+            program,
+        }
+    }
+
+    /// Writes the program's initial data segments into the backend's
+    /// functional memory. Call once before the first tick.
+    pub fn install_program_data(&self, mem: &mut dyn MemoryBackend) {
+        for seg in &self.program.data {
+            let mut addr = seg.base;
+            for chunk in seg.bytes.chunks(8) {
+                let mut v = 0u64;
+                for (i, b) in chunk.iter().enumerate() {
+                    v |= (*b as u64) << (8 * i);
+                }
+                mem.write_value(addr, v, chunk.len() as u64);
+                addr += chunk.len() as u64;
+            }
+        }
+    }
+
+    /// Whether `Halt` has committed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// This core's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Architectural (committed) value of register `r`.
+    ///
+    /// Only meaningful when the pipeline is drained (halted); mid-flight
+    /// it reflects the most recent rename.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs.read(self.regs.lookup(r))
+    }
+
+    /// Advances one cycle against `mem`.
+    pub fn tick(&mut self, mem: &mut dyn MemoryBackend, now: u64) {
+        if self.halted {
+            return;
+        }
+        self.stats.cycles = now + 1;
+        self.fu.new_cycle();
+        self.drain_cancellations(mem, now);
+        self.writeback(mem, now);
+        self.commit(mem, now);
+        self.issue(now);
+        self.lsq_tick(mem, now);
+        self.rename(now);
+        self.fetch(mem, now);
+        if now.saturating_sub(self.last_commit_cycle) > DEADLOCK_CYCLES {
+            panic!(
+                "core {} deadlocked: no commit since cycle {} (now {now}); \
+                 head={:?}",
+                self.id,
+                self.last_commit_cycle,
+                self.rob.head().map(|e| (e.seq, e.pc, e.inst, e.status))
+            );
+        }
+    }
+
+    /// Runs until halt or `max_cycles`, returning the final cycle count.
+    pub fn run(&mut self, mem: &mut dyn MemoryBackend, max_cycles: u64) -> u64 {
+        self.install_program_data(mem);
+        let mut now = 0;
+        while !self.halted && now < max_cycles {
+            self.tick(mem, now);
+            now += 1;
+        }
+        assert!(self.halted, "program did not halt within {max_cycles} cycles");
+        now
+    }
+
+    // ---- cancellations (leapfrogging, §4.5) ----
+
+    fn drain_cancellations(&mut self, mem: &mut dyn MemoryBackend, _now: u64) {
+        for ticket in mem.take_cancellations(self.id) {
+            if self.lq.cancel_ticket(ticket).is_some() {
+                self.stats.load_replays += 1;
+            }
+        }
+    }
+
+    // ---- writeback ----
+
+    fn writeback(&mut self, mem: &mut dyn MemoryBackend, now: u64) {
+        while let Some(&Reverse((t, _, _, _))) = self.events.peek() {
+            if t > now {
+                break;
+            }
+            let Reverse((_, seq, kind, ticket)) = self.events.pop().expect("peeked");
+            match kind {
+                EV_EXEC => self.complete_exec(mem, seq, now),
+                EV_LOAD => self.complete_load(seq, ticket, now),
+                _ => unreachable!("unknown event kind"),
+            }
+        }
+    }
+
+    fn complete_exec(&mut self, mem: &mut dyn MemoryBackend, seq: u64, now: u64) {
+        let Some(e) = self.rob.get_mut(seq) else {
+            return; // squashed while in flight
+        };
+        e.status = RobStatus::Done;
+        e.done_at = now;
+        let inst = e.inst;
+        let result = e.result;
+        let result_tainted = e.result_tainted;
+        if let (Some(_rd), Some(p)) = (inst.dest(), e.phys_rd) {
+            if inst.op != Op::Sc {
+                // Store-conditionals resolve at commit.
+                self.regs.write(p, result);
+                self.regs.set_taint(p, result_tainted);
+            }
+        }
+        if inst.op.is_ctrl() {
+            self.resolve_branch(mem, seq, now);
+        }
+    }
+
+    fn complete_load(&mut self, seq: u64, ticket: u64, now: u64) {
+        let Some(le) = self.lq.get(seq) else {
+            return; // squashed
+        };
+        match le.state {
+            LoadState::InFlight { ticket: t } if t == ticket => {}
+            LoadState::Done if le.forwarded && ticket == u64::MAX => {}
+            _ => return, // cancelled and re-issued, or stale
+        }
+        let value = le.value;
+        if let Some(le) = self.lq.get_mut(seq) {
+            le.state = LoadState::Done;
+            le.done_at = now;
+        }
+        let taint_mode = self.cfg.taint_mode;
+        let Some(e) = self.rob.get_mut(seq) else {
+            return;
+        };
+        e.status = RobStatus::Done;
+        e.done_at = now;
+        e.result = value;
+        if let Some(p) = e.phys_rd {
+            let tainted = taint_mode.is_some() && e.issued_speculatively;
+            self.regs.write(p, value);
+            self.regs.set_taint(p, tainted);
+        }
+    }
+
+    fn resolve_branch(&mut self, mem: &mut dyn MemoryBackend, seq: u64, now: u64) {
+        let e = self.rob.get(seq).expect("caller checked");
+        let mispredict = if e.taken != e.pred_taken {
+            true
+        } else {
+            e.taken && e.actual_target != e.pred_target
+        };
+        if !mispredict {
+            return;
+        }
+        let (inst, ghist_before, taken, target) =
+            (e.inst, e.ghist_before, e.taken, e.actual_target);
+        self.rob.get_mut(seq).expect("present").mispredicted = true;
+        self.stats.mispredicts += 1;
+        self.squash_after(mem, seq, target, now);
+        if inst.op.is_cond_branch() {
+            self.bpred.repair_ghist(ghist_before, taken);
+        } else {
+            self.bpred.restore_ghist(ghist_before);
+        }
+    }
+
+    fn squash_after(
+        &mut self,
+        mem: &mut dyn MemoryBackend,
+        seq: u64,
+        redirect_pc: u64,
+        now: u64,
+    ) {
+        let max_ts = self.next_seq.saturating_sub(1);
+        let regs = &mut self.regs;
+        let bpred = &mut self.bpred;
+        let n = self.rob.squash_above(seq, |e| {
+            if let (Some(rd), Some(new), Some(old)) = (e.inst.dest(), e.phys_rd, e.old_phys_rd) {
+                regs.unrename(rd, new, old);
+            }
+            if let Some(cp) = e.ras_cp {
+                bpred.ras_restore(cp);
+            }
+        });
+        self.stats.squashed += n as u64;
+        self.iq.retain(|q| q.seq <= seq);
+        self.lq.squash_above(seq);
+        self.sq.squash_above(seq);
+        self.fetch_queue.clear();
+        self.cur_fetch_line = None;
+        self.fetch_pc = redirect_pc;
+        self.fetch_stall_until = self.fetch_stall_until.max(now + 1);
+        mem.squash(self.id, seq, max_ts, now);
+    }
+
+    // ---- commit ----
+
+    fn commit(&mut self, mem: &mut dyn MemoryBackend, now: u64) {
+        for _ in 0..self.cfg.commit_width {
+            if self.stall_commit_until > now {
+                break;
+            }
+            let Some(head) = self.rob.head() else { break };
+            if head.status != RobStatus::Done || head.done_at > now {
+                break;
+            }
+            let seq = head.seq;
+            let inst = head.inst;
+            let fetch_line = head.fetch_line;
+            let mem_addr = head.mem_addr;
+
+            match inst.op {
+                Op::Ld(_) | Op::Ll => {
+                    let addr = mem_addr.expect("committing load has an address");
+                    match self.pending_commit {
+                        Some((s, _)) if s == seq => {
+                            // commit_load already ran; the stall expired.
+                            self.pending_commit = None;
+                        }
+                        _ => {
+                            let req = MemReq {
+                                core: self.id,
+                                addr,
+                                size: inst.op.mem_size().expect("load").bytes(),
+                                ts: seq,
+                                pc: head.pc,
+                                now,
+                                speculative: false,
+                                kind: AccessKind::Load,
+                            };
+                            let ready = mem.commit_load(&req);
+                            if ready > now {
+                                // Scheme requires a commit-time memory
+                                // action (e.g. InvisiSpec validation or a
+                                // §4.6 coherence replay): stall once.
+                                self.pending_commit = Some((seq, ready));
+                                self.stall_commit_until = ready;
+                                break;
+                            }
+                        }
+                    }
+                    self.lq.pop_head(seq);
+                    self.stats.loads_committed += 1;
+                }
+                Op::St(_) | Op::Sc => {
+                    let addr = mem_addr.expect("committing store has an address");
+                    let entry = self.sq.pop_head(seq);
+                    let data = entry.data.expect("resolved store");
+                    let req = MemReq {
+                        core: self.id,
+                        addr,
+                        size: inst.op.mem_size().expect("store").bytes(),
+                        ts: seq,
+                        pc: head.pc,
+                        now,
+                        speculative: false,
+                        kind: AccessKind::Store,
+                    };
+                    if inst.op == Op::Sc {
+                        let ok = mem.sc_try(self.id, addr, seq);
+                        if ok {
+                            mem.store_commit(&req, data);
+                        }
+                        let head = self.rob.head().expect("still head");
+                        if let Some(p) = head.phys_rd {
+                            self.regs.write(p, if ok { 0 } else { 1 });
+                            self.regs.set_taint(p, false);
+                        }
+                    } else {
+                        mem.store_commit(&req, data);
+                    }
+                    self.stats.stores_committed += 1;
+                }
+                Op::Halt => {
+                    // Drain the wrong-path tail fetched past the halt so
+                    // the rename map reflects architectural state.
+                    let pc = head.pc;
+                    self.squash_after(mem, seq, pc, now);
+                    self.halted = true;
+                }
+                _ => {}
+            }
+
+            let head = self.rob.head().expect("still head");
+            if inst.op.is_cond_branch() {
+                self.bpred.train(&BranchUpdate {
+                    pc: head.pc,
+                    taken: head.taken,
+                    ghist_before: head.ghist_before,
+                    target: head.actual_target,
+                });
+            } else if inst.op == Op::Jalr {
+                self.bpred.btb_insert(head.pc, head.actual_target);
+            }
+
+            if fetch_line != self.last_committed_iline {
+                mem.commit_ifetch(self.id, fetch_line, now);
+                self.last_committed_iline = fetch_line;
+            }
+
+            let head = self.rob.pop_head().expect("present");
+            if let (Some(rd), Some(old)) = (head.inst.dest(), head.old_phys_rd) {
+                self.regs.release(rd, old);
+            }
+            self.stats.committed += 1;
+            self.last_commit_cycle = now;
+            if self.halted {
+                break;
+            }
+        }
+    }
+
+    // ---- issue ----
+
+    fn older_unresolved_branch(&self, seq: u64) -> bool {
+        self.rob
+            .any_older(seq, |e| e.inst.op.is_ctrl() && e.status != RobStatus::Done)
+    }
+
+    fn older_pending_mem(&self, seq: u64) -> bool {
+        self.rob
+            .any_older(seq, |e| e.is_mem && e.status != RobStatus::Done)
+    }
+
+    fn older_pending_fence(&self, seq: u64) -> bool {
+        self.rob.any_older(seq, |e| e.inst.op == Op::Fence)
+    }
+
+    fn issue(&mut self, now: u64) {
+        let mut issued = 0;
+        let mut blocked_nonpipelined: Vec<FuClass> = Vec::new();
+        let mut remove: Vec<u64> = Vec::new();
+
+        for qi in 0..self.iq.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let q = self.iq[qi];
+            let ready = q
+                .srcs
+                .iter()
+                .flatten()
+                .all(|&p| self.regs.is_ready(p));
+            let nonpipelined = matches!(q.class, FuClass::IntDiv | FuClass::FpDiv | FuClass::FpSqrt);
+            // §4.9: strictness-ordered scheduling of non-pipelined units —
+            // an op may not overtake an older, not-yet-issued op that may
+            // use the same unit (all such ops share the Mult/Div pool).
+            if self.cfg.strict_fu_order && nonpipelined && !blocked_nonpipelined.is_empty() {
+                self.stats.strict_fu_delays += 1;
+                blocked_nonpipelined.push(q.class);
+                continue;
+            }
+            if !ready || !self.fu.can_issue(q.class, now) {
+                if nonpipelined {
+                    blocked_nonpipelined.push(q.class);
+                }
+                continue;
+            }
+            let e = self.rob.get(q.seq).expect("IQ entry has live ROB entry");
+            let inst = e.inst;
+
+            // Fences issue only from the ROB head, and serialise: no
+            // younger instruction may issue until the fence commits
+            // (lfence-style, which also makes rdcycle measurements
+            // well-defined for the attack harness).
+            if inst.op == Op::Fence && self.rob.head().map(|h| h.seq) != Some(q.seq) {
+                continue;
+            }
+            if inst.op != Op::Fence && self.older_pending_fence(q.seq) {
+                continue;
+            }
+
+            let v1 = q.srcs[0].map_or(0, |p| self.regs.read(p));
+            let v2 = q.srcs[1].map_or(0, |p| self.regs.read(p));
+            let taint = self.cfg.taint_mode.is_some()
+                && q.srcs.iter().flatten().any(|&p| self.regs.is_tainted(p));
+            let latency = inst.op.latency();
+            self.fu.issue(q.class, now, latency);
+            issued += 1;
+            remove.push(q.seq);
+
+            if inst.op.is_mem() {
+                // AGU: resolve the address; the LSQ takes over next phase.
+                let addr = v1.wrapping_add(inst.imm as u64);
+                let e = self.rob.get_mut(q.seq).expect("live");
+                e.status = RobStatus::Issued;
+                e.mem_addr = Some(addr);
+                if inst.op.is_load() {
+                    let le = self.lq.get_mut(q.seq).expect("allocated at rename");
+                    le.addr = Some(addr);
+                    le.state = LoadState::Ready;
+                    le.addr_tainted = taint;
+                } else {
+                    self.sq.resolve(q.seq, addr, v2);
+                    // Stores complete once resolved; data drains at commit.
+                    self.events
+                        .push(Reverse((now + latency, q.seq, EV_EXEC, 0)));
+                }
+                continue;
+            }
+
+            // Non-memory ops: compute the result now; it becomes visible
+            // at writeback (now + latency).
+            let e = self.rob.get_mut(q.seq).expect("live");
+            e.status = RobStatus::Issued;
+            e.result_tainted = taint;
+            if inst.op.is_ctrl() {
+                let (taken, target) = match inst.op {
+                    Op::Jal => (true, inst.imm as u64),
+                    Op::Jalr => (true, v1.wrapping_add(inst.imm as u64)),
+                    _ => {
+                        let t = branch_taken(inst.op, v1, v2);
+                        (t, if t { inst.imm as u64 } else { e.pc + 1 })
+                    }
+                };
+                e.taken = taken;
+                e.actual_target = target;
+                e.result = e.pc + 1; // link value for jal/jalr
+            } else {
+                e.result = alu_eval(inst.op, v1, v2, inst.imm, now);
+            }
+            self.events
+                .push(Reverse((now + latency, q.seq, EV_EXEC, 0)));
+        }
+        self.iq.retain(|q| !remove.contains(&q.seq));
+    }
+
+    // ---- LSQ: send ready loads to memory ----
+
+    fn lsq_tick(&mut self, mem: &mut dyn MemoryBackend, now: u64) {
+        let mut sent = 0;
+        let mut completions: Vec<(u64, u64)> = Vec::new();
+        let taint_mode = self.cfg.taint_mode;
+
+        // Collect candidate seqs first to appease the borrow checker.
+        let candidates: Vec<u64> = self
+            .lq
+            .iter_mut()
+            .filter(|le| le.state == LoadState::Ready && le.retry_at <= now)
+            .map(|le| le.seq)
+            .collect();
+
+        for seq in candidates {
+            if sent >= MEM_PORTS {
+                break;
+            }
+            let le = *self.lq.get(seq).expect("candidate");
+            let addr = le.addr.expect("Ready implies resolved address");
+
+            // STT gate: tainted-address loads wait for their visibility
+            // point.
+            if let Some(mode) = taint_mode {
+                if le.addr_tainted {
+                    let visible = match mode {
+                        TaintMode::Spectre => !self.older_unresolved_branch(seq),
+                        TaintMode::Future => {
+                            !self.older_unresolved_branch(seq) && !self.older_pending_mem(seq)
+                        }
+                    };
+                    if !visible {
+                        self.stats.stt_delays += 1;
+                        continue;
+                    }
+                }
+            }
+
+            match self.sq.forward(seq, addr, le.size) {
+                ForwardResult::UnknownAddr(_) | ForwardResult::Partial(_) => continue,
+                ForwardResult::Forward(v) => {
+                    if self.rob.get(seq).is_some_and(|e| e.inst.op == Op::Ll) {
+                        // Reservation is placed when the value is read, so
+                        // any later remote store makes the SC fail.
+                        mem.ll_reserve(self.id, addr, seq);
+                    }
+                    let le = self.lq.get_mut(seq).expect("present");
+                    le.value = v;
+                    le.state = LoadState::Done;
+                    le.done_at = now + 1;
+                    le.forwarded = true;
+                    le.filled_locally = true;
+                    self.stats.load_forwards += 1;
+                    completions.push((now + 1, seq));
+                }
+                ForwardResult::NoMatch => {
+                    let speculative = self.older_unresolved_branch(seq);
+                    let e = self.rob.get(seq).expect("live load");
+                    if e.inst.op == Op::Ll {
+                        mem.ll_reserve(self.id, addr, seq);
+                    }
+                    let req = MemReq {
+                        core: self.id,
+                        addr,
+                        size: le.size,
+                        ts: seq,
+                        pc: e.pc,
+                        now,
+                        speculative: true,
+                        kind: AccessKind::Load,
+                    };
+                    match mem.load(&req) {
+                        LoadResp::Done {
+                            at,
+                            ticket,
+                            filled_locally,
+                        } => {
+                            let value = mem.read_value(addr, le.size);
+                            let le = self.lq.get_mut(seq).expect("present");
+                            le.state = LoadState::InFlight { ticket };
+                            le.value = value;
+                            le.filled_locally = filled_locally;
+                            if let Some(e) = self.rob.get_mut(seq) {
+                                e.issued_speculatively = speculative;
+                            }
+                            self.events.push(Reverse((at.max(now + 1), seq, EV_LOAD, ticket)));
+                            sent += 1;
+                        }
+                        LoadResp::Retry { at } => {
+                            let le = self.lq.get_mut(seq).expect("present");
+                            le.retry_at = at.max(now + 1);
+                            self.stats.load_retries += 1;
+                            sent += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (at, seq) in completions {
+            self.events.push(Reverse((at, seq, EV_LOAD, u64::MAX)));
+        }
+    }
+
+    // ---- rename/dispatch ----
+
+    fn rename(&mut self, now: u64) {
+        for _ in 0..self.cfg.rename_width {
+            let Some(front) = self.fetch_queue.front() else { break };
+            if front.avail_at > now {
+                break;
+            }
+            if self.rob.free() == 0 || self.iq.len() >= self.cfg.iq_entries {
+                break;
+            }
+            let inst = front.inst;
+            if inst.op.is_load() && self.lq.free() == 0 {
+                break;
+            }
+            if inst.op.is_store() && self.sq.free() == 0 {
+                break;
+            }
+            if let Some(rd) = inst.dest() {
+                if self.regs.free_count(rd.is_fp()) == 0 {
+                    break;
+                }
+            }
+            let f = self.fetch_queue.pop_front().expect("checked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            // Capture source mappings before renaming the destination
+            // (an instruction may read and write the same register).
+            let mut srcs = [None, None];
+            let mut si = 0;
+            for s in f.inst.sources() {
+                srcs[si] = Some(self.regs.lookup(s));
+                si += 1;
+            }
+            let renamed = f.inst.dest().map(|rd| {
+                self.regs
+                    .rename(rd)
+                    .expect("free count checked above")
+            });
+
+            let e = self.rob.push(seq, f.pc, f.inst, f.fetch_line);
+            e.pred_taken = f.pred_taken;
+            e.pred_target = f.pred_target;
+            e.ghist_before = f.ghist_before;
+            e.ras_cp = f.ras_cp;
+            if let Some((new, old)) = renamed {
+                e.phys_rd = Some(new);
+                e.old_phys_rd = Some(old);
+            }
+            if f.inst.op.is_load() {
+                self.lq
+                    .push(seq, f.inst.op.mem_size().expect("load").bytes());
+            }
+            if f.inst.op.is_store() {
+                self.sq
+                    .push(seq, f.inst.op.mem_size().expect("store").bytes());
+            }
+            self.iq.push(IqEntry {
+                seq,
+                srcs,
+                class: f.inst.op.fu_class(),
+            });
+        }
+    }
+
+    // ---- fetch ----
+
+    fn fetch(&mut self, mem: &mut dyn MemoryBackend, now: u64) {
+        if self.fetch_stall_until > now {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_queue.len() >= self.cfg.fetch_buffer {
+                break;
+            }
+            let Some(inst) = self.program.fetch(self.fetch_pc) else {
+                // Ran past the end of the text (can happen transiently on
+                // a wrong path): stall until redirected.
+                break;
+            };
+            let pc = self.fetch_pc;
+            let iaddr = pc_to_addr(pc);
+            let fetch_line = line_addr(iaddr);
+
+            if self.cur_fetch_line != Some(fetch_line) {
+                let req = MemReq {
+                    core: self.id,
+                    addr: fetch_line,
+                    size: gm_mem::LINE_BYTES,
+                    ts: self.next_seq + self.fetch_queue.len() as u64,
+                    pc,
+                    now,
+                    speculative: true,
+                    kind: AccessKind::Ifetch,
+                };
+                match mem.ifetch(&req) {
+                    LoadResp::Done { at, .. } => {
+                        if at > now + IFETCH_PIPELINED {
+                            self.fetch_stall_until = at;
+                            self.cur_fetch_line = Some(fetch_line);
+                            break;
+                        }
+                        self.cur_fetch_line = Some(fetch_line);
+                    }
+                    LoadResp::Retry { at } => {
+                        self.fetch_stall_until = at.max(now + 1);
+                        break;
+                    }
+                }
+            }
+
+            let mut pred_taken = false;
+            let mut pred_target = pc + 1;
+            let mut ghist_before = self.bpred.ghist();
+            let mut ras_cp = None;
+            match inst.op {
+                op if op.is_cond_branch() => {
+                    let p = self.bpred.predict(pc);
+                    ghist_before = p.ghist_before;
+                    pred_taken = p.taken;
+                    if p.taken {
+                        pred_target = inst.imm as u64;
+                        if self.bpred.btb_lookup(pc).is_none() {
+                            // Target produced by decode: one-cycle bubble.
+                            self.fetch_stall_until = now + 2;
+                        }
+                    }
+                }
+                Op::Jal => {
+                    pred_taken = true;
+                    pred_target = inst.imm as u64;
+                    if inst.rd == Reg::x(1) {
+                        ras_cp = Some(self.bpred.ras_push(pc + 1));
+                    }
+                }
+                Op::Jalr => {
+                    pred_taken = true;
+                    if inst.rd.is_zero() && inst.rs1 == Reg::x(1) {
+                        let (t, cp) = self.bpred.ras_pop();
+                        pred_target = t;
+                        ras_cp = Some(cp);
+                    } else if let Some(t) = self.bpred.btb_lookup(pc) {
+                        pred_target = t;
+                    } else {
+                        // No predicted target: fall through and let the
+                        // resolution redirect (costs a full squash).
+                        pred_target = pc + 1;
+                    }
+                }
+                _ => {}
+            }
+
+            self.fetch_queue.push_back(Fetched {
+                pc,
+                inst,
+                pred_taken,
+                pred_target,
+                ghist_before,
+                ras_cp,
+                avail_at: now + self.cfg.frontend_delay,
+                fetch_line,
+            });
+            self.stats.fetched += 1;
+            self.fetch_pc = pred_target;
+            if inst.op == Op::Halt {
+                break; // nothing sensible to fetch past a halt
+            }
+            if pred_taken {
+                break; // taken control flow ends the fetch group
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_isa::Asm;
+    use gm_mem::SparseMem;
+
+    /// Minimal fixed-latency backend for core unit tests.
+    pub(super) struct FlatMem {
+        mem: SparseMem,
+        latency: u64,
+        next_ticket: u64,
+        reservation: Option<(usize, u64)>,
+        loads_seen: u64,
+    }
+
+    impl FlatMem {
+        pub(super) fn new(latency: u64) -> Self {
+            Self {
+                mem: SparseMem::new(),
+                latency,
+                next_ticket: 0,
+                reservation: None,
+                loads_seen: 0,
+            }
+        }
+    }
+
+    impl MemoryBackend for FlatMem {
+        fn load(&mut self, req: &MemReq) -> LoadResp {
+            self.next_ticket += 1;
+            self.loads_seen += 1;
+            LoadResp::Done {
+                at: req.now + self.latency,
+                ticket: self.next_ticket,
+                filled_locally: true,
+            }
+        }
+        fn commit_load(&mut self, req: &MemReq) -> u64 {
+            req.now
+        }
+        fn store_commit(&mut self, req: &MemReq, value: u64) {
+            self.mem.write(req.addr, value, req.size);
+        }
+        fn ifetch(&mut self, req: &MemReq) -> LoadResp {
+            self.next_ticket += 1;
+            LoadResp::Done {
+                at: req.now + 2,
+                ticket: self.next_ticket,
+                filled_locally: true,
+            }
+        }
+        fn commit_ifetch(&mut self, _core: usize, _line: u64, _now: u64) {}
+        fn squash(&mut self, _core: usize, _above: u64, _max: u64, _now: u64) {}
+        fn take_cancellations(&mut self, _core: usize) -> Vec<u64> {
+            Vec::new()
+        }
+        fn read_value(&self, addr: u64, size: u64) -> u64 {
+            self.mem.read(addr, size)
+        }
+        fn write_value(&mut self, addr: u64, value: u64, size: u64) {
+            self.mem.write(addr, value, size);
+        }
+        fn ll_reserve(&mut self, core: usize, addr: u64, _ts: u64) {
+            self.reservation = Some((core, gm_mem::line_addr(addr)));
+        }
+        fn sc_try(&mut self, core: usize, addr: u64, _ts: u64) -> bool {
+            let ok = self.reservation == Some((core, gm_mem::line_addr(addr)));
+            self.reservation = None;
+            ok
+        }
+    }
+
+    fn run(program: gm_isa::Program) -> (Core, FlatMem) {
+        let mut core = Core::new(0, CoreConfig::tiny(), program);
+        let mut mem = FlatMem::new(4);
+        core.run(&mut mem, 1_000_000);
+        (core, mem)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut a = Asm::new("t");
+        let (x1, x2, x3) = (Reg::x(1), Reg::x(2), Reg::x(3));
+        a.li(x1, 6);
+        a.li(x2, 7);
+        a.mul(x3, x1, x2);
+        a.addi(x3, x3, 1);
+        a.halt();
+        let (core, _) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(3)), 43);
+        assert_eq!(core.stats().committed, 5);
+    }
+
+    #[test]
+    fn counted_loop_commits_expected_instructions() {
+        let mut a = Asm::new("t");
+        let (x1, x2) = (Reg::x(1), Reg::x(2));
+        a.li(x1, 0);
+        a.li(x2, 100);
+        let top = a.here();
+        a.addi(x1, x1, 1);
+        a.bne(x1, x2, top);
+        a.halt();
+        let (core, _) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(1)), 100);
+        // 2 setup + 200 loop body + 1 halt.
+        assert_eq!(core.stats().committed, 203);
+        assert!(core.stats().cycles < 2000, "loop should be fast");
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let mut a = Asm::new("t");
+        let (x1, x2, x3) = (Reg::x(1), Reg::x(2), Reg::x(3));
+        a.li(x1, 0x1000);
+        a.li(x2, 0xabcd);
+        a.st(x2, x1, 0);
+        a.fence(); // drain the store before the load re-reads memory
+        a.ld(x3, x1, 0);
+        a.halt();
+        let (core, mem) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(3)), 0xabcd);
+        assert_eq!(mem.read_value(0x1000, 8), 0xabcd);
+    }
+
+    #[test]
+    fn store_forwarding_skips_memory() {
+        let mut a = Asm::new("t");
+        let (x1, x2, x3) = (Reg::x(1), Reg::x(2), Reg::x(3));
+        a.li(x1, 0x2000);
+        a.li(x2, 99);
+        a.st(x2, x1, 0);
+        a.ld(x3, x1, 0); // forwards from the store queue
+        a.halt();
+        let (core, _) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(3)), 99);
+        assert_eq!(core.stats().load_forwards, 1);
+    }
+
+    #[test]
+    fn data_segment_visible_to_loads() {
+        let mut a = Asm::new("t");
+        a.data(gm_isa::DataSegment::words(0x3000, &[111, 222]));
+        let (x1, x2, x3) = (Reg::x(1), Reg::x(2), Reg::x(3));
+        a.li(x1, 0x3000);
+        a.ld(x2, x1, 0);
+        a.ld(x3, x1, 8);
+        a.halt();
+        let (core, _) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(2)), 111);
+        assert_eq!(core.reg(Reg::x(3)), 222);
+    }
+
+    #[test]
+    fn mispredicted_branch_recovers_architecturally() {
+        // A data-dependent branch the predictor cannot know initially:
+        // x1 = 1 -> branch taken path must win.
+        let mut a = Asm::new("t");
+        let (x1, x2) = (Reg::x(1), Reg::x(2));
+        a.li(x1, 1);
+        let taken = a.label();
+        a.bne(x1, Reg::ZERO, taken);
+        a.li(x2, 111); // wrong path
+        a.halt();
+        a.bind(taken);
+        a.li(x2, 222);
+        a.halt();
+        let (core, _) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(2)), 222);
+    }
+
+    #[test]
+    fn wrong_path_execution_is_squashed_not_committed() {
+        // Train a loop-exit branch; the final iteration mispredicts and
+        // wrong-path instructions must not commit.
+        let mut a = Asm::new("t");
+        let (x1, x2, x3) = (Reg::x(1), Reg::x(2), Reg::x(3));
+        a.li(x1, 0);
+        a.li(x2, 50);
+        let top = a.here();
+        a.addi(x1, x1, 1);
+        a.bne(x1, x2, top);
+        a.li(x3, 1); // only reached after loop exit
+        a.halt();
+        let (core, _) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(1)), 50);
+        assert_eq!(core.reg(Reg::x(3)), 1);
+        assert!(core.stats().mispredicts >= 1, "loop exit mispredicts");
+        assert!(core.stats().squashed > 0);
+        // Architectural commit count is exactly the sequential count.
+        assert_eq!(core.stats().committed, 2 + 100 + 2);
+    }
+
+    #[test]
+    fn rdcycle_increases_monotonically() {
+        let mut a = Asm::new("t");
+        let (x1, x2) = (Reg::x(1), Reg::x(2));
+        a.rdcycle(x1);
+        a.div(Reg::x(3), Reg::x(4), Reg::x(5)); // some latency
+        a.rdcycle(x2);
+        a.halt();
+        let (core, _) = run(a.assemble());
+        assert!(core.reg(Reg::x(2)) >= core.reg(Reg::x(1)));
+    }
+
+    #[test]
+    fn jal_jalr_call_return() {
+        let mut a = Asm::new("t");
+        let (x1, x5) = (Reg::x(1), Reg::x(5));
+        let fun = a.label();
+        a.jal(x1, fun); // call: link in x1 (ra)
+        a.li(Reg::x(6), 5); // return lands here... pc 1
+        a.halt();
+        a.bind(fun);
+        a.li(x5, 77);
+        a.jalr(Reg::ZERO, x1, 0); // return
+        let (core, _) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(5)), 77);
+        assert_eq!(core.reg(Reg::x(6)), 5);
+    }
+
+    #[test]
+    fn ll_sc_succeeds_uncontended() {
+        let mut a = Asm::new("t");
+        let (x1, x2, x3) = (Reg::x(1), Reg::x(2), Reg::x(3));
+        a.li(x1, 0x4000);
+        a.ll(x2, x1);
+        a.addi(x2, x2, 1);
+        a.sc(x3, x2, x1);
+        a.halt();
+        let (core, mem) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(3)), 0, "sc must succeed");
+        assert_eq!(mem.read_value(0x4000, 8), 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let mut a = Asm::new("t");
+        a.li(Reg::x(1), 42);
+        a.div(Reg::x(2), Reg::x(1), Reg::ZERO);
+        a.halt();
+        let (core, _) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(2)), u64::MAX);
+    }
+
+    #[test]
+    fn stt_spectre_delays_dependent_loads() {
+        // Pointer chase under an unresolved branch: with taint tracking
+        // the dependent load must record delays.
+        let mut a = Asm::new("t");
+        a.data(gm_isa::DataSegment::words(0x5000, &[0x5100]));
+        a.data(gm_isa::DataSegment::words(0x5100, &[7]));
+        let (x1, x2, x3, x9) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(9));
+        a.li(x1, 0x5000);
+        a.li(x9, 1000);
+        let skip = a.label();
+        a.div(Reg::x(8), x9, Reg::x(7)); // slow op keeps the branch unresolved
+        a.beq(Reg::x(8), Reg::ZERO, skip); // resolved late; predicted early
+        a.ld(x2, x1, 0); // speculative load -> tainted dest
+        a.ld(x3, x2, 0); // tainted address -> delayed under STT
+        a.bind(skip);
+        a.halt();
+        let prog = a.assemble();
+
+        let mut cfg = CoreConfig::tiny();
+        cfg.taint_mode = Some(TaintMode::Spectre);
+        let mut core = Core::new(0, cfg, prog.clone());
+        let mut mem = FlatMem::new(4);
+        core.run(&mut mem, 1_000_000);
+        let delayed = core.stats().stt_delays;
+
+        let mut core2 = Core::new(0, CoreConfig::tiny(), prog);
+        let mut mem2 = FlatMem::new(4);
+        core2.run(&mut mem2, 1_000_000);
+        assert_eq!(core2.stats().stt_delays, 0, "no gate without STT");
+        assert!(delayed > 0, "STT must delay the tainted load");
+    }
+
+    #[test]
+    fn strict_fu_order_counts_delays_and_preserves_results() {
+        // Two divides where the younger's operands are ready first.
+        let mut a = Asm::new("t");
+        let (x1, x2, x3, x4) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4));
+        a.li(x1, 100);
+        a.li(x2, 5);
+        a.mul(x3, x1, x2); // x3 = 500, ready later
+        a.div(x4, x3, x2); // older divide waits on mul
+        a.div(Reg::x(5), x1, x2); // younger divide ready immediately
+        a.halt();
+        let prog = a.assemble();
+
+        let mut cfg = CoreConfig::tiny();
+        cfg.strict_fu_order = true;
+        let mut core = Core::new(0, cfg, prog.clone());
+        let mut mem = FlatMem::new(4);
+        core.run(&mut mem, 1_000_000);
+        assert_eq!(core.reg(Reg::x(4)), 100);
+        assert_eq!(core.reg(Reg::x(5)), 20);
+        assert!(
+            core.stats().strict_fu_delays > 0,
+            "younger div must wait for the older div to issue"
+        );
+    }
+
+    #[test]
+    fn fence_orders_memory_operations() {
+        let mut a = Asm::new("t");
+        let (x1, x2) = (Reg::x(1), Reg::x(2));
+        a.li(x1, 0x6000);
+        a.st(x1, x1, 0);
+        a.fence();
+        a.ld(x2, x1, 0);
+        a.halt();
+        let (core, _) = run(a.assemble());
+        assert_eq!(core.reg(Reg::x(2)), 0x6000);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt")]
+    fn runaway_program_detected() {
+        let mut a = Asm::new("t");
+        let top = a.here();
+        a.j(top); // infinite loop, no halt
+        let mut core = Core::new(0, CoreConfig::tiny(), a.assemble());
+        let mut mem = FlatMem::new(1);
+        core.run(&mut mem, 10_000);
+    }
+
+    #[test]
+    fn ipc_is_reasonable_for_ilp_heavy_code() {
+        let mut a = Asm::new("t");
+        for i in 1..9 {
+            a.li(Reg::x(i), i as i64);
+        }
+        let top = a.label();
+        a.bind(top);
+        // 8 independent adds per iteration.
+        for i in 1..9 {
+            a.addi(Reg::x(i), Reg::x(i), 1);
+        }
+        a.li(Reg::x(10), 2000);
+        a.addi(Reg::x(9), Reg::x(9), 1);
+        a.bne(Reg::x(9), Reg::x(10), top);
+        a.halt();
+        let mut core = Core::new(0, CoreConfig::micro2021(), a.assemble());
+        let mut mem = FlatMem::new(4);
+        core.run(&mut mem, 10_000_000);
+        assert!(
+            core.stats().ipc() > 2.0,
+            "8-wide core should sustain IPC > 2 on independent adds, got {}",
+            core.stats().ipc()
+        );
+    }
+}
+

@@ -1,0 +1,418 @@
+//! Load and store queues.
+//!
+//! The store queue buffers speculative stores until commit (no speculative
+//! store ever reaches the cache — §4.6, footnote 7) and forwards data to
+//! younger loads. The load queue tracks each load's address resolution and
+//! its in-flight memory access, including replay after a leapfrog
+//! cancellation (§4.5).
+//!
+//! Memory dependence handling is conservative: a load waits until every
+//! older store address is known, so there is no memory-order
+//! misspeculation to recover from. The LSQ naturally transmits data in
+//! forwards-program order, which the paper notes already provides Temporal
+//! Order for data flow.
+
+use crate::mem_if::Ticket;
+use std::collections::VecDeque;
+
+/// Outcome of checking a load against older stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardResult {
+    /// No older store overlaps: go to memory.
+    NoMatch,
+    /// Fully covered by an older store: use this value, skip memory.
+    Forward(u64),
+    /// Partially overlapped by the older store with this seq: wait until
+    /// it commits and drains.
+    Partial(u64),
+    /// The older store with this seq has an unresolved address: wait.
+    UnknownAddr(u64),
+}
+
+/// A buffered speculative store.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreEntry {
+    pub seq: u64,
+    /// Resolved at execute.
+    pub addr: Option<u64>,
+    pub size: u64,
+    /// Store data, available once the data operand was read at execute.
+    pub data: Option<u64>,
+}
+
+/// The store queue.
+#[derive(Clone, Debug)]
+pub struct StoreQueue {
+    entries: VecDeque<StoreEntry>,
+    capacity: usize,
+}
+
+impl StoreQueue {
+    /// Creates an empty queue.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            entries: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Remaining slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Allocates a slot at rename.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full.
+    pub fn push(&mut self, seq: u64, size: u64) {
+        assert!(self.free() > 0, "store queue overflow");
+        self.entries.push_back(StoreEntry {
+            seq,
+            addr: None,
+            size,
+            data: None,
+        });
+    }
+
+    /// Records the resolved address and data (execute).
+    pub fn resolve(&mut self, seq: u64, addr: u64, data: u64) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.seq == seq)
+            .expect("resolving a store not in the queue");
+        e.addr = Some(addr);
+        e.data = Some(data);
+    }
+
+    /// Removes the oldest store (commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not `seq` — stores must drain in order.
+    pub fn pop_head(&mut self, seq: u64) -> StoreEntry {
+        let head = self.entries.pop_front().expect("store queue empty");
+        assert_eq!(head.seq, seq, "stores must commit in order");
+        head
+    }
+
+    /// Drops all stores with `seq > above` (squash).
+    pub fn squash_above(&mut self, above: u64) {
+        while self.entries.back().is_some_and(|e| e.seq > above) {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Checks a load at `addr`/`size` with sequence `load_seq` against all
+    /// older stores, youngest first.
+    pub fn forward(&self, load_seq: u64, addr: u64, size: u64) -> ForwardResult {
+        for e in self.entries.iter().rev().filter(|e| e.seq < load_seq) {
+            let Some(saddr) = e.addr else {
+                return ForwardResult::UnknownAddr(e.seq);
+            };
+            let s_end = saddr + e.size;
+            let l_end = addr + size;
+            let overlaps = addr < s_end && saddr < l_end;
+            if !overlaps {
+                continue;
+            }
+            if saddr <= addr && l_end <= s_end {
+                let data = e.data.expect("resolved store always has data");
+                let shift = 8 * (addr - saddr);
+                let val = data >> shift;
+                let masked = if size == 8 {
+                    val
+                } else {
+                    val & ((1u64 << (8 * size)) - 1)
+                };
+                return ForwardResult::Forward(masked);
+            }
+            return ForwardResult::Partial(e.seq);
+        }
+        ForwardResult::NoMatch
+    }
+
+    /// Whether any older store's address is still unresolved.
+    pub fn any_unresolved_older(&self, load_seq: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.seq < load_seq && e.addr.is_none())
+    }
+
+    /// Number of buffered stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Progress of one load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadState {
+    /// Waiting for address operands.
+    WaitAddr,
+    /// Address known; waiting to be sent to memory (or blocked on an
+    /// older store / fence / taint delay).
+    Ready,
+    /// Sent to the memory system.
+    InFlight { ticket: Ticket },
+    /// Value available at `done_at`.
+    Done,
+}
+
+/// An in-flight load.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadEntry {
+    pub seq: u64,
+    pub addr: Option<u64>,
+    pub size: u64,
+    pub state: LoadState,
+    pub done_at: u64,
+    pub value: u64,
+    /// Earliest retry cycle after an MSHR-full rejection.
+    pub retry_at: u64,
+    /// Whether the data was retained in a core-local speculative
+    /// structure (GhostMinion); if not, commit may need a reload (§6.4).
+    pub filled_locally: bool,
+    /// Whether the value was forwarded from the store queue.
+    pub forwarded: bool,
+    /// STT: whether the address operands were tainted at AGU time.
+    pub addr_tainted: bool,
+}
+
+/// The load queue.
+#[derive(Clone, Debug)]
+pub struct LoadQueue {
+    entries: VecDeque<LoadEntry>,
+    capacity: usize,
+}
+
+impl LoadQueue {
+    /// Creates an empty queue.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            entries: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Remaining slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Allocates a slot at rename.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full.
+    pub fn push(&mut self, seq: u64, size: u64) {
+        assert!(self.free() > 0, "load queue overflow");
+        self.entries.push_back(LoadEntry {
+            seq,
+            addr: None,
+            size,
+            state: LoadState::WaitAddr,
+            done_at: 0,
+            value: 0,
+            retry_at: 0,
+            filled_locally: false,
+            forwarded: false,
+            addr_tainted: false,
+        });
+    }
+
+    /// Looks up a load by seq.
+    pub fn get(&self, seq: u64) -> Option<&LoadEntry> {
+        self.entries.iter().find(|e| e.seq == seq)
+    }
+
+    /// Mutable lookup by seq.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut LoadEntry> {
+        self.entries.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Iterates over loads, oldest first.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut LoadEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Removes the oldest load (commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not `seq`.
+    pub fn pop_head(&mut self, seq: u64) -> LoadEntry {
+        let head = self.entries.pop_front().expect("load queue empty");
+        assert_eq!(head.seq, seq, "loads must commit in order");
+        head
+    }
+
+    /// Drops all loads with `seq > above` (squash).
+    pub fn squash_above(&mut self, above: u64) {
+        while self.entries.back().is_some_and(|e| e.seq > above) {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Finds the load owning a cancelled in-flight ticket and reverts it
+    /// to `Ready` for replay. Returns its seq if found (it may have been
+    /// squashed in the meantime).
+    pub fn cancel_ticket(&mut self, ticket: Ticket) -> Option<u64> {
+        for e in self.entries.iter_mut() {
+            if e.state == (LoadState::InFlight { ticket }) {
+                e.state = LoadState::Ready;
+                return Some(e.seq);
+            }
+        }
+        None
+    }
+
+    /// Number of loads in the queue.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_forward_full_containment() {
+        let mut sq = StoreQueue::new(4);
+        sq.push(10, 8);
+        sq.resolve(10, 0x100, 0x1122_3344_5566_7788);
+        // Load of 4 bytes at +4 inside the store.
+        assert_eq!(
+            sq.forward(11, 0x104, 4),
+            ForwardResult::Forward(0x1122_3344)
+        );
+        // Full-width load.
+        assert_eq!(
+            sq.forward(11, 0x100, 8),
+            ForwardResult::Forward(0x1122_3344_5566_7788)
+        );
+    }
+
+    #[test]
+    fn store_forward_only_from_older() {
+        let mut sq = StoreQueue::new(4);
+        sq.push(20, 8);
+        sq.resolve(20, 0x100, 7);
+        // A load *older* than the store must not see it.
+        assert_eq!(sq.forward(15, 0x100, 8), ForwardResult::NoMatch);
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut sq = StoreQueue::new(4);
+        sq.push(10, 8);
+        sq.resolve(10, 0x100, 1);
+        sq.push(12, 8);
+        sq.resolve(12, 0x100, 2);
+        assert_eq!(sq.forward(15, 0x100, 8), ForwardResult::Forward(2));
+    }
+
+    #[test]
+    fn unknown_address_blocks() {
+        let mut sq = StoreQueue::new(4);
+        sq.push(10, 8); // unresolved
+        assert_eq!(sq.forward(11, 0x100, 8), ForwardResult::UnknownAddr(10));
+        assert!(sq.any_unresolved_older(11));
+        assert!(!sq.any_unresolved_older(10));
+    }
+
+    #[test]
+    fn partial_overlap_reported() {
+        let mut sq = StoreQueue::new(4);
+        sq.push(10, 4);
+        sq.resolve(10, 0x102, 0xaabbccdd);
+        // 8-byte load at 0x100 partially covered by 4-byte store at 0x102.
+        assert_eq!(sq.forward(11, 0x100, 8), ForwardResult::Partial(10));
+    }
+
+    #[test]
+    fn store_commit_in_order_and_squash() {
+        let mut sq = StoreQueue::new(4);
+        sq.push(10, 8);
+        sq.push(11, 8);
+        sq.push(12, 8);
+        sq.squash_above(10);
+        assert_eq!(sq.len(), 1);
+        sq.resolve(10, 0x0, 5);
+        let e = sq.pop_head(10);
+        assert_eq!(e.data, Some(5));
+        assert!(sq.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn store_commit_out_of_order_panics() {
+        let mut sq = StoreQueue::new(4);
+        sq.push(10, 8);
+        sq.push(11, 8);
+        sq.pop_head(11);
+    }
+
+    #[test]
+    fn load_queue_lifecycle() {
+        let mut lq = LoadQueue::new(2);
+        lq.push(5, 8);
+        assert_eq!(lq.free(), 1);
+        {
+            let e = lq.get_mut(5).unwrap();
+            e.addr = Some(0x40);
+            e.state = LoadState::Ready;
+        }
+        let e = lq.get(5).unwrap();
+        assert_eq!(e.addr, Some(0x40));
+        let popped = lq.pop_head(5);
+        assert_eq!(popped.seq, 5);
+        assert!(lq.is_empty());
+    }
+
+    #[test]
+    fn load_squash_drops_young() {
+        let mut lq = LoadQueue::new(4);
+        lq.push(5, 8);
+        lq.push(7, 8);
+        lq.push(9, 8);
+        lq.squash_above(6);
+        assert_eq!(lq.len(), 1);
+        assert!(lq.get(5).is_some());
+    }
+
+    #[test]
+    fn cancel_ticket_reverts_to_ready() {
+        let mut lq = LoadQueue::new(4);
+        lq.push(5, 8);
+        lq.get_mut(5).unwrap().state = LoadState::InFlight { ticket: 99 };
+        assert_eq!(lq.cancel_ticket(99), Some(5));
+        assert_eq!(lq.get(5).unwrap().state, LoadState::Ready);
+        assert_eq!(lq.cancel_ticket(99), None, "already cancelled");
+        assert_eq!(lq.cancel_ticket(1234), None, "unknown ticket");
+    }
+
+    #[test]
+    fn forward_mask_sizes() {
+        let mut sq = StoreQueue::new(2);
+        sq.push(1, 8);
+        sq.resolve(1, 0x0, u64::MAX);
+        assert_eq!(sq.forward(2, 0x0, 1), ForwardResult::Forward(0xff));
+        assert_eq!(sq.forward(2, 0x3, 2), ForwardResult::Forward(0xffff));
+    }
+}

@@ -1,0 +1,224 @@
+//! Physical register file, rename map and free list.
+//!
+//! Renaming gives each in-flight instruction a private destination
+//! register, which is what lets the core run far ahead speculatively —
+//! and therefore what gives transient instructions real values to leak.
+//! Recovery restores the map by walking squashed ROB entries youngest-
+//! first, returning each entry's allocation and reinstating the previous
+//! mapping.
+
+use gm_isa::{Reg, NUM_ARCH_REGS};
+use std::collections::VecDeque;
+
+/// A physical register name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PhysReg(pub u16);
+
+/// Physical register file with ready bits and taint bits, plus the
+/// architectural rename map and free list.
+///
+/// Integer and FP registers live in one flat physical file, partitioned
+/// by construction (arch regs 0–31 map into the integer partition,
+/// 32–63 into the FP partition) — the partitioning only affects free-list
+/// accounting, which is what bounds rename.
+#[derive(Clone, Debug)]
+pub struct RegFile {
+    vals: Vec<u64>,
+    ready: Vec<bool>,
+    /// STT taint: set when the value was produced by a speculatively
+    /// issued load or derived from one.
+    taint: Vec<bool>,
+    map: [PhysReg; NUM_ARCH_REGS],
+    free_int: VecDeque<PhysReg>,
+    free_fp: VecDeque<PhysReg>,
+}
+
+impl RegFile {
+    /// Builds a register file with `int_regs` + `fp_regs` physical
+    /// registers. The first 32 of each partition seed the architectural
+    /// map and start ready with value 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either partition cannot cover its 32 architectural
+    /// registers.
+    pub fn new(int_regs: usize, fp_regs: usize) -> Self {
+        assert!(int_regs > 32 && fp_regs > 32, "need > 32 regs per class");
+        let total = int_regs + fp_regs;
+        let mut map = [PhysReg(0); NUM_ARCH_REGS];
+        for i in 0..32 {
+            map[i] = PhysReg(i as u16);
+            map[32 + i] = PhysReg((int_regs + i) as u16);
+        }
+        let free_int = (32..int_regs).map(|i| PhysReg(i as u16)).collect();
+        let free_fp = (int_regs + 32..total).map(|i| PhysReg(i as u16)).collect();
+        Self {
+            vals: vec![0; total],
+            ready: vec![true; total],
+            taint: vec![false; total],
+            map,
+            free_int,
+            free_fp,
+        }
+    }
+
+    /// Current physical mapping of an architectural register.
+    pub fn lookup(&self, r: Reg) -> PhysReg {
+        self.map[r.index()]
+    }
+
+    /// Free physical registers available in `r`'s class.
+    pub fn free_count(&self, fp: bool) -> usize {
+        if fp {
+            self.free_fp.len()
+        } else {
+            self.free_int.len()
+        }
+    }
+
+    /// Renames `rd` to a fresh physical register. Returns the new
+    /// mapping and the previous one (for squash recovery and commit-time
+    /// freeing). `None` when the free list for the class is empty.
+    pub fn rename(&mut self, rd: Reg) -> Option<(PhysReg, PhysReg)> {
+        let list = if rd.is_fp() {
+            &mut self.free_fp
+        } else {
+            &mut self.free_int
+        };
+        let new = list.pop_front()?;
+        let old = self.map[rd.index()];
+        self.map[rd.index()] = new;
+        self.ready[new.0 as usize] = false;
+        self.taint[new.0 as usize] = false;
+        Some((new, old))
+    }
+
+    /// Undoes a rename during squash: reinstates `old` as the mapping of
+    /// `rd` and returns `new` to the free list.
+    pub fn unrename(&mut self, rd: Reg, new: PhysReg, old: PhysReg) {
+        debug_assert_eq!(self.map[rd.index()], new, "unrename out of order");
+        self.map[rd.index()] = old;
+        self.ready[new.0 as usize] = true; // free regs read as ready
+        self.taint[new.0 as usize] = false;
+        if rd.is_fp() {
+            self.free_fp.push_front(new);
+        } else {
+            self.free_int.push_front(new);
+        }
+    }
+
+    /// Frees the *previous* mapping of a committed instruction's
+    /// destination (it can no longer be referenced).
+    pub fn release(&mut self, rd: Reg, old: PhysReg) {
+        if rd.is_fp() {
+            self.free_fp.push_back(old);
+        } else {
+            self.free_int.push_back(old);
+        }
+        self.taint[old.0 as usize] = false;
+    }
+
+    /// Reads a physical register's value.
+    pub fn read(&self, p: PhysReg) -> u64 {
+        self.vals[p.0 as usize]
+    }
+
+    /// Whether a physical register's value has been produced.
+    pub fn is_ready(&self, p: PhysReg) -> bool {
+        self.ready[p.0 as usize]
+    }
+
+    /// Writes a result and marks it ready.
+    pub fn write(&mut self, p: PhysReg, val: u64) {
+        self.vals[p.0 as usize] = val;
+        self.ready[p.0 as usize] = true;
+    }
+
+    /// Marks a register's taint (STT).
+    pub fn set_taint(&mut self, p: PhysReg, tainted: bool) {
+        self.taint[p.0 as usize] = tainted;
+    }
+
+    /// Whether a register is tainted (STT).
+    pub fn is_tainted(&self, p: PhysReg) -> bool {
+        self.taint[p.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_map_reads_zero_and_ready() {
+        let rf = RegFile::new(48, 48);
+        for i in 0..NUM_ARCH_REGS {
+            let p = rf.lookup(Reg(i as u8));
+            assert!(rf.is_ready(p));
+            assert_eq!(rf.read(p), 0);
+        }
+        assert_eq!(rf.free_count(false), 16);
+        assert_eq!(rf.free_count(true), 16);
+    }
+
+    #[test]
+    fn rename_write_read_cycle() {
+        let mut rf = RegFile::new(48, 48);
+        let rd = Reg::x(5);
+        let (new, old) = rf.rename(rd).expect("free regs available");
+        assert_ne!(new, old);
+        assert!(!rf.is_ready(new));
+        assert_eq!(rf.lookup(rd), new);
+        rf.write(new, 77);
+        assert!(rf.is_ready(new));
+        assert_eq!(rf.read(rf.lookup(rd)), 77);
+    }
+
+    #[test]
+    fn unrename_restores_previous_mapping() {
+        let mut rf = RegFile::new(48, 48);
+        let rd = Reg::x(3);
+        let before = rf.lookup(rd);
+        let (new, old) = rf.rename(rd).unwrap();
+        assert_eq!(old, before);
+        rf.unrename(rd, new, old);
+        assert_eq!(rf.lookup(rd), before);
+        // The freed register is reusable immediately.
+        let (again, _) = rf.rename(rd).unwrap();
+        assert_eq!(again, new, "unrenamed register returns to front of list");
+    }
+
+    #[test]
+    fn classes_use_disjoint_free_lists() {
+        let mut rf = RegFile::new(34, 34);
+        // Two free int regs, two free fp regs.
+        assert!(rf.rename(Reg::x(1)).is_some());
+        assert!(rf.rename(Reg::x(2)).is_some());
+        assert!(rf.rename(Reg::x(3)).is_none(), "int free list exhausted");
+        assert!(rf.rename(Reg::f(1)).is_some(), "fp list unaffected");
+    }
+
+    #[test]
+    fn release_returns_register_for_reuse() {
+        let mut rf = RegFile::new(34, 34);
+        let rd = Reg::x(1);
+        let (_, old1) = rf.rename(rd).unwrap();
+        let (_, _old2) = rf.rename(rd).unwrap();
+        assert!(rf.rename(rd).is_none());
+        rf.release(rd, old1); // commit frees the prior mapping
+        assert!(rf.rename(rd).is_some());
+    }
+
+    #[test]
+    fn taint_set_cleared_on_rename_and_release() {
+        let mut rf = RegFile::new(48, 48);
+        let rd = Reg::x(9);
+        let (p, old) = rf.rename(rd).unwrap();
+        rf.set_taint(p, true);
+        assert!(rf.is_tainted(p));
+        rf.release(rd, old);
+        // Renaming reuses regs with taint cleared.
+        let (p2, _) = rf.rename(Reg::x(10)).unwrap();
+        assert!(!rf.is_tainted(p2));
+    }
+}

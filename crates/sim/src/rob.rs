@@ -1,0 +1,297 @@
+//! The reorder buffer.
+//!
+//! Entries are identified by their global sequence number (`seq`), which
+//! doubles as the paper's Temporal-Order timestamp: rename allocates
+//! sequence numbers in (speculative) program order, exactly as §4.4
+//! assigns timestamps at issue into the pipeline.
+
+use crate::regfile::PhysReg;
+use crate::bpred::RasCheckpoint;
+use gm_isa::Inst;
+use std::collections::VecDeque;
+
+/// Execution status of a ROB entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RobStatus {
+    /// Waiting in the issue queue (or LSQ) for operands/resources.
+    Waiting,
+    /// Issued to a functional unit or the memory system.
+    Issued,
+    /// Result produced; may commit when it reaches the head.
+    Done,
+}
+
+/// One in-flight instruction.
+#[derive(Clone, Debug)]
+pub struct RobEntry {
+    /// Global sequence number == Temporal-Order timestamp.
+    pub seq: u64,
+    /// Instruction index in the program.
+    pub pc: u64,
+    pub inst: Inst,
+    pub status: RobStatus,
+    /// New physical destination, if any.
+    pub phys_rd: Option<PhysReg>,
+    /// Previous mapping of the destination (squash/commit bookkeeping).
+    pub old_phys_rd: Option<PhysReg>,
+    /// Cycle the result becomes available.
+    pub done_at: u64,
+    /// Computed result value (for destination writeback at writeback
+    /// time; loads fill this from memory).
+    pub result: u64,
+    // ---- control flow ----
+    /// Predicted direction for conditional branches (or `true` for
+    /// unconditional).
+    pub pred_taken: bool,
+    /// Predicted next pc.
+    pub pred_target: u64,
+    /// Global-history snapshot for repair/training.
+    pub ghist_before: u64,
+    /// RAS repair checkpoint for call/return instructions.
+    pub ras_cp: Option<RasCheckpoint>,
+    /// Set at resolution when prediction was wrong.
+    pub mispredicted: bool,
+    /// Resolved direction (conditional branches).
+    pub taken: bool,
+    /// Resolved next pc.
+    pub actual_target: u64,
+    // ---- memory ----
+    /// Line address the instruction was fetched from (IMinion commit
+    /// notification, §4.8).
+    pub fetch_line: u64,
+    /// Load/store queue slot, identified by seq (the queues are searched
+    /// by seq).
+    pub is_mem: bool,
+    /// For loads: the resolved byte address (after AGU).
+    pub mem_addr: Option<u64>,
+    /// STT: whether this load was issued while speculative (its dest is
+    /// tainted).
+    pub issued_speculatively: bool,
+    /// STT: whether the computed result derives from tainted sources.
+    pub result_tainted: bool,
+}
+
+impl RobEntry {
+    fn new(seq: u64, pc: u64, inst: Inst, fetch_line: u64) -> Self {
+        Self {
+            seq,
+            pc,
+            inst,
+            status: RobStatus::Waiting,
+            phys_rd: None,
+            old_phys_rd: None,
+            done_at: 0,
+            result: 0,
+            pred_taken: false,
+            pred_target: pc + 1,
+            ghist_before: 0,
+            ras_cp: None,
+            mispredicted: false,
+            taken: false,
+            actual_target: pc + 1,
+            fetch_line,
+            is_mem: inst.op.is_mem(),
+            mem_addr: None,
+            issued_speculatively: false,
+            result_tainted: false,
+        }
+    }
+}
+
+/// The reorder buffer: a bounded FIFO of in-flight instructions ordered
+/// by sequence number.
+#[derive(Clone, Debug)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+}
+
+impl Rob {
+    /// Creates an empty ROB with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB needs at least one entry");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Remaining capacity.
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Number of in-flight instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ROB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Allocates an entry at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full (caller must check [`Rob::free`]) or when `seq`
+    /// does not exceed the current tail (program order violation).
+    pub fn push(&mut self, seq: u64, pc: u64, inst: Inst, fetch_line: u64) -> &mut RobEntry {
+        assert!(self.free() > 0, "ROB overflow");
+        if let Some(tail) = self.entries.back() {
+            assert!(seq > tail.seq, "sequence numbers must be monotonic");
+        }
+        self.entries.push_back(RobEntry::new(seq, pc, inst, fetch_line));
+        self.entries.back_mut().expect("just pushed")
+    }
+
+    /// Looks up an entry by sequence number.
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        self.index_of(seq).map(|i| &self.entries[i])
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        self.index_of(seq).map(move |i| &mut self.entries[i])
+    }
+
+    fn index_of(&self, seq: u64) -> Option<usize> {
+        self.entries
+            .binary_search_by_key(&seq, |e| e.seq)
+            .ok()
+    }
+
+    /// The oldest entry.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Mutable oldest entry.
+    pub fn head_mut(&mut self) -> Option<&mut RobEntry> {
+        self.entries.front_mut()
+    }
+
+    /// Removes and returns the oldest entry (commit).
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Removes every entry with `seq > above`, youngest first, invoking
+    /// `on_squash` for each (rename rollback). Returns how many were
+    /// squashed.
+    pub fn squash_above(&mut self, above: u64, mut on_squash: impl FnMut(&RobEntry)) -> usize {
+        let mut n = 0;
+        while self.entries.back().is_some_and(|e| e.seq > above) {
+            let e = self.entries.pop_back().expect("checked non-empty");
+            on_squash(&e);
+            n += 1;
+        }
+        n
+    }
+
+    /// Iterates oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Whether any entry older than `seq` satisfies `pred`.
+    pub fn any_older(&self, seq: u64, mut pred: impl FnMut(&RobEntry) -> bool) -> bool {
+        self.entries
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .any(|e| pred(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_isa::Inst;
+
+    fn rob3() -> Rob {
+        let mut r = Rob::new(8);
+        for seq in [10, 11, 12] {
+            r.push(seq, seq, Inst::nop(), 0);
+        }
+        r
+    }
+
+    #[test]
+    fn push_lookup_and_capacity() {
+        let mut r = Rob::new(2);
+        assert_eq!(r.free(), 2);
+        r.push(1, 0, Inst::nop(), 0);
+        assert_eq!(r.free(), 1);
+        assert!(r.get(1).is_some());
+        assert!(r.get(2).is_none());
+        r.push(5, 1, Inst::nop(), 0);
+        assert_eq!(r.free(), 0);
+        assert_eq!(r.get(5).unwrap().pc, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut r = Rob::new(1);
+        r.push(1, 0, Inst::nop(), 0);
+        r.push(2, 1, Inst::nop(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn non_monotonic_seq_panics() {
+        let mut r = Rob::new(4);
+        r.push(5, 0, Inst::nop(), 0);
+        r.push(5, 1, Inst::nop(), 0);
+    }
+
+    #[test]
+    fn commit_pops_in_order() {
+        let mut r = rob3();
+        assert_eq!(r.pop_head().unwrap().seq, 10);
+        assert_eq!(r.head().unwrap().seq, 11);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn squash_above_removes_youngest_first() {
+        let mut r = rob3();
+        let mut order = Vec::new();
+        let n = r.squash_above(10, |e| order.push(e.seq));
+        assert_eq!(n, 2);
+        assert_eq!(order, vec![12, 11], "youngest squashed first");
+        assert_eq!(r.len(), 1);
+        assert!(r.get(11).is_none());
+        assert!(r.get(10).is_some());
+    }
+
+    #[test]
+    fn squash_above_tail_is_noop() {
+        let mut r = rob3();
+        assert_eq!(r.squash_above(99, |_| panic!("nothing to squash")), 0);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn any_older_scans_strictly_older() {
+        let mut r = rob3();
+        r.get_mut(10).unwrap().status = RobStatus::Done;
+        assert!(!r.any_older(11, |e| e.status != RobStatus::Done));
+        assert!(r.any_older(12, |e| e.status != RobStatus::Done)); // 11 waiting
+        assert!(!r.any_older(10, |_| true), "head has nothing older");
+    }
+
+    #[test]
+    fn lookup_after_commits_and_squashes() {
+        let mut r = rob3();
+        r.pop_head();
+        r.squash_above(11, |_| {});
+        assert!(r.get(10).is_none());
+        assert!(r.get(12).is_none());
+        assert_eq!(r.get(11).unwrap().seq, 11);
+        // Push a new post-squash seq with a gap.
+        r.push(20, 7, Inst::nop(), 0);
+        assert_eq!(r.get(20).unwrap().pc, 7);
+    }
+}

@@ -1,0 +1,162 @@
+//! Named event counters.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of named, monotonically increasing event counters.
+///
+/// Counters are created lazily on first increment, so simulator components
+/// can record events without pre-registration. `BTreeMap` keeps iteration
+/// deterministic, which the tests and report output rely on.
+///
+/// # Examples
+///
+/// ```
+/// let mut c = gm_stats::Counters::new();
+/// c.add("loads", 3);
+/// c.inc("loads");
+/// assert_eq!(c.get("loads"), 4);
+/// assert_eq!(c.get("never-touched"), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments `name` by `amount`.
+    pub fn add(&mut self, name: &str, amount: u64) {
+        *self.values.entry(name.to_owned()).or_insert(0) += amount;
+    }
+
+    /// Returns the value of `name`, or zero if it was never incremented.
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Returns `get(num) / get(den)` as a fraction, or zero when the
+    /// denominator counter is zero.
+    pub fn fraction(&self, num: &str, den: &str) -> f64 {
+        let d = self.get(den);
+        if d == 0 {
+            0.0
+        } else {
+            self.get(num) as f64 / d as f64
+        }
+    }
+
+    /// Merges `other` into `self`, summing counters with the same name.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.values {
+            self.add(k, *v);
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counter names.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Removes all counters.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let c = Counters::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.get("x"), 0);
+    }
+
+    #[test]
+    fn inc_and_add_accumulate() {
+        let mut c = Counters::new();
+        c.inc("a");
+        c.add("a", 9);
+        c.inc("b");
+        assert_eq!(c.get("a"), 10);
+        assert_eq!(c.get("b"), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn fraction_handles_zero_denominator() {
+        let mut c = Counters::new();
+        assert_eq!(c.fraction("hits", "accesses"), 0.0);
+        c.add("hits", 1);
+        c.add("accesses", 4);
+        assert!((c.fraction("hits", "accesses") - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_by_name() {
+        let mut a = Counters::new();
+        a.add("x", 2);
+        let mut b = Counters::new();
+        b.add("x", 3);
+        b.add("y", 1);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Counters::new();
+        c.inc("zeta");
+        c.inc("alpha");
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn display_lists_counters() {
+        let mut c = Counters::new();
+        c.add("loads", 7);
+        assert_eq!(c.to_string(), "loads: 7\n");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = Counters::new();
+        c.inc("a");
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! Statistics collection and report emission for the GhostMinion reproduction.
+//!
+//! This crate provides the small pieces of numeric plumbing the evaluation
+//! harness needs: named event counters ([`Counters`]), summary math
+//! ([`geomean`], [`normalize`]), and table formatting that prints rows in
+//! the same style as the paper's figures ([`Table`]).
+
+mod counters;
+mod summary;
+mod table;
+
+pub use counters::Counters;
+pub use summary::{geomean, mean, normalize, Ratio};
+pub use table::{Align, Table};

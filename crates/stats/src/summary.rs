@@ -1,0 +1,104 @@
+//! Summary statistics used by the evaluation: geometric mean and
+//! normalisation against a baseline, as in the paper's "normalised
+//! execution time" figures.
+
+/// A value normalised against a baseline (e.g. execution time relative to
+/// the unsafe machine). `1.0` means "same as baseline"; `1.025` is the
+/// paper's 2.5% geomean overhead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ratio(pub f64);
+
+impl Ratio {
+    /// Overhead as a percentage: `Ratio(1.025).overhead_pct() == 2.5`.
+    pub fn overhead_pct(self) -> f64 {
+        (self.0 - 1.0) * 100.0
+    }
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// Returns `None` for an empty slice or if any value is non-positive
+/// (a non-positive execution-time ratio indicates a harness bug and must
+/// not be silently averaged).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(gm_stats::geomean(&[1.0, 4.0]), Some(2.0));
+/// assert_eq!(gm_stats::geomean(&[]), None);
+/// ```
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Normalises `value` against `baseline`, yielding the paper's
+/// "normalised execution time".
+///
+/// # Panics
+///
+/// Panics if `baseline` is zero or negative — a run that took no cycles is
+/// a harness bug that must surface immediately.
+pub fn normalize(value: f64, baseline: f64) -> Ratio {
+    assert!(
+        baseline > 0.0,
+        "normalisation baseline must be positive, got {baseline}"
+    );
+    Ratio(value / baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values_is_the_value() {
+        assert!((geomean(&[3.0, 3.0, 3.0]).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_rejects_empty_and_nonpositive() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+        assert_eq!(geomean(&[1.0, f64::NAN]), None);
+    }
+
+    #[test]
+    fn geomean_is_scale_invariant() {
+        let a = geomean(&[1.0, 2.0, 4.0]).unwrap();
+        let b = geomean(&[10.0, 20.0, 40.0]).unwrap();
+        assert!((b / a - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn normalize_gives_ratio() {
+        let r = normalize(102.5, 100.0);
+        assert!((r.0 - 1.025).abs() < 1e-12);
+        assert!((r.overhead_pct() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must be positive")]
+    fn normalize_panics_on_zero_baseline() {
+        let _ = normalize(1.0, 0.0);
+    }
+}

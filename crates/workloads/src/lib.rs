@@ -1,0 +1,128 @@
+//! Synthetic workload analogs for the GhostMinion evaluation.
+//!
+//! The paper evaluates on SPEC CPU2006, SPECspeed 2017 and Parsec. Those
+//! suites cannot be redistributed, so this crate provides one synthetic
+//! kernel per named benchmark, built from a small library of
+//! [`kernels`] whose parameters (working-set size, pointer-chasing
+//! depth, branch entropy, divide density, stride regularity) are chosen
+//! so each analog exhibits the *microarchitectural character* that
+//! drives that benchmark's behaviour in the paper's figures:
+//!
+//! * `mcf` — dependent pointer chasing over a multi-MiB arena with
+//!   data-dependent early-exit branches, so wrong-path execution does
+//!   useful prefetching (the paper's explanation of its ≈30% overhead);
+//! * `lbm`/`bwaves`/`libquantum` — large-footprint streaming where the
+//!   stride prefetcher and DRAM schedule dominate;
+//! * `gobmk`/`sjeng` — high branch entropy (game trees), stressing
+//!   squash/wipe paths;
+//! * `povray`/`calculix` — FP divide/sqrt density (the non-pipelined
+//!   units of §4.9 and SpectreRewind);
+//! * `omnetpp`/`xalancbmk`/`astar` — indexed/pointer loads whose
+//!   addresses depend on prior loads (the STT taint-delay worst case);
+//! * `gamess`/`hmmer`/`h264ref` — small working sets that live in the
+//!   L1, where every scheme should be near 1.0.
+//!
+//! Every program is deterministic (fixed seeds), self-contained
+//! (data segments included) and terminates with `halt`.
+
+pub mod kernels;
+mod parsec;
+mod spec2006;
+mod spec2017;
+
+pub use parsec::{parsec_analogs, ParsecWorkload};
+pub use spec2006::spec2006_analogs;
+pub use spec2017::spec2017_analogs;
+
+use gm_isa::Program;
+
+/// How big a run should be; chosen per harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny runs for unit tests (~5–20k dynamic instructions).
+    Test,
+    /// Medium runs for figure regeneration (~100–300k dynamic
+    /// instructions) — big enough for caches and predictors to warm.
+    Bench,
+    /// Long runs for confirmation sweeps.
+    Full,
+}
+
+impl Scale {
+    /// Multiplier applied to per-kernel base iteration counts.
+    pub fn factor(self) -> u64 {
+        match self {
+            Scale::Test => 1,
+            Scale::Bench => 12,
+            Scale::Full => 60,
+        }
+    }
+}
+
+/// A named single-threaded workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub name: &'static str,
+    pub program: Program,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factors_are_ordered() {
+        assert!(Scale::Test.factor() < Scale::Bench.factor());
+        assert!(Scale::Bench.factor() < Scale::Full.factor());
+    }
+
+    #[test]
+    fn spec2006_has_the_figure6_lineup() {
+        let w = spec2006_analogs(Scale::Test);
+        assert_eq!(w.len(), 25);
+        let names: Vec<&str> = w.iter().map(|w| w.name).collect();
+        for expect in ["mcf", "libquantum", "gobmk", "povray", "xalancbmk"] {
+            assert!(names.contains(&expect), "{expect} missing");
+        }
+    }
+
+    #[test]
+    fn spec2017_has_the_figure8_lineup() {
+        let w = spec2017_analogs(Scale::Test);
+        assert_eq!(w.len(), 18);
+    }
+
+    #[test]
+    fn parsec_has_the_figure7_lineup() {
+        let w = parsec_analogs(Scale::Test);
+        assert_eq!(w.len(), 7);
+        for p in &w {
+            assert_eq!(p.thread_programs.len(), 4, "{}: 4-thread Parsec", p.name);
+        }
+    }
+
+    #[test]
+    fn all_programs_are_statically_valid() {
+        for w in spec2006_analogs(Scale::Test) {
+            assert!(w.program.validate().is_ok(), "{} invalid", w.name);
+            assert!(!w.program.is_empty());
+        }
+        for w in spec2017_analogs(Scale::Test) {
+            assert!(w.program.validate().is_ok(), "{} invalid", w.name);
+        }
+        for p in parsec_analogs(Scale::Test) {
+            for t in &p.thread_programs {
+                assert!(t.validate().is_ok(), "{} invalid", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = spec2006_analogs(Scale::Test);
+        let b = spec2006_analogs(Scale::Test);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.program, y.program, "{} must be reproducible", x.name);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! A miniature Figure 6: run a few SPEC CPU2006 analogs under every
+//! scheme in the paper's comparison and print normalised execution time.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use ghostminion_repro::core::{Machine, Scheme, SystemConfig};
+use ghostminion_repro::workloads::{spec2006_analogs, Scale};
+
+fn main() {
+    let picks = ["gamess", "hmmer", "mcf", "xalancbmk"];
+    let workloads: Vec<_> = spec2006_analogs(Scale::Test)
+        .into_iter()
+        .filter(|w| picks.contains(&w.name))
+        .collect();
+    let schemes = Scheme::figure_lineup();
+
+    print!("{:12}", "workload");
+    for s in schemes.iter().skip(1) {
+        print!("  {:>18}", s.name());
+    }
+    println!();
+    for w in &workloads {
+        let base = Machine::new(schemes[0], SystemConfig::micro2021(), vec![w.program.clone()])
+            .run(u64::MAX)
+            .cycles as f64;
+        print!("{:12}", w.name);
+        for s in schemes.iter().skip(1) {
+            let c = Machine::new(*s, SystemConfig::micro2021(), vec![w.program.clone()])
+                .run(u64::MAX)
+                .cycles as f64;
+            print!("  {:>18.3}", c / base);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the GhostMinion reproduction.
+//!
+//! Re-exports the workspace crates so the examples and integration tests
+//! under the repository root can use one coherent namespace:
+//!
+//! * [`isa`] — instruction set and assembler DSL;
+//! * [`sim`] — the cycle-level out-of-order core;
+//! * [`mem`] — caches, MSHRs, coherence, prefetcher, DRAM;
+//! * [`core`](mod@core) — the paper's contribution: Strictness/Temporal
+//!   Order, the GhostMinion itself, and all baseline mitigation schemes;
+//! * [`workloads`] — SPEC CPU2006 / SPECspeed 2017 / Parsec analog kernels;
+//! * [`attacks`] — Spectre-family attack gadgets and harness;
+//! * [`energy`] — CACTI-calibrated energy model (paper §6.5);
+//! * [`stats`] — counters and report tables.
+
+pub use gm_attacks as attacks;
+pub use gm_energy as energy;
+pub use gm_isa as isa;
+pub use gm_mem as mem;
+pub use gm_sim as sim;
+pub use gm_stats as stats;
+pub use gm_workloads as workloads;
+pub use ghostminion as core;

@@ -1,0 +1,142 @@
+//! Cross-crate integration: every mitigation scheme must be functionally
+//! transparent — same architectural results, different timing only —
+//! across the whole workload suite, and random programs.
+
+use ghostminion_repro::core::{Machine, Scheme, SystemConfig};
+use ghostminion_repro::isa::{Asm, DataSegment, Program, Reg};
+use ghostminion_repro::workloads::{spec2006_analogs, Scale};
+use proptest::prelude::*;
+
+fn final_regs(scheme: Scheme, prog: &Program) -> Vec<u64> {
+    let mut m = Machine::new(scheme, SystemConfig::tiny(), vec![prog.clone()]);
+    m.run(50_000_000);
+    (0..32).map(|i| m.core(0).reg(Reg::x(i))).collect()
+}
+
+#[test]
+fn spec_analogs_agree_across_all_schemes() {
+    // Architectural accumulator values must match between the unsafe
+    // baseline and every protected scheme.
+    for w in spec2006_analogs(Scale::Test)
+        .into_iter()
+        .filter(|w| ["gamess", "hmmer", "bzip2", "omnetpp"].contains(&w.name))
+    {
+        let reference = final_regs(Scheme::unsafe_baseline(), &w.program);
+        for scheme in Scheme::figure_lineup().into_iter().skip(1) {
+            assert_eq!(
+                final_regs(scheme, &w.program),
+                reference,
+                "{} diverges under {}",
+                w.name,
+                scheme.name()
+            );
+        }
+    }
+}
+
+/// Builds a random but always-terminating program: straight-line ALU ops
+/// over a seeded register file, a couple of counted loops, loads and
+/// stores into a private arena, and data-dependent (but bounded)
+/// branches.
+fn random_program(ops: &[u8], seeds: &[u64]) -> Program {
+    let mut a = Asm::new("random");
+    let arena = 0x20_0000u64;
+    let words: Vec<u64> = seeds.iter().cycle().take(64).copied().collect();
+    a.data(DataSegment::words(arena, &words));
+    a.li(Reg::x(20), arena as i64);
+    for (i, &s) in seeds.iter().take(8).enumerate() {
+        a.li(Reg::x(1 + i as u8), (s & 0xffff) as i64);
+    }
+    for (k, &op) in ops.iter().enumerate() {
+        let rd = Reg::x(1 + (op % 8));
+        let rs1 = Reg::x(1 + ((op >> 3) % 8));
+        let rs2 = Reg::x(1 + ((op >> 5) % 4));
+        match op % 11 {
+            0 => a.add(rd, rs1, rs2),
+            1 => a.sub(rd, rs1, rs2),
+            2 => a.xor(rd, rs1, rs2),
+            3 => a.mul(rd, rs1, rs2),
+            4 => a.div(rd, rs1, rs2),
+            5 => a.slli(rd, rs1, (op % 7) as i64),
+            6 => {
+                // Bounded load from the arena.
+                a.andi(Reg::x(9), rs1, 0x1f8);
+                a.add(Reg::x(9), Reg::x(9), Reg::x(20));
+                a.ld(rd, Reg::x(9), 0);
+            }
+            7 => {
+                a.andi(Reg::x(9), rs1, 0x1f8);
+                a.add(Reg::x(9), Reg::x(9), Reg::x(20));
+                a.st(rs2, Reg::x(9), 0);
+            }
+            8 => {
+                // Data-dependent branch over one skipped instruction.
+                let skip = a.label();
+                a.andi(Reg::x(9), rs1, 1 + (k as i64 % 3));
+                a.beq(Reg::x(9), Reg::ZERO, skip);
+                a.addi(rd, rd, 1);
+                a.bind(skip);
+            }
+            9 => a.fadd(Reg::f(1), rs1, rs2),
+            _ => a.rem(rd, rs1, rs2),
+        }
+    }
+    // A counted loop to exercise the predictor and squash paths.
+    let (i, n) = (Reg::x(10), Reg::x(11));
+    a.li(i, 0);
+    a.li(n, 40);
+    let top = a.here();
+    a.addi(Reg::x(1), Reg::x(1), 3);
+    a.addi(i, i, 1);
+    a.bne(i, n, top);
+    a.halt();
+    a.assemble()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random programs produce identical architectural state under the
+    /// unsafe baseline and under GhostMinion: the mitigation never
+    /// changes semantics.
+    #[test]
+    fn random_programs_are_scheme_transparent(
+        ops in proptest::collection::vec(any::<u8>(), 10..80),
+        seeds in proptest::collection::vec(1u64..u64::MAX, 8),
+    ) {
+        let prog = random_program(&ops, &seeds);
+        let reference = final_regs(Scheme::unsafe_baseline(), &prog);
+        for scheme in [
+            Scheme::ghost_minion(),
+            Scheme::invisispec_future(),
+            Scheme::stt_spectre(),
+            Scheme::muontrap_flush(),
+        ] {
+            prop_assert_eq!(
+                final_regs(scheme, &prog).clone(),
+                reference.clone(),
+                "scheme {} diverged", scheme.name()
+            );
+        }
+    }
+
+    /// Under GhostMinion, the Strictness-Order auditor must find no
+    /// backwards-in-time flow from squashed to committed instructions,
+    /// for any random program.
+    #[test]
+    fn random_programs_never_violate_strictness_order(
+        ops in proptest::collection::vec(any::<u8>(), 10..80),
+        seeds in proptest::collection::vec(1u64..u64::MAX, 8),
+    ) {
+        let prog = random_program(&ops, &seeds);
+        let mut m = Machine::new(
+            Scheme::ghost_minion(),
+            SystemConfig::tiny(),
+            vec![prog],
+        );
+        m.enable_auditor();
+        m.run(50_000_000);
+        let violations = m.auditor().expect("enabled").violations();
+        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
+    }
+}
