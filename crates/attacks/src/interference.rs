@@ -118,6 +118,7 @@ fn program(secret_bit: u8) -> gm_isa::Program {
     a.rdcycle(t0);
     a.li(t, PTR_ADDR as i64);
     a.ld(p, t, 0); // address arrives via the L2 (~22 cycles)
+
     // Short dependent chain: v's address is ready a few cycles after p's
     // MSHR frees, so the retrying burst loads re-occupy the file first.
     a.addi(p, p, 0);

@@ -31,7 +31,9 @@ fn probe_order(salt: u64) -> Vec<u64> {
     let mut v: Vec<u64> = (0..256).collect();
     let mut state = 0x1234_5678_9abc_def0u64 ^ (salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     for i in (1..256usize).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         v.swap(i, j);
     }

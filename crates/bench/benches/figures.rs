@@ -4,8 +4,8 @@
 //! benches track the simulator's own performance per experiment.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gm_bench::{run_parsec, run_workload};
 use ghostminion::{GhostMinionConfig, Scheme};
+use gm_bench::{run_parsec, run_workload};
 use gm_workloads::{parsec_analogs, spec2006_analogs, spec2017_analogs, Scale};
 
 fn pick(names: &[&str], scale: Scale) -> Vec<gm_workloads::Workload> {

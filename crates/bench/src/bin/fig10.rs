@@ -7,8 +7,8 @@
 //! soplex stands out for timeleaps, and mcf/libquantum/omnetpp for
 //! leapfrogs.
 
-use gm_bench::{run_workload, scale_from_args};
 use ghostminion::Scheme;
+use gm_bench::{run_workload, scale_from_args};
 use gm_stats::Table;
 use gm_workloads::spec2006_analogs;
 

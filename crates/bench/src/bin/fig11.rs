@@ -5,8 +5,8 @@
 //! as lines leave the minion before commit and must be re-fetched from
 //! memory; asynchronous reload removes the spikes.
 
-use gm_bench::{emit, run_workload, scale_from_args};
 use ghostminion::{GhostMinionConfig, Scheme};
+use gm_bench::{emit, run_workload, scale_from_args};
 use gm_stats::{geomean, Table};
 use gm_workloads::spec2006_analogs;
 

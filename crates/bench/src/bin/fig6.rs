@@ -7,8 +7,8 @@
 //! omnetpp, xalancbmk) and ≈1.0 on compute-bound ones; InvisiSpec-Future
 //! the most expensive overall.
 
-use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
 use ghostminion::Scheme;
+use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
 use gm_workloads::spec2006_analogs;
 
 fn main() {

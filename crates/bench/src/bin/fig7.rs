@@ -3,8 +3,8 @@
 //! Paper shape: GhostMinion ≈ 0% overhead; InvisiSpec variants the worst
 //! (up to ≈2.4×), driven by commit-time coherence work.
 
-use gm_bench::{emit, run_parsec, scale_from_args};
 use ghostminion::Scheme;
+use gm_bench::{emit, run_parsec, scale_from_args};
 use gm_stats::{geomean, Table};
 use gm_workloads::parsec_analogs;
 

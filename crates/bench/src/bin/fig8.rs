@@ -4,8 +4,8 @@
 //! (GhostMinion ≈ 0.6% geomean); mcf and wrf keep visible GhostMinion
 //! overhead from lost misspeculated prefetching.
 
-use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
 use ghostminion::Scheme;
+use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
 use gm_workloads::spec2017_analogs;
 
 fn main() {

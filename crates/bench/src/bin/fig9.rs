@@ -7,8 +7,8 @@
 //! the coherence extension; the instruction side is ≈0; TimeGuarding
 //! over the timeless minion adds only ≈0.2%.
 
-use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
 use ghostminion::Scheme;
+use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
 use gm_workloads::spec2006_analogs;
 
 fn main() {

@@ -5,8 +5,8 @@
 //! slightly (the paper reports a small geomean *speedup*), because
 //! favouring older operations drains the reorder buffer faster.
 
-use gm_bench::{emit, run_workload, scale_from_args};
 use ghostminion::Scheme;
+use gm_bench::{emit, run_workload, scale_from_args};
 use gm_stats::{geomean, Table};
 use gm_workloads::spec2006_analogs;
 

@@ -5,9 +5,9 @@
 //! Paper shape: ≤3 µW data-side and ≤1 µW instruction-side maximum
 //! dynamic draw — negligible against ≈1 W per core.
 
-use gm_bench::{run_workload, scale_from_args};
 use ghostminion::Scheme;
-use gm_energy::{dynamic_uw, sram_model, section65_report};
+use gm_bench::{run_workload, scale_from_args};
+use gm_energy::{dynamic_uw, section65_report, sram_model};
 use gm_stats::Table;
 use gm_workloads::spec2006_analogs;
 

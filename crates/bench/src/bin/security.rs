@@ -8,8 +8,8 @@
 //! closes it with FU ordering on; full GhostMinion closes the cache and
 //! MSHR channels.
 
-use gm_attacks::{run_all, spectre_rewind, spectre_v1_string};
 use ghostminion::Scheme;
+use gm_attacks::{run_all, spectre_rewind, spectre_v1_string};
 use gm_stats::Table;
 
 fn main() {

@@ -23,11 +23,7 @@ pub fn run_workload(scheme: Scheme, w: &Workload) -> MachineResult {
 
 /// Runs a 4-thread Parsec workload under `scheme`.
 pub fn run_parsec(scheme: Scheme, w: &ParsecWorkload) -> MachineResult {
-    let mut m = Machine::new(
-        scheme,
-        SystemConfig::micro2021(),
-        w.thread_programs.clone(),
-    );
+    let mut m = Machine::new(scheme, SystemConfig::micro2021(), w.thread_programs.clone());
     m.run(MAX_CYCLES)
 }
 

@@ -255,6 +255,7 @@ impl MemorySystem {
     /// L2 access at `start`. Mutates L2 tags/MSHRs and DRAM state.
     /// Returns the data-arrival cycle, or `Err(retry_at)` if the L2 MSHRs
     /// are exhausted and cannot be leapfrogged.
+    #[allow(clippy::too_many_arguments)]
     fn shared_walk(
         &mut self,
         line: u64,
@@ -343,10 +344,7 @@ impl MemorySystem {
             if i == me {
                 return None;
             }
-            let owned = c
-                .l1d
-                .probe(line)
-                .is_some_and(|m| m.state.is_writable());
+            let owned = c.l1d.probe(line).is_some_and(|m| m.state.is_writable());
             owned.then_some(i)
         })
     }
@@ -420,10 +418,7 @@ impl MemorySystem {
             .alloc(line, done, req.ts, req.core, ticket, now)
             .expect("space checked");
         self.stats.add("energy_l1d_writes", 1);
-        if let Some(ev) = self.cores[req.core]
-            .l1d
-            .fill(line, MesiState::Exclusive, 0)
-        {
+        if let Some(ev) = self.cores[req.core].l1d.fill(line, MesiState::Exclusive, 0) {
             if ev.dirty {
                 self.l2.fill(ev.addr, MesiState::Modified, 0);
             }
@@ -668,7 +663,15 @@ impl MemorySystem {
             self.cores[req.core].noncoherent.insert(line);
         }
         let done = match self.shared_walk(
-            line, now + lat, now, true, false, req.ts, req.core, ticket, false,
+            line,
+            now + lat,
+            now,
+            true,
+            false,
+            req.ts,
+            req.core,
+            ticket,
+            false,
         ) {
             Ok(t) => t,
             Err(at) => return LoadResp::Retry { at },
@@ -703,7 +706,15 @@ impl MemorySystem {
             // The in-flight miss belongs to a squashed load: this access
             // must observe genuine fresh-miss timing.
             let walk = match self.shared_walk(
-                line, now + lat, now, true, false, req.ts, req.core, ticket, false,
+                line,
+                now + lat,
+                now,
+                true,
+                false,
+                req.ts,
+                req.core,
+                ticket,
+                false,
             ) {
                 Ok(t) => t,
                 Err(at) => return LoadResp::Retry { at },
@@ -740,7 +751,15 @@ impl MemorySystem {
             self.cores[req.core].noncoherent.insert(line);
         }
         let done = match self.shared_walk(
-            line, now + lat, now, true, false, req.ts, req.core, ticket, false,
+            line,
+            now + lat,
+            now,
+            true,
+            false,
+            req.ts,
+            req.core,
+            ticket,
+            false,
         ) {
             Ok(t) => t,
             Err(at) => return LoadResp::Retry { at },
@@ -923,7 +942,17 @@ impl MemoryBackend for MemorySystem {
         // Write-allocate, non-speculative (never leapfrogged: ts 0).
         let t = self.fresh_ticket();
         let done = self
-            .shared_walk(line, now + self.cfg.l1d.latency, now, false, true, 0, NO_OWNER, t, false)
+            .shared_walk(
+                line,
+                now + self.cfg.l1d.latency,
+                now,
+                false,
+                true,
+                0,
+                NO_OWNER,
+                t,
+                false,
+            )
             .unwrap_or(now + self.cfg.replay_latency);
         self.cores[req.core]
             .l1d_mshr
@@ -953,7 +982,15 @@ impl MemoryBackend for MemorySystem {
                 };
             }
             let walk = match self.shared_walk(
-                line, now + lat, now, true, true, req.ts, req.core, ticket, false,
+                line,
+                now + lat,
+                now,
+                true,
+                true,
+                req.ts,
+                req.core,
+                ticket,
+                false,
             ) {
                 Ok(t) => t,
                 Err(at) => return LoadResp::Retry { at },
@@ -1122,8 +1159,8 @@ impl MemoryBackend for MemorySystem {
     }
 
     fn sc_try(&mut self, core: usize, addr: u64, ts: u64) -> bool {
-        let ok = self.reservations[core]
-            .is_some_and(|(l, ll_ts)| l == line_addr(addr) && ll_ts < ts);
+        let ok =
+            self.reservations[core].is_some_and(|(l, ll_ts)| l == line_addr(addr) && ll_ts < ts);
         self.reservations[core] = None;
         ok
     }
@@ -1176,7 +1213,10 @@ mod tests {
         let mut m = ghost_sys();
         let t1 = done_at(m.load(&req(0, 0x1000, 5, 0)));
         assert!(m.l2.probe(0x1000).is_none(), "no speculative L2 fill");
-        assert!(m.cores[0].l1d.probe(0x1000).is_none(), "no speculative L1 fill");
+        assert!(
+            m.cores[0].l1d.probe(0x1000).is_none(),
+            "no speculative L1 fill"
+        );
         // But the minion holds it: same-or-newer timestamp hits.
         let t2 = done_at(m.load(&req(0, 0x1000, 6, t1)));
         assert_eq!(t2, t1 + m.cfg.l1d.latency);
@@ -1337,7 +1377,10 @@ mod tests {
         sreq.kind = AccessKind::Store;
         m.store_commit(&sreq, 0xbeef);
         assert!(m.cores[1].l1d.probe(0x1000).is_none(), "remote invalidated");
-        assert!(!m.sc_try(1, 0x1000, 9), "reservation cleared by remote store");
+        assert!(
+            !m.sc_try(1, 0x1000, 9),
+            "reservation cleared by remote store"
+        );
         assert_eq!(m.read_value(0x1000, 8), 0xbeef);
     }
 
@@ -1403,11 +1446,7 @@ mod tests {
             minion_ways: 2,
             ..GhostMinionConfig::default()
         };
-        let mut m = MemorySystem::new(
-            Scheme::ghost_minion_with(cfg),
-            HierarchyConfig::tiny(),
-            1,
-        );
+        let mut m = MemorySystem::new(Scheme::ghost_minion_with(cfg), HierarchyConfig::tiny(), 1);
         // Fill both ways with old stamps, then lose a newer line.
         done_at(m.load(&req(0, 0x10000, 5, 0)));
         done_at(m.load(&req(0, 0x20000, 6, 0)));
@@ -1422,11 +1461,7 @@ mod tests {
 
         // With async reload the line lands in the L1 anyway.
         cfg.async_reload = true;
-        let mut m2 = MemorySystem::new(
-            Scheme::ghost_minion_with(cfg),
-            HierarchyConfig::tiny(),
-            1,
-        );
+        let mut m2 = MemorySystem::new(Scheme::ghost_minion_with(cfg), HierarchyConfig::tiny(), 1);
         done_at(m2.load(&req(0, 0x10000, 5, 0)));
         done_at(m2.load(&req(0, 0x20000, 6, 0)));
         done_at(m2.load(&req(0, 0x30000, 20, 500)));

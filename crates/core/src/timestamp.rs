@@ -87,6 +87,7 @@ mod tests {
     #[test]
     fn read_rule_simple_cases() {
         let w = TsWindow::new(4); // window of 8
+
         // Equal timestamps: readable (an instruction reads its own fill).
         assert!(w.may_read(5, 5));
         // Older line: readable.

@@ -261,7 +261,8 @@ impl Asm {
     }
     pub fn jal(&mut self, rd: Reg, target: Label) {
         self.fixups.push((self.insts.len(), target));
-        self.insts.push(Inst::new(Op::Jal, rd, Reg::ZERO, Reg::ZERO, 0));
+        self.insts
+            .push(Inst::new(Op::Jal, rd, Reg::ZERO, Reg::ZERO, 0));
     }
     pub fn jalr(&mut self, rd: Reg, base: Reg, offset: i64) {
         self.emit(Inst::new(Op::Jalr, rd, base, Reg::ZERO, offset));

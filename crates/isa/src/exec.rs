@@ -47,20 +47,8 @@ pub fn alu_eval(op: Op, a: u64, b_: u64, imm: i64, cycle: u64) -> u64 {
         Srli => a.wrapping_shr((imm & 63) as u32),
         Li => imm as u64,
         Mul => a.wrapping_mul(b_),
-        Div => {
-            if b_ == 0 {
-                u64::MAX
-            } else {
-                a / b_
-            }
-        }
-        Rem => {
-            if b_ == 0 {
-                a
-            } else {
-                a % b_
-            }
-        }
+        Div => a.checked_div(b_).unwrap_or(u64::MAX),
+        Rem => a.checked_rem(b_).unwrap_or(a),
         Fadd => b(f(a) + f(b_)),
         Fsub => b(f(a) - f(b_)),
         Fmul => b(f(a) * f(b_)),
@@ -132,7 +120,10 @@ mod tests {
         assert_eq!(f64::from_bits(alu_eval(Op::Fadd, two, three, 0, 0)), 5.0);
         assert_eq!(f64::from_bits(alu_eval(Op::Fmul, two, three, 0, 0)), 6.0);
         assert_eq!(f64::from_bits(alu_eval(Op::Fdiv, three, two, 0, 0)), 1.5);
-        assert_eq!(f64::from_bits(alu_eval(Op::Fsqrt, 4.0f64.to_bits(), 0, 0, 0)), 2.0);
+        assert_eq!(
+            f64::from_bits(alu_eval(Op::Fsqrt, 4.0f64.to_bits(), 0, 0, 0)),
+            2.0
+        );
     }
 
     #[test]

@@ -81,11 +81,7 @@ impl fmt::Display for Inst {
             Addi | Andi | Ori | Xori | Slli | Srli => {
                 write!(f, "{} {}, {}, {}", self.op, self.rd, self.rs1, self.imm)
             }
-            _ => write!(
-                f,
-                "{} {}, {}, {}",
-                self.op, self.rd, self.rs1, self.rs2
-            ),
+            _ => write!(f, "{} {}, {}, {}", self.op, self.rd, self.rs1, self.rs2),
         }
     }
 }

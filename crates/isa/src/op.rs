@@ -237,8 +237,29 @@ impl Op {
         use Op::*;
         matches!(
             self,
-            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Div | Rem | Fadd
-                | Fsub | Fmul | Fdiv | St(_) | Sc | Beq | Bne | Blt | Bge | Bltu
+            Add | Sub
+                | And
+                | Or
+                | Xor
+                | Sll
+                | Srl
+                | Sra
+                | Slt
+                | Sltu
+                | Mul
+                | Div
+                | Rem
+                | Fadd
+                | Fsub
+                | Fmul
+                | Fdiv
+                | St(_)
+                | Sc
+                | Beq
+                | Bne
+                | Blt
+                | Bge
+                | Bltu
         )
     }
 

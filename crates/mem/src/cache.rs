@@ -303,16 +303,19 @@ impl Cache {
     /// set — the candidates a fill of `addr` could displace.
     pub fn set_lines(&self, addr: u64) -> impl Iterator<Item = (u64, LineMeta)> + '_ {
         let set = self.set_index(addr);
-        self.sets[set].iter().filter(|w| w.state.is_valid()).map(move |w| {
-            (
-                self.way_addr(set, w.tag),
-                LineMeta {
-                    state: w.state,
-                    dirty: w.dirty,
-                    stamp: w.stamp,
-                },
-            )
-        })
+        self.sets[set]
+            .iter()
+            .filter(|w| w.state.is_valid())
+            .map(move |w| {
+                (
+                    self.way_addr(set, w.tag),
+                    LineMeta {
+                        state: w.state,
+                        dirty: w.dirty,
+                        stamp: w.stamp,
+                    },
+                )
+            })
     }
 
     /// Number of ways in `addr`'s set currently invalid (free slots).
@@ -527,7 +530,7 @@ mod tests {
             ways: 2,
             latency: 2,
         });
-        for &addr in &[0u64, 0x1fc0, 0xdead_c0, 0x7fff_ffc0] {
+        for &addr in &[0u64, 0x1fc0, 0x00de_adc0, 0x7fff_ffc0] {
             c.fill(addr, MesiState::Shared, 0);
             let found: Vec<_> = c
                 .set_lines(addr)

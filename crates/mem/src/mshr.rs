@@ -65,7 +65,7 @@ impl MshrFile {
     /// Frees entries whose fills have completed by `now`.
     pub fn reclaim(&mut self, now: u64) {
         for e in &mut self.entries {
-            if e.map_or(false, |m| m.ready_at <= now) {
+            if e.is_some_and(|m| m.ready_at <= now) {
                 *e = None;
             }
         }
@@ -142,7 +142,7 @@ impl MshrFile {
     /// Returns the entry if the token was still live.
     pub fn steal(&mut self, token: MshrToken) -> Option<MshrEntry> {
         let e = self.entries.get_mut(token.slot)?;
-        if e.map_or(false, |m| m.gen == token.gen) {
+        if e.is_some_and(|m| m.gen == token.gen) {
             e.take()
         } else {
             None

@@ -118,9 +118,7 @@ impl StridePrefetcher {
             // deeper prefetch horizon.
             e.distance = (e.distance * 2).min(cfg.max_distance);
             let out: Vec<u64> = (dist..dist + cfg.degree)
-                .map(|k| {
-                    line_addr((addr as i64 + stride * k as i64).max(0) as u64)
-                })
+                .map(|k| line_addr((addr as i64 + stride * k as i64).max(0) as u64))
                 .collect();
             self.emitted += out.len() as u64;
             out
@@ -227,7 +225,10 @@ mod tests {
             p.train(0x400, 0x1000 + i * 64);
         }
         p.reset();
-        assert!(p.train(0x400, 0x1100).is_empty(), "must retrain after reset");
+        assert!(
+            p.train(0x400, 0x1100).is_empty(),
+            "must retrain after reset"
+        );
     }
 
     #[test]

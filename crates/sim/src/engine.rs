@@ -127,7 +127,10 @@ impl Core {
     pub fn new(id: usize, cfg: CoreConfig, program: Program) -> Self {
         cfg.validate();
         if let Err(i) = program.validate() {
-            panic!("program {:?} has invalid control target at {i}", program.name);
+            panic!(
+                "program {:?} has invalid control target at {i}",
+                program.name
+            );
         }
         let mut regs = RegFile::new(cfg.int_regs, cfg.fp_regs);
         for &(r, v) in &program.init_regs {
@@ -232,7 +235,10 @@ impl Core {
             self.tick(mem, now);
             now += 1;
         }
-        assert!(self.halted, "program did not halt within {max_cycles} cycles");
+        assert!(
+            self.halted,
+            "program did not halt within {max_cycles} cycles"
+        );
         now
     }
 
@@ -333,13 +339,7 @@ impl Core {
         }
     }
 
-    fn squash_after(
-        &mut self,
-        mem: &mut dyn MemoryBackend,
-        seq: u64,
-        redirect_pc: u64,
-        now: u64,
-    ) {
+    fn squash_after(&mut self, mem: &mut dyn MemoryBackend, seq: u64, redirect_pc: u64, now: u64) {
         let max_ts = self.next_seq.saturating_sub(1);
         let regs = &mut self.regs;
         let bpred = &mut self.bpred;
@@ -505,12 +505,9 @@ impl Core {
                 break;
             }
             let q = self.iq[qi];
-            let ready = q
-                .srcs
-                .iter()
-                .flatten()
-                .all(|&p| self.regs.is_ready(p));
-            let nonpipelined = matches!(q.class, FuClass::IntDiv | FuClass::FpDiv | FuClass::FpSqrt);
+            let ready = q.srcs.iter().flatten().all(|&p| self.regs.is_ready(p));
+            let nonpipelined =
+                matches!(q.class, FuClass::IntDiv | FuClass::FpDiv | FuClass::FpSqrt);
             // §4.9: strictness-ordered scheduling of non-pipelined units —
             // an op may not overtake an older, not-yet-issued op that may
             // use the same unit (all such ops share the Mult/Div pool).
@@ -680,7 +677,8 @@ impl Core {
                             if let Some(e) = self.rob.get_mut(seq) {
                                 e.issued_speculatively = speculative;
                             }
-                            self.events.push(Reverse((at.max(now + 1), seq, EV_LOAD, ticket)));
+                            self.events
+                                .push(Reverse((at.max(now + 1), seq, EV_LOAD, ticket)));
                             sent += 1;
                         }
                         LoadResp::Retry { at } => {
@@ -702,7 +700,9 @@ impl Core {
 
     fn rename(&mut self, now: u64) {
         for _ in 0..self.cfg.rename_width {
-            let Some(front) = self.fetch_queue.front() else { break };
+            let Some(front) = self.fetch_queue.front() else {
+                break;
+            };
             if front.avail_at > now {
                 break;
             }
@@ -728,16 +728,13 @@ impl Core {
             // Capture source mappings before renaming the destination
             // (an instruction may read and write the same register).
             let mut srcs = [None, None];
-            let mut si = 0;
-            for s in f.inst.sources() {
+            for (si, s) in f.inst.sources().enumerate() {
                 srcs[si] = Some(self.regs.lookup(s));
-                si += 1;
             }
-            let renamed = f.inst.dest().map(|rd| {
-                self.regs
-                    .rename(rd)
-                    .expect("free count checked above")
-            });
+            let renamed = f
+                .inst
+                .dest()
+                .map(|rd| self.regs.rename(rd).expect("free count checked above"));
 
             let e = self.rob.push(seq, f.pc, f.inst, f.fetch_line);
             e.pred_taken = f.pred_taken;
@@ -1227,4 +1224,3 @@ mod tests {
         );
     }
 }
-

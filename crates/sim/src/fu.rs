@@ -53,8 +53,7 @@ impl FuPool {
             FuClass::FpAlu => self.used_fp_alu < self.fp_alu,
             FuClass::IntMult => self.used_muldiv < self.muldiv,
             FuClass::IntDiv | FuClass::FpDiv | FuClass::FpSqrt => {
-                self.used_muldiv < self.muldiv
-                    && self.muldiv_busy_until.iter().any(|&b| b <= now)
+                self.used_muldiv < self.muldiv && self.muldiv_busy_until.iter().any(|&b| b <= now)
             }
         }
     }

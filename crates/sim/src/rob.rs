@@ -5,8 +5,8 @@
 //! sequence numbers in (speculative) program order, exactly as §4.4
 //! assigns timestamps at issue into the pipeline.
 
-use crate::regfile::PhysReg;
 use crate::bpred::RasCheckpoint;
+use crate::regfile::PhysReg;
 use gm_isa::Inst;
 use std::collections::VecDeque;
 
@@ -142,7 +142,8 @@ impl Rob {
         if let Some(tail) = self.entries.back() {
             assert!(seq > tail.seq, "sequence numbers must be monotonic");
         }
-        self.entries.push_back(RobEntry::new(seq, pc, inst, fetch_line));
+        self.entries
+            .push_back(RobEntry::new(seq, pc, inst, fetch_line));
         self.entries.back_mut().expect("just pushed")
     }
 
@@ -157,9 +158,7 @@ impl Rob {
     }
 
     fn index_of(&self, seq: u64) -> Option<usize> {
-        self.entries
-            .binary_search_by_key(&seq, |e| e.seq)
-            .ok()
+        self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
     }
 
     /// The oldest entry.
@@ -196,11 +195,8 @@ impl Rob {
     }
 
     /// Whether any entry older than `seq` satisfies `pred`.
-    pub fn any_older(&self, seq: u64, mut pred: impl FnMut(&RobEntry) -> bool) -> bool {
-        self.entries
-            .iter()
-            .take_while(|e| e.seq < seq)
-            .any(|e| pred(e))
+    pub fn any_older(&self, seq: u64, pred: impl FnMut(&RobEntry) -> bool) -> bool {
+        self.entries.iter().take_while(|e| e.seq < seq).any(pred)
     }
 }
 

@@ -161,9 +161,7 @@ pub fn indexed_gather(
     data_words: u64,
     passes: u64,
 ) {
-    let idx: Vec<u64> = (0..n_idx)
-        .map(|_| rng.gen_range(0..data_words))
-        .collect();
+    let idx: Vec<u64> = (0..n_idx).map(|_| rng.gen_range(0..data_words)).collect();
     a.data(DataSegment::words(idx_base, &idx));
     let data: Vec<u64> = (0..data_words.min(65536)).map(|i| i * 3).collect();
     a.data(DataSegment::words(data_base, &data));
@@ -250,8 +248,20 @@ pub fn fp_compute(a: &mut Asm, iters: u64, div_every: u64) {
     a.li(n, iters as i64);
     a.li(Reg::x(3), 3.0f64.to_bits() as i64);
     a.mv(Reg::x(4), Reg::x(3));
-    a.emit(gm_isa::Inst::new(gm_isa::Op::Fadd, x, Reg::x(3), Reg::ZERO, 0));
-    a.emit(gm_isa::Inst::new(gm_isa::Op::Fadd, y, Reg::x(4), Reg::ZERO, 0));
+    a.emit(gm_isa::Inst::new(
+        gm_isa::Op::Fadd,
+        x,
+        Reg::x(3),
+        Reg::ZERO,
+        0,
+    ));
+    a.emit(gm_isa::Inst::new(
+        gm_isa::Op::Fadd,
+        y,
+        Reg::x(4),
+        Reg::ZERO,
+        0,
+    ));
     let (dcnt, dmax) = (Reg::x(5), Reg::x(6));
     a.li(dcnt, 0);
     a.li(dmax, div_every as i64);

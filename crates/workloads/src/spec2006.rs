@@ -37,116 +37,241 @@ const M: u64 = 0x0100_0000;
 /// Fig. 6 plots them.
 pub fn spec2006_analogs(scale: Scale) -> Vec<Workload> {
     vec![
-        build("astar", 1, |a, r, f| {
-            // Grid pathfinding: dependent gathers + branchy heuristics.
-            indexed_gather(a, r, M, 2 * M, 2048, 1 << 18, f);
-            branchy(a, r, 3 * M, 512, 1);
-        }, scale),
-        build("bwaves", 2, |a, _, f| {
-            // FP streaming over a multi-MiB grid.
-            stream_sum(a, M, 1 << 17, f, 8, true);
-        }, scale),
-        build("bzip2", 3, |a, r, f| {
-            // Data-dependent branches over buffers, plus modest
-            // wrong-path prefetch reliance.
-            branchy(a, r, M, 2048, f / 3 + 1);
-            pointer_chase(a, r, 2 * M, 8192, 160 * f, 8, 3 * M);
-        }, scale),
-        build("cactusADM", 4, |a, _, f| {
-            stencil(a, M, 256, 64, f);
-        }, scale),
-        build("calculix", 5, |a, _, f| {
-            fp_compute(a, 900 * f, 6);
-            stencil(a, M, 64, 16, f / 2 + 1);
-        }, scale),
-        build("gamess", 6, |a, _, f| {
-            // Compute-bound, cache-resident: every scheme ≈ 1.0.
-            fp_compute(a, 1800 * f, 12);
-        }, scale),
-        build("gcc", 7, |a, r, f| {
-            // Irregular pointers + branches; relies on misspeculation
-            // prefetching (paper: hurt on the data side).
-            pointer_chase(a, r, M, 1 << 14, 500 * f, 12, 2 * M);
-            branchy(a, r, 3 * M, 512, 1);
-        }, scale),
-        build("GemsFDTD", 8, |a, _, f| {
-            stencil(a, M, 512, 128, f / 2 + 1);
-            stream_sum(a, 9 * M, 1 << 15, 1, 8, true);
-        }, scale),
-        build("gobmk", 9, |a, r, f| {
-            // Game tree: branch entropy dominates.
-            branchy(a, r, M, 4096, f / 2 + 1);
-        }, scale),
-        build("gromacs", 10, |a, _, f| {
-            fp_compute(a, 1000 * f, 8);
-            stream_sum(a, M, 1 << 13, 1, 1, true);
-        }, scale),
-        build("h264ref", 11, |a, _, f| {
-            dp_inner(a, M, 2048, f / 2 + 1);
-            stream_sum(a, 2 * M, 1 << 12, 1, 1, false);
-        }, scale),
-        build("hmmer", 12, |a, _, f| {
-            // L1-resident dynamic programming.
-            dp_inner(a, M, 4096, f / 2 + 1);
-        }, scale),
-        build("lbm", 13, |a, _, f| {
-            // Huge strided streams with stores: prefetcher + DRAM bound.
-            stencil(a, M, 1024, 32, f / 3 + 1);
-            stream_sum(a, 9 * M, 1 << 16, f / 3 + 1, 8, true);
-        }, scale),
-        build("leslie3d", 14, |a, _, f| {
-            // Multiple concurrent streams: sensitive to minion capacity.
-            stencil(a, M, 512, 64, f / 2 + 1);
-            stencil(a, 9 * M, 512, 64, f / 2 + 1);
-        }, scale),
-        build("libquantum", 15, |a, _, f| {
-            // Strided toggle sweep over a large vector.
-            stream_sum(a, M, 1 << 16, f, 8, false);
-        }, scale),
-        build("mcf", 16, |a, r, f| {
-            // The paper's worst case: dependent chase over ~4 MiB with
-            // slow-resolving rare branches -> wrong-path prefetching.
-            pointer_chase(a, r, M, 1 << 16, 1200 * f, 48, 9 * M);
-        }, scale),
-        build("milc", 17, |a, r, f| {
-            indexed_gather(a, r, M, 2 * M, 4096, 1 << 19, f / 2 + 1);
-        }, scale),
-        build("namd", 18, |a, r, f| {
-            fp_compute(a, 1200 * f, 16);
-            indexed_gather(a, r, M, 2 * M, 1024, 1 << 14, f / 2 + 1);
-        }, scale),
-        build("omnetpp", 19, |a, r, f| {
-            // Event-queue pointer churn: chases + gathers; the paper's
-            // leapfrog-heavy workload.
-            pointer_chase(a, r, M, 1 << 13, 600 * f, 6, 2 * M);
-            indexed_gather(a, r, 3 * M, 4 * M, 1024, 1 << 15, f / 3 + 1);
-        }, scale),
-        build("povray", 20, |a, r, f| {
-            // Divide/sqrt dense; small working set (spikes only with
-            // tiny minions, Fig. 11).
-            fp_compute(a, 1000 * f, 3);
-            branchy(a, r, M, 256, 1);
-        }, scale),
-        build("sjeng", 21, |a, r, f| {
-            branchy(a, r, M, 2048, f / 2 + 1);
-            dp_inner(a, 2 * M, 512, 1);
-        }, scale),
-        build("soplex", 22, |a, r, f| {
-            // Sparse-matrix gathers over a big arena: the paper's
-            // timeleap workload (same-line requests in MSHR windows).
-            indexed_gather(a, r, M, 2 * M, 8192, 1 << 20, f / 3 + 1);
-        }, scale),
-        build("tonto", 23, |a, _, f| {
-            fp_compute(a, 1500 * f, 10);
-        }, scale),
-        build("xalancbmk", 24, |a, r, f| {
-            pointer_chase(a, r, M, 1 << 12, 400 * f, 8, 2 * M);
-            indexed_gather(a, r, 3 * M, 4 * M, 1024, 1 << 16, f / 3 + 1);
-        }, scale),
-        build("zeusmp", 25, |a, r, f| {
-            stencil(a, M, 256, 128, f / 2 + 1);
-            pointer_chase(a, r, 9 * M, 4096, 80 * f, 10, 10 * M);
-        }, scale),
+        build(
+            "astar",
+            1,
+            |a, r, f| {
+                // Grid pathfinding: dependent gathers + branchy heuristics.
+                indexed_gather(a, r, M, 2 * M, 2048, 1 << 18, f);
+                branchy(a, r, 3 * M, 512, 1);
+            },
+            scale,
+        ),
+        build(
+            "bwaves",
+            2,
+            |a, _, f| {
+                // FP streaming over a multi-MiB grid.
+                stream_sum(a, M, 1 << 17, f, 8, true);
+            },
+            scale,
+        ),
+        build(
+            "bzip2",
+            3,
+            |a, r, f| {
+                // Data-dependent branches over buffers, plus modest
+                // wrong-path prefetch reliance.
+                branchy(a, r, M, 2048, f / 3 + 1);
+                pointer_chase(a, r, 2 * M, 8192, 160 * f, 8, 3 * M);
+            },
+            scale,
+        ),
+        build(
+            "cactusADM",
+            4,
+            |a, _, f| {
+                stencil(a, M, 256, 64, f);
+            },
+            scale,
+        ),
+        build(
+            "calculix",
+            5,
+            |a, _, f| {
+                fp_compute(a, 900 * f, 6);
+                stencil(a, M, 64, 16, f / 2 + 1);
+            },
+            scale,
+        ),
+        build(
+            "gamess",
+            6,
+            |a, _, f| {
+                // Compute-bound, cache-resident: every scheme ≈ 1.0.
+                fp_compute(a, 1800 * f, 12);
+            },
+            scale,
+        ),
+        build(
+            "gcc",
+            7,
+            |a, r, f| {
+                // Irregular pointers + branches; relies on misspeculation
+                // prefetching (paper: hurt on the data side).
+                pointer_chase(a, r, M, 1 << 14, 500 * f, 12, 2 * M);
+                branchy(a, r, 3 * M, 512, 1);
+            },
+            scale,
+        ),
+        build(
+            "GemsFDTD",
+            8,
+            |a, _, f| {
+                stencil(a, M, 512, 128, f / 2 + 1);
+                stream_sum(a, 9 * M, 1 << 15, 1, 8, true);
+            },
+            scale,
+        ),
+        build(
+            "gobmk",
+            9,
+            |a, r, f| {
+                // Game tree: branch entropy dominates.
+                branchy(a, r, M, 4096, f / 2 + 1);
+            },
+            scale,
+        ),
+        build(
+            "gromacs",
+            10,
+            |a, _, f| {
+                fp_compute(a, 1000 * f, 8);
+                stream_sum(a, M, 1 << 13, 1, 1, true);
+            },
+            scale,
+        ),
+        build(
+            "h264ref",
+            11,
+            |a, _, f| {
+                dp_inner(a, M, 2048, f / 2 + 1);
+                stream_sum(a, 2 * M, 1 << 12, 1, 1, false);
+            },
+            scale,
+        ),
+        build(
+            "hmmer",
+            12,
+            |a, _, f| {
+                // L1-resident dynamic programming.
+                dp_inner(a, M, 4096, f / 2 + 1);
+            },
+            scale,
+        ),
+        build(
+            "lbm",
+            13,
+            |a, _, f| {
+                // Huge strided streams with stores: prefetcher + DRAM bound.
+                stencil(a, M, 1024, 32, f / 3 + 1);
+                stream_sum(a, 9 * M, 1 << 16, f / 3 + 1, 8, true);
+            },
+            scale,
+        ),
+        build(
+            "leslie3d",
+            14,
+            |a, _, f| {
+                // Multiple concurrent streams: sensitive to minion capacity.
+                stencil(a, M, 512, 64, f / 2 + 1);
+                stencil(a, 9 * M, 512, 64, f / 2 + 1);
+            },
+            scale,
+        ),
+        build(
+            "libquantum",
+            15,
+            |a, _, f| {
+                // Strided toggle sweep over a large vector.
+                stream_sum(a, M, 1 << 16, f, 8, false);
+            },
+            scale,
+        ),
+        build(
+            "mcf",
+            16,
+            |a, r, f| {
+                // The paper's worst case: dependent chase over ~4 MiB with
+                // slow-resolving rare branches -> wrong-path prefetching.
+                pointer_chase(a, r, M, 1 << 16, 1200 * f, 48, 9 * M);
+            },
+            scale,
+        ),
+        build(
+            "milc",
+            17,
+            |a, r, f| {
+                indexed_gather(a, r, M, 2 * M, 4096, 1 << 19, f / 2 + 1);
+            },
+            scale,
+        ),
+        build(
+            "namd",
+            18,
+            |a, r, f| {
+                fp_compute(a, 1200 * f, 16);
+                indexed_gather(a, r, M, 2 * M, 1024, 1 << 14, f / 2 + 1);
+            },
+            scale,
+        ),
+        build(
+            "omnetpp",
+            19,
+            |a, r, f| {
+                // Event-queue pointer churn: chases + gathers; the paper's
+                // leapfrog-heavy workload.
+                pointer_chase(a, r, M, 1 << 13, 600 * f, 6, 2 * M);
+                indexed_gather(a, r, 3 * M, 4 * M, 1024, 1 << 15, f / 3 + 1);
+            },
+            scale,
+        ),
+        build(
+            "povray",
+            20,
+            |a, r, f| {
+                // Divide/sqrt dense; small working set (spikes only with
+                // tiny minions, Fig. 11).
+                fp_compute(a, 1000 * f, 3);
+                branchy(a, r, M, 256, 1);
+            },
+            scale,
+        ),
+        build(
+            "sjeng",
+            21,
+            |a, r, f| {
+                branchy(a, r, M, 2048, f / 2 + 1);
+                dp_inner(a, 2 * M, 512, 1);
+            },
+            scale,
+        ),
+        build(
+            "soplex",
+            22,
+            |a, r, f| {
+                // Sparse-matrix gathers over a big arena: the paper's
+                // timeleap workload (same-line requests in MSHR windows).
+                indexed_gather(a, r, M, 2 * M, 8192, 1 << 20, f / 3 + 1);
+            },
+            scale,
+        ),
+        build(
+            "tonto",
+            23,
+            |a, _, f| {
+                fp_compute(a, 1500 * f, 10);
+            },
+            scale,
+        ),
+        build(
+            "xalancbmk",
+            24,
+            |a, r, f| {
+                pointer_chase(a, r, M, 1 << 12, 400 * f, 8, 2 * M);
+                indexed_gather(a, r, 3 * M, 4 * M, 1024, 1 << 16, f / 3 + 1);
+            },
+            scale,
+        ),
+        build(
+            "zeusmp",
+            25,
+            |a, r, f| {
+                stencil(a, M, 256, 128, f / 2 + 1);
+                pointer_chase(a, r, 9 * M, 4096, 80 * f, 10, 10 * M);
+            },
+            scale,
+        ),
     ]
 }
 

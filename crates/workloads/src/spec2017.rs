@@ -33,73 +33,163 @@ const M: u64 = 0x0100_0000;
 /// Builds the 18 SPECspeed 2017 analogs, in Fig. 8 order.
 pub fn spec2017_analogs(scale: Scale) -> Vec<Workload> {
     vec![
-        build("bwaves", 1, |a, _, f| {
-            stream_sum(a, M, 1 << 17, f, 8, true);
-        }, scale),
-        build("cactuBSSN", 2, |a, _, f| {
-            stencil(a, M, 512, 64, f / 2 + 1);
-        }, scale),
-        build("cam4", 3, |a, _, f| {
-            stencil(a, M, 256, 64, f / 2 + 1);
-            fp_compute(a, 400 * f, 20);
-        }, scale),
-        build("deepsjeng", 4, |a, r, f| {
-            branchy(a, r, M, 4096, f / 2 + 1);
-        }, scale),
-        build("exchange2", 5, |a, r, f| {
-            // Integer puzzle solver: branchy, cache-resident.
-            branchy(a, r, M, 1024, f);
-            dp_inner(a, 2 * M, 512, 1);
-        }, scale),
-        build("fotonik3d", 6, |a, _, f| {
-            stencil(a, M, 512, 128, f / 3 + 1);
-        }, scale),
-        build("gcc", 7, |a, r, f| {
-            pointer_chase(a, r, M, 1 << 14, 350 * f, 10, 2 * M);
-            branchy(a, r, 3 * M, 512, 1);
-        }, scale),
-        build("imagick", 8, |a, _, f| {
-            fp_compute(a, 1200 * f, 9);
-            stream_sum(a, M, 1 << 13, 1, 1, true);
-        }, scale),
-        build("lbm", 9, |a, _, f| {
-            stencil(a, M, 1024, 32, f / 3 + 1);
-            stream_sum(a, 9 * M, 1 << 16, f / 3 + 1, 8, true);
-        }, scale),
-        build("leela", 10, |a, r, f| {
-            branchy(a, r, M, 2048, f / 2 + 1);
-            indexed_gather(a, r, 2 * M, 3 * M, 512, 1 << 13, 1);
-        }, scale),
-        build("mcf", 11, |a, r, f| {
-            pointer_chase(a, r, M, 1 << 16, 900 * f, 30, 9 * M);
-        }, scale),
-        build("nab", 12, |a, _, f| {
-            fp_compute(a, 1400 * f, 14);
-        }, scale),
-        build("perlbench", 13, |a, r, f| {
-            pointer_chase(a, r, M, 1 << 12, 200 * f, 6, 2 * M);
-            branchy(a, r, 3 * M, 1024, f / 3 + 1);
-        }, scale),
-        build("pop2", 14, |a, _, f| {
-            stencil(a, M, 512, 64, f / 2 + 1);
-            stream_sum(a, 9 * M, 1 << 14, 1, 8, true);
-        }, scale),
-        build("roms", 15, |a, _, f| {
-            stencil(a, M, 256, 128, f / 2 + 1);
-        }, scale),
-        build("wrf", 16, |a, r, f| {
-            // Paper: wrf is hurt by losing misspeculated data access.
-            stencil(a, M, 256, 64, f / 3 + 1);
-            pointer_chase(a, r, 9 * M, 1 << 14, 300 * f, 14, 10 * M);
-        }, scale),
-        build("xalancbmk", 17, |a, r, f| {
-            pointer_chase(a, r, M, 1 << 12, 300 * f, 8, 2 * M);
-            indexed_gather(a, r, 3 * M, 4 * M, 1024, 1 << 16, f / 3 + 1);
-        }, scale),
-        build("xz", 18, |a, r, f| {
-            branchy(a, r, M, 2048, f / 3 + 1);
-            indexed_gather(a, r, 2 * M, 3 * M, 2048, 1 << 17, f / 3 + 1);
-        }, scale),
+        build(
+            "bwaves",
+            1,
+            |a, _, f| {
+                stream_sum(a, M, 1 << 17, f, 8, true);
+            },
+            scale,
+        ),
+        build(
+            "cactuBSSN",
+            2,
+            |a, _, f| {
+                stencil(a, M, 512, 64, f / 2 + 1);
+            },
+            scale,
+        ),
+        build(
+            "cam4",
+            3,
+            |a, _, f| {
+                stencil(a, M, 256, 64, f / 2 + 1);
+                fp_compute(a, 400 * f, 20);
+            },
+            scale,
+        ),
+        build(
+            "deepsjeng",
+            4,
+            |a, r, f| {
+                branchy(a, r, M, 4096, f / 2 + 1);
+            },
+            scale,
+        ),
+        build(
+            "exchange2",
+            5,
+            |a, r, f| {
+                // Integer puzzle solver: branchy, cache-resident.
+                branchy(a, r, M, 1024, f);
+                dp_inner(a, 2 * M, 512, 1);
+            },
+            scale,
+        ),
+        build(
+            "fotonik3d",
+            6,
+            |a, _, f| {
+                stencil(a, M, 512, 128, f / 3 + 1);
+            },
+            scale,
+        ),
+        build(
+            "gcc",
+            7,
+            |a, r, f| {
+                pointer_chase(a, r, M, 1 << 14, 350 * f, 10, 2 * M);
+                branchy(a, r, 3 * M, 512, 1);
+            },
+            scale,
+        ),
+        build(
+            "imagick",
+            8,
+            |a, _, f| {
+                fp_compute(a, 1200 * f, 9);
+                stream_sum(a, M, 1 << 13, 1, 1, true);
+            },
+            scale,
+        ),
+        build(
+            "lbm",
+            9,
+            |a, _, f| {
+                stencil(a, M, 1024, 32, f / 3 + 1);
+                stream_sum(a, 9 * M, 1 << 16, f / 3 + 1, 8, true);
+            },
+            scale,
+        ),
+        build(
+            "leela",
+            10,
+            |a, r, f| {
+                branchy(a, r, M, 2048, f / 2 + 1);
+                indexed_gather(a, r, 2 * M, 3 * M, 512, 1 << 13, 1);
+            },
+            scale,
+        ),
+        build(
+            "mcf",
+            11,
+            |a, r, f| {
+                pointer_chase(a, r, M, 1 << 16, 900 * f, 30, 9 * M);
+            },
+            scale,
+        ),
+        build(
+            "nab",
+            12,
+            |a, _, f| {
+                fp_compute(a, 1400 * f, 14);
+            },
+            scale,
+        ),
+        build(
+            "perlbench",
+            13,
+            |a, r, f| {
+                pointer_chase(a, r, M, 1 << 12, 200 * f, 6, 2 * M);
+                branchy(a, r, 3 * M, 1024, f / 3 + 1);
+            },
+            scale,
+        ),
+        build(
+            "pop2",
+            14,
+            |a, _, f| {
+                stencil(a, M, 512, 64, f / 2 + 1);
+                stream_sum(a, 9 * M, 1 << 14, 1, 8, true);
+            },
+            scale,
+        ),
+        build(
+            "roms",
+            15,
+            |a, _, f| {
+                stencil(a, M, 256, 128, f / 2 + 1);
+            },
+            scale,
+        ),
+        build(
+            "wrf",
+            16,
+            |a, r, f| {
+                // Paper: wrf is hurt by losing misspeculated data access.
+                stencil(a, M, 256, 64, f / 3 + 1);
+                pointer_chase(a, r, 9 * M, 1 << 14, 300 * f, 14, 10 * M);
+            },
+            scale,
+        ),
+        build(
+            "xalancbmk",
+            17,
+            |a, r, f| {
+                pointer_chase(a, r, M, 1 << 12, 300 * f, 8, 2 * M);
+                indexed_gather(a, r, 3 * M, 4 * M, 1024, 1 << 16, f / 3 + 1);
+            },
+            scale,
+        ),
+        build(
+            "xz",
+            18,
+            |a, r, f| {
+                branchy(a, r, M, 2048, f / 3 + 1);
+                indexed_gather(a, r, 2 * M, 3 * M, 2048, 1 << 17, f / 3 + 1);
+            },
+            scale,
+        ),
     ]
 }
 

@@ -5,9 +5,7 @@
 //! cargo run --example ordering_demo
 //! ```
 
-use ghostminion_repro::core::order::{
-    strictness_allows, temporal_allows, Flow, FlowKind,
-};
+use ghostminion_repro::core::order::{strictness_allows, temporal_allows, Flow, FlowKind};
 use ghostminion_repro::core::OrderAuditor;
 
 fn main() {
@@ -15,7 +13,11 @@ fn main() {
     for (ts_x, committed, ts_y) in [(5u64, false, 10u64), (10, false, 5), (10, true, 5)] {
         println!(
             "  x(ts={ts_x}, commit={committed}) -> y(ts={ts_y}): {}",
-            if temporal_allows(ts_x, committed, ts_y) { "allowed" } else { "FORBIDDEN" }
+            if temporal_allows(ts_x, committed, ts_y) {
+                "allowed"
+            } else {
+                "FORBIDDEN"
+            }
         );
     }
 
@@ -23,7 +25,11 @@ fn main() {
     for (cx, cy) in [(true, true), (false, false), (false, true)] {
         println!(
             "  commit(x)={cx}, commit(y)={cy}: {}",
-            if strictness_allows(cx, cy) { "allowed" } else { "VIOLATION" }
+            if strictness_allows(cx, cy) {
+                "allowed"
+            } else {
+                "VIOLATION"
+            }
         );
     }
 

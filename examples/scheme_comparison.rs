@@ -22,9 +22,13 @@ fn main() {
     }
     println!();
     for w in &workloads {
-        let base = Machine::new(schemes[0], SystemConfig::micro2021(), vec![w.program.clone()])
-            .run(u64::MAX)
-            .cycles as f64;
+        let base = Machine::new(
+            schemes[0],
+            SystemConfig::micro2021(),
+            vec![w.program.clone()],
+        )
+        .run(u64::MAX)
+        .cycles as f64;
         print!("{:12}", w.name);
         for s in schemes.iter().skip(1) {
             let c = Machine::new(*s, SystemConfig::micro2021(), vec![w.program.clone()])

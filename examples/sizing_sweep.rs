@@ -32,7 +32,12 @@ fn main() {
             let c = Machine::new(scheme, SystemConfig::micro2021(), vec![w.program.clone()])
                 .run(u64::MAX)
                 .cycles as f64;
-            print!("  {:>5}B{}: {:.3}", bytes, if async_reload { "+async" } else { "      " }, c / base);
+            print!(
+                "  {:>5}B{}: {:.3}",
+                bytes,
+                if async_reload { "+async" } else { "      " },
+                c / base
+            );
         }
         println!();
     }

@@ -13,10 +13,7 @@ fn main() {
     println!("-- single byte --");
     for scheme in [Scheme::unsafe_baseline(), Scheme::ghost_minion()] {
         let o = spectre_v1(scheme);
-        println!(
-            "{:12}  leaked={}  ({})",
-            o.scheme, o.leaked, o.evidence
-        );
+        println!("{:12}  leaked={}  ({})", o.scheme, o.leaked, o.evidence);
     }
 
     println!("\n-- string recovery on the unsafe baseline --");

@@ -13,6 +13,7 @@
 //! * [`energy`] — CACTI-calibrated energy model (paper §6.5);
 //! * [`stats`] — counters and report tables.
 
+pub use ghostminion as core;
 pub use gm_attacks as attacks;
 pub use gm_energy as energy;
 pub use gm_isa as isa;
@@ -20,4 +21,3 @@ pub use gm_mem as mem;
 pub use gm_sim as sim;
 pub use gm_stats as stats;
 pub use gm_workloads as workloads;
-pub use ghostminion as core;

@@ -36,10 +36,7 @@ fn cache_resident_workloads_are_near_free() {
         let w = pick(name);
         let base = cycles(Scheme::unsafe_baseline(), &w);
         let gm = cycles(Scheme::ghost_minion(), &w) / base;
-        assert!(
-            gm < 1.06,
-            "{name} GhostMinion ratio {gm:.3} should be ≈1.0"
-        );
+        assert!(gm < 1.06, "{name} GhostMinion ratio {gm:.3} should be ≈1.0");
     }
 }
 

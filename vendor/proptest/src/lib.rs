@@ -1,0 +1,329 @@
+//! Offline, API-compatible shim for the subset of `proptest` 1.x this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! The [`proptest!`] macro expands each property into a plain `#[test]`
+//! that samples its strategies from a deterministic RNG for
+//! `ProptestConfig::cases` iterations. There is no shrinking: a failing
+//! case panics immediately, and the assertion message carries the
+//! sampled values when the property formats them in.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    (self.start as u128 + u128::from(rng.next_u64() % span)) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as u128, *self.end() as u128);
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = hi - lo + 1;
+                    (lo + u128::from(rng.next_u64()) % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// Strategy yielding one fixed value (proptest's `Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`, like `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `bool`; mirrors `proptest::bool::ANY`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub const ANY: BoolStrategy = BoolStrategy;
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector of `elem` samples.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honoured by the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; pure-math properties finish these
+            // instantly and simulation-heavy ones override via
+            // `with_cases`.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG driving strategy sampling (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded from the property name so every test draws an
+        /// independent, reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Shim for `prop_assert!`: plain `assert!` (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Shim for `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Shim for `prop_assert_ne!`: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Shim for the `proptest!` block macro: each property becomes a plain
+/// test running `cases` sampled iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_properties! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_properties! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_properties {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                )*
+                $body
+            }
+        }
+        $crate::__proptest_properties! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(a in 10u64..20, b in 0u8..5) {
+            prop_assert!((10..20).contains(&a));
+            prop_assert!(b < 5);
+        }
+
+        /// Vec strategies respect element and length bounds.
+        #[test]
+        fn vecs_in_bounds(v in crate::collection::vec(any::<u8>(), 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+        }
+
+        /// Fixed-length vec strategies produce exactly that length.
+        #[test]
+        fn fixed_len_vec(v in crate::collection::vec(0u64..100, 8)) {
+            prop_assert_eq!(v.len(), 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = crate::collection::vec(0u64..1000, 0..10);
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}
