@@ -1,27 +1,37 @@
 //! Criterion benches: scaled-down versions of each figure's sweep, so
 //! `cargo bench` exercises every experiment path with stable timing.
-//! The full paper-shaped tables come from the `fig*` binaries; these
-//! benches track the simulator's own performance per experiment.
+//! The full paper-shaped tables come from `gm-run` and the `fig*`
+//! binaries; these benches track the simulator's own performance per
+//! experiment.
+//!
+//! Like the binaries, the benches are thin clients of the harness: they
+//! pull workload units from `WorkloadSet` and run them through
+//! `gm_bench::run_unit` with the Table 1 configuration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ghostminion::{GhostMinionConfig, Scheme};
-use gm_bench::{run_parsec, run_workload};
-use gm_workloads::{parsec_analogs, spec2006_analogs, spec2017_analogs, Scale};
+use ghostminion::{GhostMinionConfig, Scheme, SystemConfig};
+use gm_bench::run_unit;
+use gm_workloads::{Scale, Suite, WorkloadSet, WorkloadUnit};
 
-fn pick(names: &[&str], scale: Scale) -> Vec<gm_workloads::Workload> {
-    spec2006_analogs(scale)
-        .into_iter()
-        .filter(|w| names.contains(&w.name))
-        .collect()
+/// The named units of a suite at test scale.
+fn units(suite: Suite, names: &[&str]) -> Vec<WorkloadUnit> {
+    let mut set = WorkloadSet::new(suite, Scale::Test);
+    set.retain_names(names);
+    assert_eq!(set.len(), names.len(), "missing workload in {suite:?}");
+    set.units
+}
+
+fn cfg() -> SystemConfig {
+    SystemConfig::micro2021()
 }
 
 fn bench_fig6(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6");
     g.sample_size(10);
-    for w in pick(&["gamess", "hmmer", "mcf"], Scale::Test) {
+    for w in units(Suite::Spec2006, &["gamess", "hmmer", "mcf"]) {
         for scheme in [Scheme::unsafe_baseline(), Scheme::ghost_minion()] {
             g.bench_function(format!("{}/{}", w.name, scheme.name()), |b| {
-                b.iter(|| run_workload(scheme, &w).cycles)
+                b.iter(|| run_unit(scheme, &w, cfg()).cycles)
             });
         }
     }
@@ -31,14 +41,10 @@ fn bench_fig6(c: &mut Criterion) {
 fn bench_fig7(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);
-    let parsec = parsec_analogs(Scale::Test);
-    let w = parsec
-        .iter()
-        .find(|p| p.name == "swaptions")
-        .expect("present");
+    let w = units(Suite::Parsec, &["swaptions"]).remove(0);
     for scheme in [Scheme::unsafe_baseline(), Scheme::ghost_minion()] {
         g.bench_function(format!("swaptions/{}", scheme.name()), |b| {
-            b.iter(|| run_parsec(scheme, w).cycles)
+            b.iter(|| run_unit(scheme, &w, cfg()).cycles)
         });
     }
     g.finish();
@@ -47,13 +53,10 @@ fn bench_fig7(c: &mut Criterion) {
 fn bench_fig8(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8");
     g.sample_size(10);
-    let w = spec2017_analogs(Scale::Test)
-        .into_iter()
-        .find(|w| w.name == "exchange2")
-        .expect("present");
+    let w = units(Suite::Spec2017, &["exchange2"]).remove(0);
     for scheme in [Scheme::unsafe_baseline(), Scheme::ghost_minion()] {
         g.bench_function(format!("exchange2/{}", scheme.name()), |b| {
-            b.iter(|| run_workload(scheme, &w).cycles)
+            b.iter(|| run_unit(scheme, &w, cfg()).cycles)
         });
     }
     g.finish();
@@ -62,14 +65,14 @@ fn bench_fig8(c: &mut Criterion) {
 fn bench_fig9_breakdown(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9");
     g.sample_size(10);
-    let w = pick(&["povray"], Scale::Test).remove(0);
+    let w = units(Suite::Spec2006, &["povray"]).remove(0);
     for scheme in [
         Scheme::dminion_timeless(),
         Scheme::dminion_only(),
         Scheme::ghost_minion(),
     ] {
         g.bench_function(format!("povray/{}", scheme.name()), |b| {
-            b.iter(|| run_workload(scheme, &w).cycles)
+            b.iter(|| run_unit(scheme, &w, cfg()).cycles)
         });
     }
     g.finish();
@@ -78,10 +81,10 @@ fn bench_fig9_breakdown(c: &mut Criterion) {
 fn bench_fig10_events(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
-    let w = pick(&["omnetpp"], Scale::Test).remove(0);
+    let w = units(Suite::Spec2006, &["omnetpp"]).remove(0);
     g.bench_function("omnetpp/event-counting", |b| {
         b.iter(|| {
-            let r = run_workload(Scheme::ghost_minion(), &w);
+            let r = run_unit(Scheme::ghost_minion(), &w, cfg());
             (
                 r.mem_stats.get("timeguards"),
                 r.mem_stats.get("timeleaps"),
@@ -95,14 +98,14 @@ fn bench_fig10_events(c: &mut Criterion) {
 fn bench_fig11_sizes(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10);
-    let w = pick(&["povray"], Scale::Test).remove(0);
+    let w = units(Suite::Spec2006, &["povray"]).remove(0);
     for bytes in [2048u64, 128] {
         let scheme = Scheme::ghost_minion_with(GhostMinionConfig {
             minion_bytes: bytes,
             ..GhostMinionConfig::default()
         });
         g.bench_function(format!("povray/{bytes}B"), |b| {
-            b.iter(|| run_workload(scheme, &w).cycles)
+            b.iter(|| run_unit(scheme, &w, cfg()).cycles)
         });
     }
     g.finish();

@@ -6,32 +6,9 @@
 //! Paper shape: all three are rare (< 7% of loads in the worst case);
 //! soplex stands out for timeleaps, and mcf/libquantum/omnetpp for
 //! leapfrogs.
-
-use ghostminion::Scheme;
-use gm_bench::{run_workload, scale_from_args};
-use gm_stats::Table;
-use gm_workloads::spec2006_analogs;
+//!
+//! Thin client of the `fig10` registry entry.
 
 fn main() {
-    let workloads = spec2006_analogs(scale_from_args());
-    let mut t = Table::new(vec![
-        "workload".into(),
-        "timeguards".into(),
-        "timeleaps".into(),
-        "leapfrogs".into(),
-    ]);
-    for w in &workloads {
-        let r = run_workload(Scheme::ghost_minion(), w);
-        let loads = r.mem_stats.get("loads").max(1) as f64;
-        t.row(vec![
-            w.name.to_owned(),
-            format!("{:.5}", r.mem_stats.get("timeguards") as f64 / loads),
-            format!("{:.5}", r.mem_stats.get("timeleaps") as f64 / loads),
-            format!("{:.5}", r.mem_stats.get("leapfrogs") as f64 / loads),
-        ]);
-    }
-    gm_bench::emit(
-        "Figure 10: proportion of loads triggering backwards-in-time prevention",
-        &t,
-    );
+    gm_bench::cli::figure_main("fig10");
 }

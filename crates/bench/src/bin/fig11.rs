@@ -1,51 +1,13 @@
 //! Regenerates Figure 11: GhostMinion sizing sensitivity — 4 KiB down to
-//! 128 B minions, plus the asynchronous-reload geomean.
+//! 128 B minions, plus a 128 B + asynchronous-reload column ("geo.
+//! async." in the paper).
 //!
 //! Paper shape: 4 KiB ≈ 2 KiB ≈ 1 KiB; spikes appear at 512 B and below
 //! as lines leave the minion before commit and must be re-fetched from
 //! memory; asynchronous reload removes the spikes.
-
-use ghostminion::{GhostMinionConfig, Scheme};
-use gm_bench::{emit, run_workload, scale_from_args};
-use gm_stats::{geomean, Table};
-use gm_workloads::spec2006_analogs;
-
-const SIZES: [u64; 6] = [4096, 2048, 1024, 512, 256, 128];
+//!
+//! Thin client of the `fig11` registry entry.
 
 fn main() {
-    let workloads = spec2006_analogs(scale_from_args());
-    let mut header = vec!["workload".to_owned()];
-    header.extend(SIZES.iter().map(|s| format!("{s}B")));
-    let mut t = Table::new(header);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); SIZES.len()];
-    let mut async_ratios: Vec<f64> = Vec::new();
-    for w in &workloads {
-        let base = run_workload(Scheme::unsafe_baseline(), w).cycles as f64;
-        let mut row = Vec::new();
-        for (i, &bytes) in SIZES.iter().enumerate() {
-            let s = Scheme::ghost_minion_with(GhostMinionConfig {
-                minion_bytes: bytes,
-                ..GhostMinionConfig::default()
-            });
-            let r = run_workload(s, w).cycles as f64 / base;
-            cols[i].push(r);
-            row.push(r);
-        }
-        // Asynchronous reload at the smallest size, geomean-only as in
-        // the paper ("geo. async.").
-        let s = Scheme::ghost_minion_with(GhostMinionConfig {
-            minion_bytes: 128,
-            async_reload: true,
-            ..GhostMinionConfig::default()
-        });
-        async_ratios.push(run_workload(s, w).cycles as f64 / base);
-        t.row_f64(w.name, &row);
-    }
-    let geo: Vec<f64> = cols.iter().map(|c| geomean(c).unwrap()).collect();
-    t.row_f64("geomean", &geo);
-    emit("Figure 11: GhostMinion sizing sensitivity", &t);
-    println!(
-        "geo. async. (128B minion + asynchronous reload): {:.3}",
-        geomean(&async_ratios).unwrap()
-    );
+    gm_bench::cli::figure_main("fig11");
 }

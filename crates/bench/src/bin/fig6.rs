@@ -6,13 +6,10 @@
 //! worst case; STT large on pointer-chasing workloads (astar, mcf,
 //! omnetpp, xalancbmk) and ≈1.0 on compute-bound ones; InvisiSpec-Future
 //! the most expensive overall.
-
-use ghostminion::Scheme;
-use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
-use gm_workloads::spec2006_analogs;
+//!
+//! Thin client of the `fig6` registry entry; `gm-run --filter fig6` runs
+//! the same sweep.
 
 fn main() {
-    let workloads = spec2006_analogs(scale_from_args());
-    let t = normalized_sweep(&workloads, &Scheme::figure_lineup(), run_workload);
-    emit("Figure 6: SPEC CPU2006 normalised execution time", &t);
+    gm_bench::cli::figure_main("fig6");
 }

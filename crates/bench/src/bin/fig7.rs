@@ -2,30 +2,10 @@
 //!
 //! Paper shape: GhostMinion ≈ 0% overhead; InvisiSpec variants the worst
 //! (up to ≈2.4×), driven by commit-time coherence work.
-
-use ghostminion::Scheme;
-use gm_bench::{emit, run_parsec, scale_from_args};
-use gm_stats::{geomean, Table};
-use gm_workloads::parsec_analogs;
+//!
+//! Thin client of the `fig7` registry entry — the same generalized
+//! normalised sweep as Figures 6/8/9, just over 4-thread workload units.
 
 fn main() {
-    let workloads = parsec_analogs(scale_from_args());
-    let schemes = Scheme::figure_lineup();
-    let mut header = vec!["workload".to_owned()];
-    header.extend(schemes.iter().skip(1).map(|s| s.name().to_owned()));
-    let mut t = Table::new(header);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
-    for w in &workloads {
-        let base = run_parsec(schemes[0], w).cycles as f64;
-        let mut row = Vec::new();
-        for (i, s) in schemes.iter().skip(1).enumerate() {
-            let r = run_parsec(*s, w).cycles as f64 / base;
-            cols[i].push(r);
-            row.push(r);
-        }
-        t.row_f64(w.name, &row);
-    }
-    let geo: Vec<f64> = cols.iter().map(|c| geomean(c).unwrap()).collect();
-    t.row_f64("geomean", &geo);
-    emit("Figure 7: Parsec (4 threads) normalised execution time", &t);
+    gm_bench::cli::figure_main("fig7");
 }

@@ -3,13 +3,9 @@
 //! Paper shape: lower overheads than SPEC2006 across the board
 //! (GhostMinion ≈ 0.6% geomean); mcf and wrf keep visible GhostMinion
 //! overhead from lost misspeculated prefetching.
-
-use ghostminion::Scheme;
-use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
-use gm_workloads::spec2017_analogs;
+//!
+//! Thin client of the `fig8` registry entry.
 
 fn main() {
-    let workloads = spec2017_analogs(scale_from_args());
-    let t = normalized_sweep(&workloads, &Scheme::figure_lineup(), run_workload);
-    emit("Figure 8: SPECspeed 2017 normalised execution time", &t);
+    gm_bench::cli::figure_main("fig8");
 }

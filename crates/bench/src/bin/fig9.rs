@@ -6,15 +6,9 @@
 //! Paper shape: most of the overhead comes from the data-side minion and
 //! the coherence extension; the instruction side is ≈0; TimeGuarding
 //! over the timeless minion adds only ≈0.2%.
-
-use ghostminion::Scheme;
-use gm_bench::{emit, normalized_sweep, run_workload, scale_from_args};
-use gm_workloads::spec2006_analogs;
+//!
+//! Thin client of the `fig9` registry entry.
 
 fn main() {
-    let workloads = spec2006_analogs(scale_from_args());
-    let mut schemes = vec![Scheme::unsafe_baseline()];
-    schemes.extend(Scheme::breakdown_lineup());
-    let t = normalized_sweep(&workloads, &schemes, run_workload);
-    emit("Figure 9: GhostMinion overhead breakdown", &t);
+    gm_bench::cli::figure_main("fig9");
 }

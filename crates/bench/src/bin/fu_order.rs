@@ -4,40 +4,9 @@
 //! Paper shape: no workload slows by more than ≈0.08%; several speed up
 //! slightly (the paper reports a small geomean *speedup*), because
 //! favouring older operations drains the reorder buffer faster.
-
-use ghostminion::Scheme;
-use gm_bench::{emit, run_workload, scale_from_args};
-use gm_stats::{geomean, Table};
-use gm_workloads::spec2006_analogs;
+//!
+//! Thin client of the `fu_order` registry entry.
 
 fn main() {
-    let workloads = spec2006_analogs(scale_from_args());
-    let mut t = Table::new(vec![
-        "workload".into(),
-        "strict/greedy".into(),
-        "strict_delays".into(),
-    ]);
-    let mut ratios = Vec::new();
-    for w in &workloads {
-        let greedy = run_workload(Scheme::ghost_minion(), w);
-        let mut strict_scheme = Scheme::ghost_minion();
-        strict_scheme.strict_fu_order = true;
-        let strict = run_workload(strict_scheme, w);
-        let ratio = strict.cycles as f64 / greedy.cycles as f64;
-        ratios.push(ratio);
-        t.row(vec![
-            w.name.to_owned(),
-            format!("{ratio:.4}"),
-            strict.core_stats[0].strict_fu_delays.to_string(),
-        ]);
-    }
-    t.row(vec![
-        "geomean".into(),
-        format!("{:.4}", geomean(&ratios).unwrap()),
-        String::new(),
-    ]);
-    emit(
-        "§4.9: strictness-ordered non-pipelined FU scheduling vs greedy",
-        &t,
-    );
+    gm_bench::cli::figure_main("fu_order");
 }

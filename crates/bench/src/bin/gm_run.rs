@@ -1,0 +1,13 @@
+//! `gm-run`: the experiment driver. Reproduces any subset of the
+//! paper's figures/tables from the shared registry, in parallel, with
+//! optional structured JSON output.
+//!
+//! ```text
+//! gm-run --list
+//! gm-run --filter fig6 --scale test --jobs 2 --json results.json
+//! gm-run --scale full               # every experiment, long workloads
+//! ```
+
+fn main() {
+    gm_bench::cli::gm_run_main();
+}

@@ -4,47 +4,9 @@
 //!
 //! Paper shape: ≤3 µW data-side and ≤1 µW instruction-side maximum
 //! dynamic draw — negligible against ≈1 W per core.
-
-use ghostminion::Scheme;
-use gm_bench::{run_workload, scale_from_args};
-use gm_energy::{dynamic_uw, section65_report, sram_model};
-use gm_stats::Table;
-use gm_workloads::spec2006_analogs;
+//!
+//! Thin client of the `power` registry entry.
 
 fn main() {
-    println!("== §6.5 CACTI-anchored SRAM model ==\n");
-    println!("{}", section65_report());
-
-    let minion = sram_model(2048);
-    let workloads = spec2006_analogs(scale_from_args());
-    let mut t = Table::new(vec![
-        "workload".into(),
-        "dminion(µW)".into(),
-        "iminion(µW)".into(),
-    ]);
-    let (mut max_d, mut max_i) = (0.0f64, 0.0f64);
-    for w in &workloads {
-        let r = run_workload(Scheme::ghost_minion(), w);
-        let d = dynamic_uw(
-            &minion,
-            r.mem_stats.get("energy_minion_reads"),
-            r.mem_stats.get("energy_minion_writes"),
-            r.cycles,
-        );
-        let i = dynamic_uw(
-            &minion,
-            r.mem_stats.get("energy_iminion_reads"),
-            r.mem_stats.get("energy_iminion_writes"),
-            r.cycles,
-        );
-        max_d = max_d.max(d);
-        max_i = max_i.max(i);
-        t.row(vec![
-            w.name.to_owned(),
-            format!("{d:.2}"),
-            format!("{i:.2}"),
-        ]);
-    }
-    gm_bench::emit("GhostMinion dynamic power across SPEC CPU2006", &t);
-    println!("maximum dynamic draw: data {max_d:.2} µW, instruction {max_i:.2} µW");
+    gm_bench::cli::figure_main("power");
 }

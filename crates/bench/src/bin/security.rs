@@ -7,42 +7,9 @@
 //! GhostMinion without §4.9 FU ordering leaks the divider channel and
 //! closes it with FU ordering on; full GhostMinion closes the cache and
 //! MSHR channels.
-
-use ghostminion::Scheme;
-use gm_attacks::{run_all, spectre_rewind, spectre_v1_string};
-use gm_stats::Table;
+//!
+//! Thin client of the `security` registry entry.
 
 fn main() {
-    let mut t = Table::new(vec![
-        "scheme".into(),
-        "spectre-v1".into(),
-        "rewind".into(),
-        "interference".into(),
-    ]);
-    for scheme in Scheme::figure_lineup() {
-        let outcomes = run_all(scheme);
-        t.row(vec![
-            scheme.name().to_owned(),
-            if outcomes[0].leaked { "LEAKS" } else { "safe" }.into(),
-            if outcomes[1].leaked { "LEAKS" } else { "safe" }.into(),
-            if outcomes[2].leaked { "LEAKS" } else { "safe" }.into(),
-        ]);
-    }
-    let mut strict = Scheme::ghost_minion();
-    strict.strict_fu_order = true;
-    let rewind = spectre_rewind(strict);
-    t.row(vec![
-        "GhostMinion+§4.9".into(),
-        "safe".into(),
-        if rewind.leaked { "LEAKS" } else { "safe" }.into(),
-        "safe".into(),
-    ]);
-    gm_bench::emit("Security litmus tests", &t);
-
-    let (recovered, planted) = spectre_v1_string(Scheme::unsafe_baseline(), b"GHOST");
-    println!(
-        "spectre-v1 string recovery on Unsafe: planted {:?}, recovered {:?}",
-        String::from_utf8_lossy(&planted),
-        String::from_utf8_lossy(&recovered)
-    );
+    gm_bench::cli::figure_main("security");
 }

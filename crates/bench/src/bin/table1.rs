@@ -1,57 +1,8 @@
-//! Regenerates Table 1: the simulated system configuration.
-
-use ghostminion::SystemConfig;
+//! Regenerates Table 1: the simulated system configuration, as a
+//! component/configuration table.
+//!
+//! Thin client of the `table1` registry entry (no simulation involved).
 
 fn main() {
-    let cfg = SystemConfig::micro2021();
-    let c = cfg.core;
-    let h = cfg.hierarchy;
-    println!("== Table 1: system experimental setup ==\n");
-    println!("Core      {}-wide out-of-order, 2.0 GHz", c.fetch_width);
-    println!(
-        "Pipeline  {}-entry ROB, {}-entry IQ, {}-entry LQ, {}-entry SQ,",
-        c.rob_entries, c.iq_entries, c.lq_entries, c.sq_entries
-    );
-    println!(
-        "          {} Int / {} FP registers, {} Int ALUs, {} FP ALUs, {} Mult/Div ALUs",
-        c.int_regs, c.fp_regs, c.int_alu, c.fp_alu, c.muldiv
-    );
-    println!(
-        "Predictor tournament 2-bit, {}-entry local, {} global, {} choice, {} BTB, {} RAS",
-        c.bpred.local_entries,
-        c.bpred.global_entries,
-        c.bpred.choice_entries,
-        c.bpred.btb_entries,
-        c.bpred.ras_entries
-    );
-    println!(
-        "L1 ICache {} KiB, {}-way, {}-cycle, {} MSHRs",
-        h.l1i.size_bytes / 1024,
-        h.l1i.ways,
-        h.l1i.latency,
-        h.l1_mshrs
-    );
-    println!(
-        "L1 DCache {} KiB, {}-way, {}-cycle, {} MSHRs",
-        h.l1d.size_bytes / 1024,
-        h.l1d.ways,
-        h.l1d.latency,
-        h.l1_mshrs
-    );
-    println!("Minions   2 KiB data + 2 KiB instruction, 2-way, accessed with I/D cache");
-    println!(
-        "L2 Cache  {} MiB shared, {}-way, {}-cycle, {} MSHRs, stride prefetcher (64-entry RPT)",
-        h.l2.size_bytes / 1024 / 1024,
-        h.l2.ways,
-        h.l2.latency,
-        h.l2_mshrs
-    );
-    println!(
-        "Memory    DDR3-1600-like: {} banks, {} KiB rows, tCAS/tRCD/tRP = {}/{}/{} cycles",
-        h.dram.banks,
-        h.dram.row_bytes / 1024,
-        h.dram.t_cas,
-        h.dram.t_rcd,
-        h.dram.t_rp
-    );
+    gm_bench::cli::figure_main("table1");
 }

@@ -1,0 +1,261 @@
+//! Argument parsing and `main` bodies for the figure binaries and the
+//! `gm-run` driver.
+//!
+//! Parsing is strict: unknown flags print usage and exit non-zero
+//! instead of being silently ignored.
+
+use crate::experiment::{self, Experiment};
+use crate::report::{experiment_json, run_experiment};
+use crate::runner::Runner;
+use gm_stats::Json;
+use gm_workloads::Scale;
+
+/// Parsed command-line options, shared by `gm-run` and the per-figure
+/// binaries (which do not take `--list`/`--filter`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    pub scale: Scale,
+    /// Worker threads; 0 = available parallelism.
+    pub jobs: usize,
+    /// Write structured results to this path.
+    pub json: Option<String>,
+    /// List registered experiments instead of running.
+    pub list: bool,
+    /// Substring filter selecting experiments to run (gm-run only).
+    pub filter: Option<String>,
+    pub help: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Test,
+            jobs: 0,
+            json: None,
+            list: false,
+            filter: None,
+            help: false,
+        }
+    }
+}
+
+/// Usage text. `selection` adds the `gm-run`-only flags.
+pub fn usage(program: &str, selection: bool) -> String {
+    let mut u = format!(
+        "usage: {program} [options]\n\
+         \n\
+         options:\n\
+         \x20 --scale <test|bench|full>  workload scale (default: test)\n\
+         \x20 --full                     alias for --scale full\n\
+         \x20 --bench                    alias for --scale bench\n\
+         \x20 --jobs <N>                 worker threads (default: available parallelism)\n\
+         \x20 --json <PATH>              write structured results to PATH\n\
+         \x20 --help                     show this help\n"
+    );
+    if selection {
+        u.push_str(
+            "\x20 --list                     list registered experiments and exit\n\
+             \x20 --filter <SUBSTR>          run only experiments whose name contains SUBSTR\n",
+        );
+    }
+    u
+}
+
+/// Parses `args` (without the program name). `selection` enables
+/// `--list`/`--filter`. Returns a human-readable error for unknown
+/// flags, missing values, or malformed values.
+pub fn parse(args: &[String], selection: bool) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = value("--scale", &mut it)?;
+                opts.scale = Scale::from_name(&v)
+                    .ok_or_else(|| format!("invalid --scale {v:?} (expected test|bench|full)"))?;
+            }
+            "--full" => opts.scale = Scale::Full,
+            "--bench" => opts.scale = Scale::Bench,
+            "--jobs" => {
+                let v = value("--jobs", &mut it)?;
+                opts.jobs =
+                    v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("invalid --jobs {v:?} (expected a positive integer)")
+                    })?;
+            }
+            "--json" => opts.json = Some(value("--json", &mut it)?),
+            "--list" if selection => opts.list = true,
+            "--filter" if selection => opts.filter = Some(value("--filter", &mut it)?),
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_or_exit(program: &str, selection: bool) -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args, selection) {
+        Ok(opts) => {
+            if opts.help {
+                print!("{}", usage(program, selection));
+                std::process::exit(0);
+            }
+            opts
+        }
+        Err(e) => {
+            eprint!("{program}: {e}\n\n{}", usage(program, selection));
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Runs `experiments` with `opts`, printing each report and writing the
+/// combined JSON if requested.
+fn run_and_emit(program: &str, experiments: &[Experiment], opts: &Options) {
+    let runner = Runner::new(opts.jobs);
+    let mut emitted = Vec::new();
+    for exp in experiments {
+        let out = run_experiment(&runner, exp, opts.scale);
+        for line in &out.preamble {
+            println!("{line}");
+        }
+        crate::emit(exp.title, &out.table);
+        for line in &out.postamble {
+            println!("{line}");
+        }
+        if opts.json.is_some() {
+            emitted.push(experiment_json(exp, opts.scale, &out));
+        }
+    }
+    if let Some(path) = &opts.json {
+        let mut doc = Json::object();
+        doc.set("generator", program)
+            .set("scale", opts.scale.name())
+            .set("experiments", Json::Array(emitted));
+        if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+            eprintln!("{program}: cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}
+
+/// `main` body of a single-figure binary: strict flag parsing, then the
+/// named registry experiment.
+pub fn figure_main(name: &str) {
+    let opts = parse_or_exit(name, false);
+    let exp =
+        experiment::find(name).unwrap_or_else(|| panic!("{name} is not a registered experiment"));
+    run_and_emit(name, &[exp], &opts);
+}
+
+/// `main` body of the `gm-run` driver: `--list`, `--filter`, or the
+/// whole registry.
+pub fn gm_run_main() {
+    let opts = parse_or_exit("gm-run", true);
+    let selected = match &opts.filter {
+        Some(pattern) => experiment::matching(pattern),
+        None => experiment::registry(),
+    };
+    if opts.list {
+        // --list respects --filter, so a filter can be previewed
+        // without running it.
+        let mut t = gm_stats::Table::new(vec!["experiment".into(), "title".into()]);
+        for e in &selected {
+            t.row(vec![e.name.to_owned(), e.title.to_owned()]);
+        }
+        print!("{}", t.render());
+        return;
+    }
+    if selected.is_empty() {
+        eprintln!(
+            "gm-run: no experiment matches {:?} (try --list)",
+            opts.filter.as_deref().unwrap_or("")
+        );
+        std::process::exit(1);
+    }
+    run_and_emit("gm-run", &selected, &opts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentKind;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_the_standard_flags() {
+        let o = parse(
+            &args(&["--scale", "bench", "--jobs", "4", "--json", "out.json"]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(o.scale, Scale::Bench);
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.json.as_deref(), Some("out.json"));
+        assert!(!o.list && o.filter.is_none() && !o.help);
+    }
+
+    #[test]
+    fn legacy_scale_aliases_still_work() {
+        assert_eq!(parse(&args(&["--full"]), false).unwrap().scale, Scale::Full);
+        assert_eq!(
+            parse(&args(&["--bench"]), false).unwrap().scale,
+            Scale::Bench
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        let e = parse(&args(&["--scal", "test"]), false).unwrap_err();
+        assert!(e.contains("unknown argument"), "{e}");
+        // Positional junk is rejected too.
+        assert!(parse(&args(&["fig6"]), false).is_err());
+    }
+
+    #[test]
+    fn selection_flags_only_exist_on_gm_run() {
+        assert!(parse(&args(&["--list"]), true).unwrap().list);
+        assert!(parse(&args(&["--list"]), false).is_err());
+        let o = parse(&args(&["--filter", "fig1"]), true).unwrap();
+        assert_eq!(o.filter.as_deref(), Some("fig1"));
+        assert!(parse(&args(&["--filter", "fig1"]), false).is_err());
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        assert!(parse(&args(&["--scale", "huge"]), false).is_err());
+        assert!(parse(&args(&["--jobs", "0"]), false).is_err());
+        assert!(parse(&args(&["--jobs", "many"]), false).is_err());
+        assert!(parse(&args(&["--jobs"]), false).is_err());
+        assert!(parse(&args(&["--json"]), false).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let u = usage("gm-run", true);
+        for flag in ["--scale", "--jobs", "--json", "--list", "--filter"] {
+            assert!(u.contains(flag), "{flag} missing from usage");
+        }
+        assert!(!usage("fig6", false).contains("--filter"));
+    }
+
+    #[test]
+    fn only_table1_skips_simulation() {
+        let skipped: Vec<&str> = experiment::registry()
+            .iter()
+            .filter(|e| matches!(e.kind, ExperimentKind::Table1))
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(skipped, ["table1"]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Experiments as data: the declarative description of every paper
+//! figure and table, plus the registry the CLI and binaries select from.
+
+use ghostminion::{GhostMinionConfig, Scheme, SystemConfig};
+use gm_workloads::{Scale, Suite, WorkloadSet};
+
+/// One column of a sweep: a scheme and the label it carries in the
+/// figure (usually the scheme name, but e.g. Fig. 11 labels columns by
+/// minion size).
+#[derive(Clone, Debug)]
+pub struct SchemeCol {
+    pub label: String,
+    pub scheme: Scheme,
+}
+
+impl SchemeCol {
+    /// A column with an explicit label.
+    pub fn new(label: impl Into<String>, scheme: Scheme) -> Self {
+        Self {
+            label: label.into(),
+            scheme,
+        }
+    }
+
+    /// A column labelled with the scheme's legend name.
+    pub fn named(scheme: Scheme) -> Self {
+        Self::new(scheme.name(), scheme)
+    }
+}
+
+/// How a sweep's raw results become the figure's table.
+#[derive(Clone, Copy, Debug)]
+pub enum Report {
+    /// One column per non-baseline scheme with `cycles / baseline
+    /// cycles`, plus a geomean row — Figures 6–9 and 11. The first
+    /// scheme in the lineup is the baseline and gets no column.
+    NormalizedTime,
+    /// One column per listed memory-system counter, each reported as a
+    /// fraction of the `denom` counter — Figure 10. Single-scheme
+    /// lineups only.
+    LoadFractions {
+        denom: &'static str,
+        events: &'static [&'static str],
+    },
+    /// §6.5 dynamic µW of the data- and instruction-side minions.
+    /// Single-scheme lineups only.
+    DynamicPower,
+    /// §4.9: `strict cycles / greedy cycles` plus the strict-delay
+    /// counter. The lineup must be exactly [greedy, strict].
+    StrictFu,
+}
+
+/// A (workload × scheme) sweep: the shape of every simulation-driven
+/// experiment.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    pub suite: Suite,
+    /// Restricts the suite to these workload names (`None` = all).
+    pub workloads: Option<Vec<&'static str>>,
+    pub schemes: Vec<SchemeCol>,
+    pub report: Report,
+    pub config: SystemConfig,
+}
+
+impl Sweep {
+    /// Materialises the workload axis at `scale`.
+    pub fn workload_set(&self, scale: Scale) -> WorkloadSet {
+        let mut set = WorkloadSet::new(self.suite, scale);
+        if let Some(names) = &self.workloads {
+            set.retain_names(names);
+        }
+        set
+    }
+}
+
+/// What kind of work an experiment performs.
+#[derive(Clone, Debug)]
+pub enum ExperimentKind {
+    /// Simulation sweep over (workload × scheme) jobs. Boxed: a `Sweep`
+    /// (scheme lineup + full `SystemConfig`) dwarfs the other variants.
+    Sweep(Box<Sweep>),
+    /// The security litmus matrix: every attack against every scheme.
+    Security,
+    /// The Table 1 configuration dump (no simulation).
+    Table1,
+}
+
+/// A registered experiment: a paper figure or table as data.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Registry key (`fig6` … `table1`), also the binary name.
+    pub name: &'static str,
+    /// Report heading, matching the paper's figure caption.
+    pub title: &'static str,
+    pub kind: ExperimentKind,
+}
+
+fn sweep(suite: Suite, schemes: Vec<SchemeCol>, report: Report) -> ExperimentKind {
+    ExperimentKind::Sweep(Box::new(Sweep {
+        suite,
+        workloads: None,
+        schemes,
+        report,
+        config: SystemConfig::micro2021(),
+    }))
+}
+
+fn figure_lineup() -> Vec<SchemeCol> {
+    Scheme::figure_lineup()
+        .into_iter()
+        .map(SchemeCol::named)
+        .collect()
+}
+
+/// Fig. 11's minion-size axis.
+pub const FIG11_SIZES: [u64; 6] = [4096, 2048, 1024, 512, 256, 128];
+
+fn fig11_lineup() -> Vec<SchemeCol> {
+    let mut cols = vec![SchemeCol::named(Scheme::unsafe_baseline())];
+    for bytes in FIG11_SIZES {
+        let s = Scheme::ghost_minion_with(GhostMinionConfig {
+            minion_bytes: bytes,
+            ..GhostMinionConfig::default()
+        });
+        cols.push(SchemeCol::new(format!("{bytes}B"), s));
+    }
+    // §6.4 asynchronous reload at the smallest size ("geo. async." in
+    // the paper, a full column here).
+    let s = Scheme::ghost_minion_with(GhostMinionConfig {
+        minion_bytes: 128,
+        async_reload: true,
+        ..GhostMinionConfig::default()
+    });
+    cols.push(SchemeCol::new("128B+async", s));
+    cols
+}
+
+fn fu_order_lineup() -> Vec<SchemeCol> {
+    let mut strict = Scheme::ghost_minion();
+    strict.strict_fu_order = true;
+    vec![
+        SchemeCol::new("greedy", Scheme::ghost_minion()),
+        SchemeCol::new("strict", strict),
+    ]
+}
+
+/// All ten experiments, in paper order. Every figure/table binary and
+/// the `gm-run` driver resolve their work from this list.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "fig6",
+            title: "Figure 6: SPEC CPU2006 normalised execution time",
+            kind: sweep(Suite::Spec2006, figure_lineup(), Report::NormalizedTime),
+        },
+        Experiment {
+            name: "fig7",
+            title: "Figure 7: Parsec (4 threads) normalised execution time",
+            kind: sweep(Suite::Parsec, figure_lineup(), Report::NormalizedTime),
+        },
+        Experiment {
+            name: "fig8",
+            title: "Figure 8: SPECspeed 2017 normalised execution time",
+            kind: sweep(Suite::Spec2017, figure_lineup(), Report::NormalizedTime),
+        },
+        Experiment {
+            name: "fig9",
+            title: "Figure 9: GhostMinion overhead breakdown",
+            kind: sweep(
+                Suite::Spec2006,
+                std::iter::once(SchemeCol::named(Scheme::unsafe_baseline()))
+                    .chain(Scheme::breakdown_lineup().into_iter().map(SchemeCol::named))
+                    .collect(),
+                Report::NormalizedTime,
+            ),
+        },
+        Experiment {
+            name: "fig10",
+            title: "Figure 10: proportion of loads triggering backwards-in-time prevention",
+            kind: sweep(
+                Suite::Spec2006,
+                vec![SchemeCol::named(Scheme::ghost_minion())],
+                Report::LoadFractions {
+                    denom: "loads",
+                    events: &["timeguards", "timeleaps", "leapfrogs"],
+                },
+            ),
+        },
+        Experiment {
+            name: "fig11",
+            title: "Figure 11: GhostMinion sizing sensitivity",
+            kind: sweep(Suite::Spec2006, fig11_lineup(), Report::NormalizedTime),
+        },
+        Experiment {
+            name: "table1",
+            title: "Table 1: system experimental setup",
+            kind: ExperimentKind::Table1,
+        },
+        Experiment {
+            name: "power",
+            title: "GhostMinion dynamic power across SPEC CPU2006 (§6.5)",
+            kind: sweep(
+                Suite::Spec2006,
+                vec![SchemeCol::named(Scheme::ghost_minion())],
+                Report::DynamicPower,
+            ),
+        },
+        Experiment {
+            name: "security",
+            title: "Security litmus tests",
+            kind: ExperimentKind::Security,
+        },
+        Experiment {
+            name: "fu_order",
+            title: "\u{a7}4.9: strictness-ordered non-pipelined FU scheduling vs greedy",
+            kind: sweep(Suite::Spec2006, fu_order_lineup(), Report::StrictFu),
+        },
+    ]
+}
+
+/// Looks up one experiment by exact name.
+pub fn find(name: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.name == name)
+}
+
+/// All experiments whose name contains `pattern`.
+pub fn matching(pattern: &str) -> Vec<Experiment> {
+    registry()
+        .into_iter()
+        .filter(|e| e.name.contains(pattern))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_holds_all_ten_figures_with_unique_names() {
+        let reg = registry();
+        assert_eq!(reg.len(), 10);
+        let mut names: Vec<&str> = reg.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10, "duplicate experiment names");
+        for expect in [
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "power", "security",
+            "fu_order",
+        ] {
+            assert!(find(expect).is_some(), "{expect} missing from registry");
+        }
+    }
+
+    #[test]
+    fn matching_selects_by_substring() {
+        let names: Vec<&str> = matching("fig1").iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 2); // fig10, fig11
+        assert!(names.contains(&"fig10") && names.contains(&"fig11"));
+        assert!(matching("nope").is_empty());
+        assert_eq!(matching("").len(), 10);
+    }
+
+    #[test]
+    fn sweeps_have_baselines_where_normalized() {
+        for e in registry() {
+            if let ExperimentKind::Sweep(s) = &e.kind {
+                match s.report {
+                    Report::NormalizedTime => {
+                        assert!(s.schemes.len() >= 2, "{}: need baseline + columns", e.name);
+                        assert_eq!(s.schemes[0].label, "Unsafe", "{}: baseline first", e.name);
+                    }
+                    Report::LoadFractions { .. } | Report::DynamicPower => {
+                        assert_eq!(s.schemes.len(), 1, "{}: single scheme", e.name);
+                    }
+                    Report::StrictFu => assert_eq!(s.schemes.len(), 2, "{}", e.name),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_columns_cover_all_sizes_plus_async() {
+        let e = find("fig11").unwrap();
+        let ExperimentKind::Sweep(s) = e.kind else {
+            panic!("fig11 is a sweep")
+        };
+        assert_eq!(s.schemes.len(), 1 + FIG11_SIZES.len() + 1);
+        assert_eq!(s.schemes.last().unwrap().label, "128B+async");
+    }
+}

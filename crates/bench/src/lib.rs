@@ -1,73 +1,41 @@
-//! Shared harness for the figure-regeneration binaries and Criterion
-//! benches.
+//! The experiment harness behind every figure/table binary and the
+//! Criterion benches.
 //!
-//! Every binary follows the same pattern: build the workload set, run it
-//! under the relevant schemes on the Table 1 machine, normalise against
-//! the unsafe baseline, and print the same rows/series the paper's figure
-//! plots (plus CSV for external plotting).
+//! The subsystem is layered:
+//!
+//! * [`experiment`] — each paper figure/table as *data*: an
+//!   [`Experiment`](experiment::Experiment) names a workload suite, a
+//!   scheme lineup, a machine configuration and a report rule, and the
+//!   [`experiment::registry`] holds all ten of them;
+//! * [`runner`] — expands a sweep into independent (workload × scheme)
+//!   jobs and executes them on a scoped thread pool with deterministic
+//!   result ordering;
+//! * [`report`] — turns raw [`MachineResult`]s into the figures' tables
+//!   and structured JSON;
+//! * [`cli`] — argument parsing plus the `main` bodies of the thin
+//!   figure binaries and the `gm-run` driver.
+//!
+//! Every binary in `src/bin/` is a one-line client: it names its
+//! registry entry and delegates to [`cli::figure_main`].
+
+pub mod cli;
+pub mod experiment;
+pub mod report;
+pub mod runner;
+
+pub use experiment::{Experiment, ExperimentKind, Report, SchemeCol, Sweep};
+pub use runner::Runner;
 
 use ghostminion::{Machine, MachineResult, Scheme, SystemConfig};
-use gm_stats::{geomean, Table};
-use gm_workloads::{ParsecWorkload, Scale, Workload};
+use gm_stats::Table;
+use gm_workloads::WorkloadUnit;
 
-/// Upper bound for any single simulation (a run that exceeds this has
-/// deadlocked).
-pub const MAX_CYCLES: u64 = 2_000_000_000;
-
-/// Runs one single-threaded workload under `scheme` on the Table 1
-/// machine.
-pub fn run_workload(scheme: Scheme, w: &Workload) -> MachineResult {
-    let mut m = Machine::new(scheme, SystemConfig::micro2021(), vec![w.program.clone()]);
-    m.run(MAX_CYCLES)
-}
-
-/// Runs a 4-thread Parsec workload under `scheme`.
-pub fn run_parsec(scheme: Scheme, w: &ParsecWorkload) -> MachineResult {
-    let mut m = Machine::new(scheme, SystemConfig::micro2021(), w.thread_programs.clone());
-    m.run(MAX_CYCLES)
-}
-
-/// Chooses the workload scale from argv: `--bench` selects the longer
-/// runs, anything else the quick ones. The figures' *shape* is stable
-/// across scales; the longer runs tighten the numbers.
-pub fn scale_from_args() -> Scale {
-    if std::env::args().any(|a| a == "--bench" || a == "--full") {
-        Scale::Bench
-    } else {
-        Scale::Test
-    }
-}
-
-/// Normalised-execution-time sweep: one row per workload, one column per
-/// scheme (the first scheme must be the baseline), plus a geomean row —
-/// the format of Figures 6, 8 and 9.
-pub fn normalized_sweep(
-    workloads: &[Workload],
-    schemes: &[Scheme],
-    run: impl Fn(Scheme, &Workload) -> MachineResult,
-) -> Table {
-    assert!(!schemes.is_empty());
-    let mut header = vec!["workload".to_owned()];
-    header.extend(schemes.iter().skip(1).map(|s| s.name().to_owned()));
-    let mut table = Table::new(header);
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
-    for w in workloads {
-        let base = run(schemes[0], w).cycles as f64;
-        let mut row = Vec::new();
-        for (i, s) in schemes.iter().skip(1).enumerate() {
-            let cycles = run(*s, w).cycles as f64;
-            let ratio = cycles / base;
-            columns[i].push(ratio);
-            row.push(ratio);
-        }
-        table.row_f64(w.name, &row);
-    }
-    let geo: Vec<f64> = columns
-        .iter()
-        .map(|c| geomean(c).expect("all ratios positive"))
-        .collect();
-    table.row_f64("geomean", &geo);
-    table
+/// Runs one workload unit (any thread count) under `scheme`, with the
+/// simulation deadline taken from `cfg.max_cycles` — the single knob for
+/// deadlock detection.
+pub fn run_unit(scheme: Scheme, unit: &WorkloadUnit, cfg: SystemConfig) -> MachineResult {
+    let mut m = Machine::new(scheme, cfg, unit.programs.clone());
+    m.run(cfg.max_cycles)
 }
 
 /// Prints a table in both human and CSV form, the convention all
@@ -77,24 +45,4 @@ pub fn emit(title: &str, table: &Table) {
     println!("{}", table.render());
     println!("-- csv --");
     println!("{}", table.to_csv());
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use gm_workloads::spec2006_analogs;
-
-    #[test]
-    fn sweep_produces_normalized_rows_with_geomean() {
-        let workloads: Vec<Workload> = spec2006_analogs(Scale::Test)
-            .into_iter()
-            .filter(|w| w.name == "gamess" || w.name == "hmmer")
-            .collect();
-        let schemes = [Scheme::unsafe_baseline(), Scheme::ghost_minion()];
-        let t = normalized_sweep(&workloads, &schemes, run_workload);
-        assert_eq!(t.len(), 3, "two workloads + geomean");
-        let csv = t.to_csv();
-        assert!(csv.starts_with("workload,GhostMinion"));
-        assert!(csv.contains("geomean"));
-    }
 }

@@ -1,0 +1,361 @@
+//! Turns raw sweep results into the figures' tables, extra report
+//! lines, and structured JSON.
+
+use crate::experiment::{Experiment, ExperimentKind, Report, Sweep};
+use crate::runner::{Runner, SweepResults};
+use ghostminion::{Scheme, SystemConfig};
+use gm_attacks::{run_all, spectre_rewind, spectre_v1_string};
+use gm_stats::{geomean, Json, Table};
+use gm_workloads::Scale;
+
+/// Everything one experiment produces: lines printed before the table,
+/// the table itself, lines printed after it, and the raw per-job results
+/// for JSON output.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    pub preamble: Vec<String>,
+    pub table: Table,
+    pub postamble: Vec<String>,
+    /// Per-job raw results (empty array for non-sweep experiments).
+    pub results: Json,
+}
+
+/// Executes one registered experiment end to end.
+pub fn run_experiment(runner: &Runner, exp: &Experiment, scale: Scale) -> ExperimentOutput {
+    match &exp.kind {
+        ExperimentKind::Sweep(sweep) => {
+            let results = runner.run_sweep(sweep, scale);
+            let (preamble, table, postamble) = render_sweep(sweep, &results);
+            ExperimentOutput {
+                preamble,
+                table,
+                postamble,
+                results: sweep_results_json(sweep, &results),
+            }
+        }
+        ExperimentKind::Security => security_report(runner),
+        ExperimentKind::Table1 => ExperimentOutput {
+            preamble: Vec::new(),
+            table: table1_table(&SystemConfig::micro2021()),
+            postamble: Vec::new(),
+            results: Json::Array(Vec::new()),
+        },
+    }
+}
+
+/// Renders a sweep's results according to its report rule.
+pub fn render_sweep(sweep: &Sweep, res: &SweepResults) -> (Vec<String>, Table, Vec<String>) {
+    match sweep.report {
+        Report::NormalizedTime => (Vec::new(), normalized_table(sweep, res), Vec::new()),
+        Report::LoadFractions { denom, events } => {
+            (Vec::new(), fractions_table(res, denom, events), Vec::new())
+        }
+        Report::DynamicPower => power_tables(sweep, res),
+        Report::StrictFu => (Vec::new(), strict_fu_table(res), Vec::new()),
+    }
+}
+
+/// The generalized normalised-execution-time sweep (Figures 6–9, 11):
+/// one row per workload unit, one column per non-baseline scheme, each
+/// value `cycles / baseline cycles`, plus a geomean row. Works for any
+/// [`gm_workloads::WorkloadSet`] — single-threaded and multi-threaded
+/// units alike.
+fn normalized_table(sweep: &Sweep, res: &SweepResults) -> Table {
+    assert!(!sweep.schemes.is_empty());
+    let mut header = vec!["workload".to_owned()];
+    header.extend(sweep.schemes.iter().skip(1).map(|c| c.label.clone()));
+    let mut table = Table::new(header);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); sweep.schemes.len() - 1];
+    for (unit, row_results) in res.set.units.iter().zip(&res.rows) {
+        let base = row_results[0].cycles as f64;
+        let mut row = Vec::new();
+        for (i, r) in row_results.iter().skip(1).enumerate() {
+            let ratio = r.cycles as f64 / base;
+            columns[i].push(ratio);
+            row.push(ratio);
+        }
+        table.row_f64(unit.name, &row);
+    }
+    if !res.rows.is_empty() {
+        let geo: Vec<f64> = columns
+            .iter()
+            .map(|c| geomean(c).expect("all ratios positive"))
+            .collect();
+        table.row_f64("geomean", &geo);
+    }
+    table
+}
+
+/// Figure 10: each event counter as a fraction of `denom`.
+fn fractions_table(res: &SweepResults, denom: &str, events: &[&str]) -> Table {
+    let mut header = vec!["workload".to_owned()];
+    header.extend(events.iter().map(|e| (*e).to_owned()));
+    let mut table = Table::new(header);
+    for (unit, row_results) in res.set.units.iter().zip(&res.rows) {
+        let r = &row_results[0];
+        let total = r.mem_stats.get(denom).max(1) as f64;
+        let mut cells = vec![unit.name.to_owned()];
+        for e in events {
+            cells.push(format!("{:.5}", r.mem_stats.get(e) as f64 / total));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// §6.5: CACTI-anchored SRAM preamble plus per-workload dynamic power.
+fn power_tables(sweep: &Sweep, res: &SweepResults) -> (Vec<String>, Table, Vec<String>) {
+    use gm_energy::{dynamic_uw, section65_report, sram_model};
+    let minion_bytes = sweep.schemes[0]
+        .scheme
+        .gm_config()
+        .map(|c| c.minion_bytes)
+        .unwrap_or(2048);
+    let minion = sram_model(minion_bytes);
+    let preamble = vec![
+        "== \u{a7}6.5 CACTI-anchored SRAM model ==".to_owned(),
+        String::new(),
+        section65_report(),
+    ];
+    let mut table = Table::new(vec![
+        "workload".into(),
+        "dminion(\u{b5}W)".into(),
+        "iminion(\u{b5}W)".into(),
+    ]);
+    let (mut max_d, mut max_i) = (0.0f64, 0.0f64);
+    for (unit, row_results) in res.set.units.iter().zip(&res.rows) {
+        let r = &row_results[0];
+        let d = dynamic_uw(
+            &minion,
+            r.mem_stats.get("energy_minion_reads"),
+            r.mem_stats.get("energy_minion_writes"),
+            r.cycles,
+        );
+        let i = dynamic_uw(
+            &minion,
+            r.mem_stats.get("energy_iminion_reads"),
+            r.mem_stats.get("energy_iminion_writes"),
+            r.cycles,
+        );
+        max_d = max_d.max(d);
+        max_i = max_i.max(i);
+        table.row(vec![
+            unit.name.to_owned(),
+            format!("{d:.2}"),
+            format!("{i:.2}"),
+        ]);
+    }
+    let postamble = vec![format!(
+        "maximum dynamic draw: data {max_d:.2} \u{b5}W, instruction {max_i:.2} \u{b5}W"
+    )];
+    (preamble, table, postamble)
+}
+
+/// §4.9: strict-vs-greedy ratio and delay counts. Lineup order is
+/// [greedy, strict].
+fn strict_fu_table(res: &SweepResults) -> Table {
+    let mut table = Table::new(vec![
+        "workload".into(),
+        "strict/greedy".into(),
+        "strict_delays".into(),
+    ]);
+    let mut ratios = Vec::new();
+    for (unit, row_results) in res.set.units.iter().zip(&res.rows) {
+        let (greedy, strict) = (&row_results[0], &row_results[1]);
+        let ratio = strict.cycles as f64 / greedy.cycles as f64;
+        ratios.push(ratio);
+        table.row(vec![
+            unit.name.to_owned(),
+            format!("{ratio:.4}"),
+            strict.core_stats[0].strict_fu_delays.to_string(),
+        ]);
+    }
+    if !ratios.is_empty() {
+        table.row(vec![
+            "geomean".into(),
+            format!("{:.4}", geomean(&ratios).unwrap()),
+            String::new(),
+        ]);
+    }
+    table
+}
+
+/// The raw (workload × scheme) results as a JSON array: enough metadata
+/// per job to re-derive any figure offline.
+pub fn sweep_results_json(sweep: &Sweep, res: &SweepResults) -> Json {
+    let mut jobs = Vec::new();
+    for (unit, row_results) in res.set.units.iter().zip(&res.rows) {
+        for (col, r) in sweep.schemes.iter().zip(row_results) {
+            let mut counters = Json::object();
+            for (name, value) in r.mem_stats.iter() {
+                counters.set(name, value);
+            }
+            let mut job = Json::object();
+            job.set("workload", unit.name)
+                .set("scheme", col.label.as_str())
+                .set("scheme_name", r.scheme_name)
+                .set("threads", r.threads)
+                .set("cycles", r.cycles)
+                .set("committed", r.committed())
+                .set("counters", counters);
+            jobs.push(job);
+        }
+    }
+    Json::Array(jobs)
+}
+
+/// The security litmus matrix: every attack against every scheme in the
+/// figure lineup (parallel over schemes), plus the §4.9 strict-FU
+/// variant and the Spectre v1 string-recovery demo.
+fn security_report(runner: &Runner) -> ExperimentOutput {
+    const ATTACKS: [&str; 3] = ["spectre-v1", "rewind", "interference"];
+    let schemes = Scheme::figure_lineup();
+    let outcomes = runner.map(&schemes, |&s| run_all(s));
+
+    let mut table = Table::new(vec![
+        "scheme".into(),
+        ATTACKS[0].into(),
+        ATTACKS[1].into(),
+        ATTACKS[2].into(),
+    ]);
+    let mut results = Vec::new();
+    let verdict = |leaked: bool| if leaked { "LEAKS" } else { "safe" };
+    for (scheme, per_scheme) in schemes.iter().zip(&outcomes) {
+        let mut cells = vec![scheme.name().to_owned()];
+        for (attack, o) in ATTACKS.iter().zip(per_scheme) {
+            cells.push(verdict(o.leaked).to_owned());
+            let mut job = Json::object();
+            job.set("scheme", scheme.name())
+                .set("attack", *attack)
+                .set("leaked", o.leaked);
+            results.push(job);
+        }
+        table.row(cells);
+    }
+
+    // GhostMinion with §4.9 FU ordering closes the divider channel.
+    let mut strict = Scheme::ghost_minion();
+    strict.strict_fu_order = true;
+    let rewind = spectre_rewind(strict);
+    table.row(vec![
+        "GhostMinion+\u{a7}4.9".into(),
+        "safe".into(),
+        verdict(rewind.leaked).into(),
+        "safe".into(),
+    ]);
+    let mut job = Json::object();
+    job.set("scheme", "GhostMinion+\u{a7}4.9")
+        .set("attack", "rewind")
+        .set("leaked", rewind.leaked);
+    results.push(job);
+
+    let (recovered, planted) = spectre_v1_string(Scheme::unsafe_baseline(), b"GHOST");
+    let postamble = vec![format!(
+        "spectre-v1 string recovery on Unsafe: planted {:?}, recovered {:?}",
+        String::from_utf8_lossy(&planted),
+        String::from_utf8_lossy(&recovered)
+    )];
+
+    ExperimentOutput {
+        preamble: Vec::new(),
+        table,
+        postamble,
+        results: Json::Array(results),
+    }
+}
+
+/// Table 1 as a component/configuration table.
+pub fn table1_table(cfg: &SystemConfig) -> Table {
+    let c = cfg.core;
+    let h = cfg.hierarchy;
+    let mut t = Table::new(vec!["component".into(), "configuration".into()]);
+    let mut kv = |k: &str, v: String| t.row(vec![k.to_owned(), v]);
+    kv(
+        "Core",
+        format!("{}-wide out-of-order, 2.0 GHz", c.fetch_width),
+    );
+    kv(
+        "Pipeline",
+        format!(
+            "{}-entry ROB, {}-entry IQ, {}-entry LQ, {}-entry SQ, \
+             {} Int / {} FP registers, {} Int ALUs, {} FP ALUs, {} Mult/Div ALUs",
+            c.rob_entries,
+            c.iq_entries,
+            c.lq_entries,
+            c.sq_entries,
+            c.int_regs,
+            c.fp_regs,
+            c.int_alu,
+            c.fp_alu,
+            c.muldiv
+        ),
+    );
+    kv(
+        "Predictor",
+        format!(
+            "tournament 2-bit, {}-entry local, {} global, {} choice, {} BTB, {} RAS",
+            c.bpred.local_entries,
+            c.bpred.global_entries,
+            c.bpred.choice_entries,
+            c.bpred.btb_entries,
+            c.bpred.ras_entries
+        ),
+    );
+    kv(
+        "L1 ICache",
+        format!(
+            "{} KiB, {}-way, {}-cycle, {} MSHRs",
+            h.l1i.size_bytes / 1024,
+            h.l1i.ways,
+            h.l1i.latency,
+            h.l1_mshrs
+        ),
+    );
+    kv(
+        "L1 DCache",
+        format!(
+            "{} KiB, {}-way, {}-cycle, {} MSHRs",
+            h.l1d.size_bytes / 1024,
+            h.l1d.ways,
+            h.l1d.latency,
+            h.l1_mshrs
+        ),
+    );
+    kv(
+        "Minions",
+        "2 KiB data + 2 KiB instruction, 2-way, accessed with I/D cache".to_owned(),
+    );
+    kv(
+        "L2 Cache",
+        format!(
+            "{} MiB shared, {}-way, {}-cycle, {} MSHRs, stride prefetcher (64-entry RPT)",
+            h.l2.size_bytes / 1024 / 1024,
+            h.l2.ways,
+            h.l2.latency,
+            h.l2_mshrs
+        ),
+    );
+    kv(
+        "Memory",
+        format!(
+            "DDR3-1600-like: {} banks, {} KiB rows, tCAS/tRCD/tRP = {}/{}/{} cycles",
+            h.dram.banks,
+            h.dram.row_bytes / 1024,
+            h.dram.t_cas,
+            h.dram.t_rcd,
+            h.dram.t_rp
+        ),
+    );
+    t
+}
+
+/// Wraps one experiment's output as the JSON object `gm-run` emits.
+pub fn experiment_json(exp: &Experiment, scale: Scale, out: &ExperimentOutput) -> Json {
+    let mut j = Json::object();
+    j.set("name", exp.name)
+        .set("title", exp.title)
+        .set("scale", scale.name())
+        .set("table", out.table.to_json())
+        .set("results", out.results.clone());
+    j
+}

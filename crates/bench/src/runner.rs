@@ -1,0 +1,147 @@
+//! Parallel job execution for experiment sweeps.
+//!
+//! Each `Machine` run is self-contained (no shared mutable state), so a
+//! sweep expands into independent (workload × scheme) jobs executed on a
+//! `std::thread::scope` pool. Results are written back by job index, so
+//! the output — tables, geomeans, JSON — is bit-identical no matter how
+//! many workers run (`--jobs 1` vs `--jobs N` is a pure wall-clock
+//! difference).
+
+use crate::experiment::Sweep;
+use crate::run_unit;
+use ghostminion::MachineResult;
+use gm_workloads::{Scale, WorkloadSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Executes independent jobs across a fixed number of worker threads.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    jobs: usize,
+}
+
+impl Runner {
+    /// A runner with `jobs` workers; `0` selects
+    /// [`Runner::default_jobs`].
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            Self::default_jobs()
+        } else {
+            jobs
+        };
+        Self { jobs }
+    }
+
+    /// Available hardware parallelism (1 if unknown).
+    pub fn default_jobs() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item on the worker pool, returning results in
+    /// input order regardless of completion order.
+    ///
+    /// A panicking job (e.g. a deadlocked simulation hitting its cycle
+    /// deadline) propagates out of the scope and fails the whole run.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Expands `sweep` at `scale` into (workload × scheme) jobs, runs
+    /// them, and returns results in (workload, scheme) order.
+    pub fn run_sweep(&self, sweep: &Sweep, scale: Scale) -> SweepResults {
+        let set = sweep.workload_set(scale);
+        let nschemes = sweep.schemes.len();
+        let jobs: Vec<(usize, usize)> = (0..set.units.len())
+            .flat_map(|u| (0..nschemes).map(move |s| (u, s)))
+            .collect();
+        let flat = self.map(&jobs, |&(u, s)| {
+            run_unit(sweep.schemes[s].scheme, &set.units[u], sweep.config)
+        });
+        let mut rows: Vec<Vec<MachineResult>> = Vec::with_capacity(set.units.len());
+        let mut flat = flat.into_iter();
+        for _ in 0..set.units.len() {
+            rows.push(flat.by_ref().take(nschemes).collect());
+        }
+        SweepResults { set, rows }
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Raw results of a sweep: `rows[workload][scheme]`, aligned with the
+/// workload set's unit order and the sweep's scheme lineup.
+#[derive(Debug)]
+pub struct SweepResults {
+    pub set: WorkloadSet,
+    pub rows: Vec<Vec<MachineResult>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 4, 16] {
+            let got = Runner::new(jobs).map(&items, |&x| x * x);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_selects_available_parallelism() {
+        assert_eq!(Runner::new(0).jobs(), Runner::default_jobs());
+        assert!(Runner::new(0).jobs() >= 1);
+        assert_eq!(Runner::new(3).jobs(), 3);
+    }
+
+    #[test]
+    fn map_on_empty_input_is_empty() {
+        let got: Vec<u64> = Runner::new(4).map(&[] as &[u64], |&x| x);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Integration tests for the experiment harness: the parallel runner
+//! must be a pure wall-clock optimisation — tables, CSV and JSON have to
+//! be bit-identical to the serial run.
+
+use ghostminion::{Scheme, SystemConfig};
+use gm_bench::experiment::{Report, SchemeCol, Sweep};
+use gm_bench::report::{render_sweep, sweep_results_json};
+use gm_bench::Runner;
+use gm_workloads::{Scale, Suite};
+
+fn small_sweep(suite: Suite, workloads: Vec<&'static str>) -> Sweep {
+    Sweep {
+        suite,
+        workloads: Some(workloads),
+        schemes: vec![
+            SchemeCol::named(Scheme::unsafe_baseline()),
+            SchemeCol::named(Scheme::ghost_minion()),
+        ],
+        report: Report::NormalizedTime,
+        config: SystemConfig::micro2021(),
+    }
+}
+
+#[test]
+fn jobs4_is_bit_identical_to_jobs1() {
+    let sweep = small_sweep(Suite::Spec2006, vec!["gamess", "hmmer"]);
+    let serial = Runner::new(1).run_sweep(&sweep, Scale::Test);
+    let parallel = Runner::new(4).run_sweep(&sweep, Scale::Test);
+
+    let (_, t1, _) = render_sweep(&sweep, &serial);
+    let (_, t4, _) = render_sweep(&sweep, &parallel);
+    assert_eq!(t1.render(), t4.render(), "table must not depend on --jobs");
+    assert_eq!(t1.to_csv(), t4.to_csv(), "CSV must not depend on --jobs");
+    assert_eq!(
+        sweep_results_json(&sweep, &serial).render(),
+        sweep_results_json(&sweep, &parallel).render(),
+        "JSON must not depend on --jobs"
+    );
+}
+
+#[test]
+fn normalized_sweep_has_rows_plus_geomean() {
+    let sweep = small_sweep(Suite::Spec2006, vec!["gamess", "hmmer"]);
+    let res = Runner::new(2).run_sweep(&sweep, Scale::Test);
+    let (_, table, _) = render_sweep(&sweep, &res);
+    assert_eq!(table.len(), 3, "two workloads + geomean");
+    let csv = table.to_csv();
+    assert!(csv.starts_with("workload,GhostMinion"));
+    assert!(csv.contains("geomean"));
+}
+
+#[test]
+fn the_same_sweep_loop_handles_multithreaded_units() {
+    // Fig. 7's 4-thread Parsec units flow through the identical
+    // (workload × scheme) expansion — no private sweep loop.
+    let sweep = small_sweep(Suite::Parsec, vec!["swaptions"]);
+    let res = Runner::new(2).run_sweep(&sweep, Scale::Test);
+    assert_eq!(res.rows.len(), 1);
+    assert!(res.rows[0].iter().all(|r| r.threads == 4));
+    let (_, table, _) = render_sweep(&sweep, &res);
+    assert_eq!(table.len(), 2, "one workload + geomean");
+}
+
+#[test]
+fn sweep_json_carries_per_job_metadata() {
+    let sweep = small_sweep(Suite::Spec2006, vec!["gamess"]);
+    let res = Runner::new(1).run_sweep(&sweep, Scale::Test);
+    let json = sweep_results_json(&sweep, &res).render();
+    for field in [
+        "\"workload\":\"gamess\"",
+        "\"scheme\":\"Unsafe\"",
+        "\"scheme\":\"GhostMinion\"",
+        "\"threads\":1",
+        "\"cycles\":",
+        "\"committed\":",
+        "\"counters\":{",
+    ] {
+        assert!(json.contains(field), "{field} missing from {json}");
+    }
+}

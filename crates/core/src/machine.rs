@@ -10,17 +10,24 @@ use gm_sim::{Core, CoreConfig, CoreStats};
 pub struct SystemConfig {
     pub core: CoreConfig,
     pub hierarchy: HierarchyConfig,
-    /// Hard cap used by [`Machine::run`]'s default deadline accounting.
+    /// Simulation deadline: a run that has not halted within this many
+    /// cycles is treated as deadlocked. This is the single knob every
+    /// harness reads; [`Machine::run`] receives it via
+    /// [`crate::run_single`] and the bench runner.
     pub max_cycles: u64,
 }
 
 impl SystemConfig {
+    /// Upper bound for any single Table 1 simulation (a run that exceeds
+    /// this has deadlocked).
+    pub const MICRO2021_MAX_CYCLES: u64 = 2_000_000_000;
+
     /// The paper's Table 1 system.
     pub fn micro2021() -> Self {
         Self {
             core: CoreConfig::micro2021(),
             hierarchy: HierarchyConfig::micro2021(),
-            max_cycles: u64::MAX,
+            max_cycles: Self::MICRO2021_MAX_CYCLES,
         }
     }
 
@@ -29,12 +36,25 @@ impl SystemConfig {
         Self {
             core: CoreConfig::tiny(),
             hierarchy: HierarchyConfig::tiny(),
-            max_cycles: u64::MAX,
+            // Tiny workloads are short; anything past this is a hang.
+            max_cycles: 50_000_000,
         }
+    }
+
+    /// Returns the configuration with a different simulation deadline.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
     }
 }
 
 /// Result of a completed run.
+///
+/// `MachineResult` is `Send` (a static assertion below keeps it that
+/// way): the bench runner moves results across worker threads, and the
+/// fields carry enough metadata — scheme, core count, per-core and
+/// memory-system counters — to serialise a run as JSON without holding
+/// onto the `Machine`.
 #[derive(Clone, Debug)]
 pub struct MachineResult {
     /// Cycles until every core halted.
@@ -45,6 +65,8 @@ pub struct MachineResult {
     pub mem_stats: MemStats,
     /// Scheme that was run (for report labelling).
     pub scheme_name: &'static str,
+    /// Number of simulated cores (one program per core).
+    pub threads: usize,
 }
 
 impl MachineResult {
@@ -145,6 +167,7 @@ impl Machine {
             core_stats: self.cores.iter().map(|c| *c.stats()).collect(),
             mem_stats: self.mem.stats().clone(),
             scheme_name: self.mem.scheme().name(),
+            threads: self.cores.len(),
         }
     }
 }
@@ -306,7 +329,25 @@ mod tests {
             sum_array_program(16),
         );
         assert_eq!(r.scheme_name, "GhostMinion");
+        assert_eq!(r.threads, 1);
         assert!(r.committed() > 16 * 4);
         assert!(r.mem_stats.get("loads") > 0);
+    }
+
+    #[test]
+    fn machine_result_is_send_and_static() {
+        // The bench runner moves results between worker threads.
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<MachineResult>();
+    }
+
+    #[test]
+    fn max_cycles_is_one_knob_on_system_config() {
+        assert_eq!(
+            SystemConfig::micro2021().max_cycles,
+            SystemConfig::MICRO2021_MAX_CYCLES
+        );
+        let cfg = SystemConfig::micro2021().with_max_cycles(1234);
+        assert_eq!(cfg.max_cycles, 1234);
     }
 }

@@ -1,0 +1,200 @@
+//! Minimal JSON emission for structured benchmark results.
+//!
+//! The build environment is offline, so rather than depending on serde
+//! this module provides a small self-describing [`Json`] value type with
+//! deterministic rendering: object keys keep insertion order, floats use
+//! Rust's shortest round-trip formatting, and non-finite floats become
+//! `null`. That determinism is what lets the harness assert bit-identical
+//! JSON between serial and parallel runs.
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integers (cycle counts, event counters) keep full `u64`
+    /// precision instead of routing through `f64`.
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Key-value pairs in insertion order (no sorting, no deduplication).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, to be filled with [`Json::set`].
+    pub fn object() -> Self {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends `key: value` to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object; pushing fields onto a scalar is
+    /// a harness bug.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        match self {
+            Json::Object(fields) => fields.push((key.to_owned(), value.into())),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::F64(f) => {
+                if f.is_finite() {
+                    out.push_str(&f.to_string());
+                } else {
+                    // JSON has no NaN/Infinity.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::U64(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::U64(n as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Self {
+        Json::F64(f)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Self {
+        Json::Array(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(42u64).render(), "42");
+        assert_eq!(Json::from(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::from(1.5).render(), "1.5");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_and_quote_characters() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\te\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let mut o = Json::object();
+        o.set("z", 1u64).set("a", "x").set("nested", {
+            let mut n = Json::object();
+            n.set("ok", true);
+            n
+        });
+        assert_eq!(o.render(), "{\"z\":1,\"a\":\"x\",\"nested\":{\"ok\":true}}");
+    }
+
+    #[test]
+    fn arrays_render_in_order() {
+        let a = Json::Array(vec![Json::from(1u64), Json::Null, Json::from("s")]);
+        assert_eq!(a.render(), "[1,null,\"s\"]");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn set_on_scalar_panics() {
+        Json::Null.set("k", 1u64);
+    }
+}

@@ -6,9 +6,11 @@
 //! the same style as the paper's figures ([`Table`]).
 
 mod counters;
+mod json;
 mod summary;
 mod table;
 
 pub use counters::Counters;
+pub use json::Json;
 pub use summary::{geomean, mean, normalize, Ratio};
 pub use table::{Align, Table};

@@ -117,6 +117,21 @@ impl Table {
         }
         out
     }
+
+    /// Converts to a JSON object `{"header": [...], "rows": [[...]]}` with
+    /// all cells as strings, exactly as rendered.
+    pub fn to_json(&self) -> crate::Json {
+        let cells = |row: &[String]| {
+            crate::Json::Array(row.iter().map(|c| crate::Json::from(c.clone())).collect())
+        };
+        let mut out = crate::Json::object();
+        out.set("header", cells(&self.header));
+        out.set(
+            "rows",
+            crate::Json::Array(self.rows.iter().map(|r| cells(r)).collect()),
+        );
+        out
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +174,41 @@ mod tests {
         let t = Table::new(vec!["a".into()]);
         assert!(t.is_empty());
         assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    fn csv_of_empty_table_is_header_only() {
+        let t = Table::new(vec!["workload".into(), "ratio".into()]);
+        assert_eq!(t.to_csv(), "workload,ratio\n");
+    }
+
+    #[test]
+    fn csv_of_single_row_table() {
+        let mut t = Table::new(vec!["workload".into(), "ratio".into()]);
+        t.row_f64("mcf", &[1.2987]);
+        assert_eq!(t.to_csv(), "workload,ratio\nmcf,1.299\n");
+    }
+
+    #[test]
+    fn csv_of_single_column_table_has_no_commas() {
+        let mut t = Table::new(vec!["only".into()]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.to_csv(), "only\nx\n");
+    }
+
+    #[test]
+    fn json_mirrors_header_and_rows() {
+        let j = sample().to_json().render();
+        assert_eq!(
+            j,
+            "{\"header\":[\"wl\",\"a\",\"b\"],\
+             \"rows\":[[\"mcf\",\"1.299\",\"1.000\"],[\"gcc\",\"1.100\",\"0.990\"]]}"
+        );
+    }
+
+    #[test]
+    fn json_of_empty_table_has_empty_rows() {
+        let t = Table::new(vec!["h".into()]);
+        assert_eq!(t.to_json().render(), "{\"header\":[\"h\"],\"rows\":[]}");
     }
 }

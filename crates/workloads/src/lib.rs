@@ -57,6 +57,25 @@ impl Scale {
             Scale::Full => 60,
         }
     }
+
+    /// CLI/JSON name of the scale.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Bench => "bench",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses a CLI scale name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "test" => Some(Scale::Test),
+            "bench" => Some(Scale::Bench),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
 }
 
 /// A named single-threaded workload.
@@ -64,6 +83,109 @@ impl Scale {
 pub struct Workload {
     pub name: &'static str,
     pub program: Program,
+}
+
+/// The benchmark suites the paper evaluates on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// SPEC CPU2006 analogs (Figures 6, 9, 10, 11, power, §4.9).
+    Spec2006,
+    /// SPECspeed 2017 analogs (Figure 8).
+    Spec2017,
+    /// 4-thread Parsec analogs (Figure 7).
+    Parsec,
+}
+
+impl Suite {
+    /// Display name used in reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Spec2006 => "spec2006",
+            Suite::Spec2017 => "spec2017",
+            Suite::Parsec => "parsec",
+        }
+    }
+}
+
+/// One unit of simulation: a named workload with one program per core.
+///
+/// This is the common shape behind single-threaded [`Workload`]s (one
+/// program) and 4-thread [`ParsecWorkload`]s (four programs), so a
+/// single sweep loop can run either.
+#[derive(Clone, Debug)]
+pub struct WorkloadUnit {
+    pub name: &'static str,
+    pub programs: Vec<Program>,
+}
+
+impl WorkloadUnit {
+    /// Number of cores this unit occupies.
+    pub fn threads(&self) -> usize {
+        self.programs.len()
+    }
+}
+
+impl From<Workload> for WorkloadUnit {
+    fn from(w: Workload) -> Self {
+        Self {
+            name: w.name,
+            programs: vec![w.program],
+        }
+    }
+}
+
+impl From<ParsecWorkload> for WorkloadUnit {
+    fn from(w: ParsecWorkload) -> Self {
+        Self {
+            name: w.name,
+            programs: w.thread_programs,
+        }
+    }
+}
+
+/// A suite of [`WorkloadUnit`]s at one scale — the workload axis of an
+/// experiment sweep.
+#[derive(Clone, Debug)]
+pub struct WorkloadSet {
+    pub suite: Suite,
+    pub units: Vec<WorkloadUnit>,
+}
+
+impl WorkloadSet {
+    /// Builds the full workload set for `suite` at `scale`.
+    pub fn new(suite: Suite, scale: Scale) -> Self {
+        let units = match suite {
+            Suite::Spec2006 => spec2006_analogs(scale)
+                .into_iter()
+                .map(WorkloadUnit::from)
+                .collect(),
+            Suite::Spec2017 => spec2017_analogs(scale)
+                .into_iter()
+                .map(WorkloadUnit::from)
+                .collect(),
+            Suite::Parsec => parsec_analogs(scale)
+                .into_iter()
+                .map(WorkloadUnit::from)
+                .collect(),
+        };
+        Self { suite, units }
+    }
+
+    /// Keeps only the units whose names appear in `names` (suite order is
+    /// preserved). Useful for scaled-down smoke runs and tests.
+    pub fn retain_names(&mut self, names: &[&str]) {
+        self.units.retain(|u| names.contains(&u.name));
+    }
+
+    /// Number of units in the set.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +237,30 @@ mod tests {
                 assert!(t.validate().is_ok(), "{} invalid", p.name);
             }
         }
+    }
+
+    #[test]
+    fn workload_sets_unify_single_and_multi_threaded_suites() {
+        let s06 = WorkloadSet::new(Suite::Spec2006, Scale::Test);
+        assert_eq!(s06.len(), 25);
+        assert!(s06.units.iter().all(|u| u.threads() == 1));
+
+        let par = WorkloadSet::new(Suite::Parsec, Scale::Test);
+        assert_eq!(par.len(), 7);
+        assert!(par.units.iter().all(|u| u.threads() == 4));
+        assert_eq!(par.suite.name(), "parsec");
+    }
+
+    #[test]
+    fn retain_names_filters_in_suite_order() {
+        let mut s = WorkloadSet::new(Suite::Spec2006, Scale::Test);
+        s.retain_names(&["hmmer", "gamess"]);
+        let names: Vec<&str> = s.units.iter().map(|u| u.name).collect();
+        // gamess precedes hmmer in the suite lineup regardless of the
+        // filter's order.
+        assert_eq!(names, ["gamess", "hmmer"]);
+        s.retain_names(&[]);
+        assert!(s.is_empty());
     }
 
     #[test]
