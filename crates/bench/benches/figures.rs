@@ -1,114 +1,52 @@
-//! Criterion benches: scaled-down versions of each figure's sweep, so
-//! `cargo bench` exercises every experiment path with stable timing.
+//! Criterion benches, driven by the experiment registry: every
+//! registered experiment automatically gains a timing bench, so a new
+//! registry entry shows up in `cargo bench` without touching this file.
 //! The full paper-shaped tables come from `gm-run` and the `fig*`
 //! binaries; these benches track the simulator's own performance per
 //! experiment.
 //!
-//! Like the binaries, the benches are thin clients of the harness: they
-//! pull workload units from `WorkloadSet` and run them through
-//! `gm_bench::run_unit` with the Table 1 configuration.
+//! For sweep experiments the bench runs the suite's first workload unit
+//! under (up to) the first two schemes of the experiment's own lineup —
+//! a representative, stable slice rather than the whole grid. Non-sweep
+//! experiments bench their complete `run_experiment` path. Two
+//! micro-benches cover the hot non-simulation paths: the GhostMinion
+//! cache itself, and `gm_results` job fingerprinting (the store's
+//! per-job overhead).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ghostminion::{GhostMinionConfig, Scheme, SystemConfig};
-use gm_bench::run_unit;
-use gm_workloads::{Scale, Suite, WorkloadSet, WorkloadUnit};
+use gm_bench::experiment::{registry, ExperimentKind};
+use gm_bench::report::run_experiment;
+use gm_bench::{run_unit, Runner};
+use gm_workloads::Scale;
 
-/// The named units of a suite at test scale.
-fn units(suite: Suite, names: &[&str]) -> Vec<WorkloadUnit> {
-    let mut set = WorkloadSet::new(suite, Scale::Test);
-    set.retain_names(names);
-    assert_eq!(set.len(), names.len(), "missing workload in {suite:?}");
-    set.units
-}
-
-fn cfg() -> SystemConfig {
-    SystemConfig::micro2021()
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6");
-    g.sample_size(10);
-    for w in units(Suite::Spec2006, &["gamess", "hmmer", "mcf"]) {
-        for scheme in [Scheme::unsafe_baseline(), Scheme::ghost_minion()] {
-            g.bench_function(format!("{}/{}", w.name, scheme.name()), |b| {
-                b.iter(|| run_unit(scheme, &w, cfg()).cycles)
-            });
+fn bench_registry(c: &mut Criterion) {
+    for exp in registry() {
+        let mut g = c.benchmark_group(exp.name);
+        g.sample_size(10);
+        match &exp.kind {
+            ExperimentKind::Sweep(sweep) => {
+                let set = sweep.workload_set(Scale::Test);
+                let unit = set.units.first().expect("suite has workloads").clone();
+                for col in sweep.schemes.iter().take(2) {
+                    g.bench_function(format!("{}/{}", unit.name, col.label), |b| {
+                        b.iter(|| run_unit(col.scheme, &unit, sweep.config).cycles)
+                    });
+                }
+            }
+            ExperimentKind::Security | ExperimentKind::Table1 => {
+                let runner = Runner::new(1);
+                g.bench_function("run_experiment", |b| {
+                    b.iter(|| {
+                        run_experiment(&runner, &exp, Scale::Test, None)
+                            .expect("storeless runs cannot fail")
+                            .table
+                            .len()
+                    })
+                });
+            }
         }
+        g.finish();
     }
-    g.finish();
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    let w = units(Suite::Parsec, &["swaptions"]).remove(0);
-    for scheme in [Scheme::unsafe_baseline(), Scheme::ghost_minion()] {
-        g.bench_function(format!("swaptions/{}", scheme.name()), |b| {
-            b.iter(|| run_unit(scheme, &w, cfg()).cycles)
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
-    let w = units(Suite::Spec2017, &["exchange2"]).remove(0);
-    for scheme in [Scheme::unsafe_baseline(), Scheme::ghost_minion()] {
-        g.bench_function(format!("exchange2/{}", scheme.name()), |b| {
-            b.iter(|| run_unit(scheme, &w, cfg()).cycles)
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig9_breakdown(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
-    let w = units(Suite::Spec2006, &["povray"]).remove(0);
-    for scheme in [
-        Scheme::dminion_timeless(),
-        Scheme::dminion_only(),
-        Scheme::ghost_minion(),
-    ] {
-        g.bench_function(format!("povray/{}", scheme.name()), |b| {
-            b.iter(|| run_unit(scheme, &w, cfg()).cycles)
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig10_events(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
-    let w = units(Suite::Spec2006, &["omnetpp"]).remove(0);
-    g.bench_function("omnetpp/event-counting", |b| {
-        b.iter(|| {
-            let r = run_unit(Scheme::ghost_minion(), &w, cfg());
-            (
-                r.mem_stats.get("timeguards"),
-                r.mem_stats.get("timeleaps"),
-                r.mem_stats.get("leapfrogs"),
-            )
-        })
-    });
-    g.finish();
-}
-
-fn bench_fig11_sizes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
-    let w = units(Suite::Spec2006, &["povray"]).remove(0);
-    for bytes in [2048u64, 128] {
-        let scheme = Scheme::ghost_minion_with(GhostMinionConfig {
-            minion_bytes: bytes,
-            ..GhostMinionConfig::default()
-        });
-        g.bench_function(format!("povray/{bytes}B"), |b| {
-            b.iter(|| run_unit(scheme, &w, cfg()).cycles)
-        });
-    }
-    g.finish();
 }
 
 fn bench_minion_micro(c: &mut Criterion) {
@@ -136,14 +74,26 @@ fn bench_minion_micro(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fingerprint(c: &mut Criterion) {
+    use ghostminion::Scheme;
+    let mut g = c.benchmark_group("results-micro");
+    let exp = registry().into_iter().next().expect("registry non-empty");
+    let ExperimentKind::Sweep(sweep) = exp.kind else {
+        panic!("first experiment is a sweep");
+    };
+    let unit = sweep.workload_set(Scale::Test).units.remove(0);
+    g.bench_function(format!("fingerprint/{}", unit.name), |b| {
+        b.iter(|| {
+            gm_results::job_fingerprint(&unit, &Scheme::ghost_minion(), Scale::Test, &sweep.config)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
-    bench_fig6,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9_breakdown,
-    bench_fig10_events,
-    bench_fig11_sizes,
-    bench_minion_micro
+    bench_registry,
+    bench_minion_micro,
+    bench_fingerprint
 );
 criterion_main!(benches);

@@ -1,17 +1,25 @@
 //! Argument parsing and `main` bodies for the figure binaries and the
 //! `gm-run` driver.
 //!
-//! Parsing is strict: unknown flags print usage and exit non-zero
-//! instead of being silently ignored.
+//! Parsing is strict: unknown flags, unknown workload names, and
+//! malformed values print usage and exit non-zero instead of being
+//! silently ignored.
+//!
+//! Stream discipline: stdout carries only the report (tables, CSV,
+//! postambles) so it is byte-comparable across runs; everything
+//! operational — cache hit/miss summaries, per-experiment timing,
+//! store compaction notes, "wrote file" confirmations — goes to stderr.
 
-use crate::experiment::{self, Experiment};
-use crate::report::{experiment_json, run_experiment};
-use crate::runner::Runner;
+use crate::experiment::{self, apply_workload_filter, Experiment, ExperimentKind};
+use crate::merge;
+use crate::report::{experiment_json, report_text, run_experiment};
+use crate::runner::{Runner, Shard};
+use gm_results::ResultStore;
 use gm_stats::Json;
 use gm_workloads::Scale;
 
 /// Parsed command-line options, shared by `gm-run` and the per-figure
-/// binaries (which do not take `--list`/`--filter`).
+/// binaries (which do not take `--list`/`--filter`/`--shard`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Options {
     pub scale: Scale,
@@ -19,6 +27,14 @@ pub struct Options {
     pub jobs: usize,
     /// Write structured results to this path.
     pub json: Option<String>,
+    /// Restrict sweeps to these workload names.
+    pub workloads: Option<Vec<String>>,
+    /// Result-store directory for cache-aware re-runs.
+    pub store: Option<String>,
+    /// With `store`: exit non-zero if any job was simulated (cache miss).
+    pub expect_cached: bool,
+    /// Run only this partition of the job list (gm-run only).
+    pub shard: Option<Shard>,
     /// List registered experiments instead of running.
     pub list: bool,
     /// Substring filter selecting experiments to run (gm-run only).
@@ -32,6 +48,10 @@ impl Default for Options {
             scale: Scale::Test,
             jobs: 0,
             json: None,
+            workloads: None,
+            store: None,
+            expect_cached: false,
+            shard: None,
             list: false,
             filter: None,
             help: false,
@@ -41,29 +61,38 @@ impl Default for Options {
 
 /// Usage text. `selection` adds the `gm-run`-only flags.
 pub fn usage(program: &str, selection: bool) -> String {
-    let mut u = format!(
-        "usage: {program} [options]\n\
-         \n\
+    let mut u = format!("usage: {program} [options]\n");
+    if selection {
+        u.push_str("       gm-run merge <SHARD.json>... [--json <PATH>] [--jobs <N>]\n");
+    }
+    u.push_str(
+        "\n\
          options:\n\
          \x20 --scale <test|bench|full>  workload scale (default: test)\n\
          \x20 --full                     alias for --scale full\n\
          \x20 --bench                    alias for --scale bench\n\
          \x20 --jobs <N>                 worker threads (default: available parallelism)\n\
          \x20 --json <PATH>              write structured results to PATH\n\
-         \x20 --help                     show this help\n"
+         \x20 --workloads <a,b,...>      restrict sweeps to the named workloads\n\
+         \x20 --store <DIR>              result store: reuse cached job results, append new ones\n\
+         \x20 --expect-cached            with --store: fail if any job had to be simulated\n\
+         \x20 --help                     show this help\n",
     );
     if selection {
         u.push_str(
             "\x20 --list                     list registered experiments and exit\n\
-             \x20 --filter <SUBSTR>          run only experiments whose name contains SUBSTR\n",
+             \x20 --filter <SUBSTR>          run only experiments whose name contains SUBSTR\n\
+             \x20 --shard <K/N>              run the Kth of N job partitions (requires --json;\n\
+             \x20                            recombine with gm-run merge)\n",
         );
     }
     u
 }
 
 /// Parses `args` (without the program name). `selection` enables
-/// `--list`/`--filter`. Returns a human-readable error for unknown
-/// flags, missing values, or malformed values.
+/// `--list`/`--filter`/`--shard`. Returns a human-readable error for
+/// unknown flags, missing values, malformed values, and inconsistent
+/// combinations.
 pub fn parse(args: &[String], selection: bool) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
@@ -89,18 +118,38 @@ pub fn parse(args: &[String], selection: bool) -> Result<Options, String> {
                     })?;
             }
             "--json" => opts.json = Some(value("--json", &mut it)?),
+            "--workloads" => {
+                let v = value("--workloads", &mut it)?;
+                let names: Vec<String> = v.split(',').map(str::to_owned).collect();
+                if names.iter().any(String::is_empty) {
+                    return Err(format!(
+                        "invalid --workloads {v:?} (expected a comma-separated name list)"
+                    ));
+                }
+                opts.workloads = Some(names);
+            }
+            "--store" => opts.store = Some(value("--store", &mut it)?),
+            "--expect-cached" => opts.expect_cached = true,
+            "--shard" if selection => {
+                opts.shard = Some(Shard::parse(&value("--shard", &mut it)?)?);
+            }
             "--list" if selection => opts.list = true,
             "--filter" if selection => opts.filter = Some(value("--filter", &mut it)?),
             "--help" | "-h" => opts.help = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    if opts.expect_cached && opts.store.is_none() {
+        return Err("--expect-cached requires --store".into());
+    }
+    if opts.shard.is_some() && opts.json.is_none() && !opts.list && !opts.help {
+        return Err("--shard requires --json (the shard document is the run's output)".into());
+    }
     Ok(opts)
 }
 
-fn parse_or_exit(program: &str, selection: bool) -> Options {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse(&args, selection) {
+fn parse_or_exit(program: &str, args: &[String], selection: bool) -> Options {
+    match parse(args, selection) {
         Ok(opts) => {
             if opts.help {
                 print!("{}", usage(program, selection));
@@ -115,50 +164,202 @@ fn parse_or_exit(program: &str, selection: bool) -> Options {
     }
 }
 
-/// Runs `experiments` with `opts`, printing each report and writing the
+fn fail(program: &str, message: &str) -> ! {
+    eprintln!("{program}: {message}");
+    std::process::exit(1);
+}
+
+/// Opens the store named by `--store`, if any.
+fn open_store(program: &str, opts: &Options) -> Option<ResultStore> {
+    opts.store.as_ref().map(|dir| {
+        ResultStore::open(dir)
+            .unwrap_or_else(|e| fail(program, &format!("cannot open store {dir:?}: {e}")))
+    })
+}
+
+/// Writes the combined JSON document if `--json` was given.
+fn write_json(program: &str, opts_json: Option<&String>, doc: &Json) {
+    if let Some(path) = opts_json {
+        if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+            fail(program, &format!("cannot write {path:?}: {e}"));
+        }
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Compacts the store files this run touched, reporting anything that
+/// was actually rewritten.
+fn compact_store(program: &str, store: &ResultStore, experiments: &[Experiment]) {
+    for exp in experiments {
+        if !matches!(exp.kind, ExperimentKind::Sweep(_)) {
+            continue;
+        }
+        match store.compact(exp.name) {
+            Ok(stats) if stats.superseded > 0 || stats.corrupt > 0 => eprintln!(
+                "{program}: store: compacted {}: kept {}, dropped {} superseded and {} corrupt line(s)",
+                exp.name, stats.kept, stats.superseded, stats.corrupt
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!("warning: store compaction for {} failed: {e}", exp.name),
+        }
+    }
+}
+
+/// Enforces `--expect-cached` after a run.
+fn enforce_expect_cached(program: &str, opts: &Options, misses: usize) {
+    if opts.expect_cached && misses > 0 {
+        fail(
+            program,
+            &format!("--expect-cached: {misses} job(s) had to be simulated (cache miss)"),
+        );
+    }
+}
+
+fn seconds(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+/// Runs `experiments` unsharded, printing each report and writing the
 /// combined JSON if requested.
 fn run_and_emit(program: &str, experiments: &[Experiment], opts: &Options) {
+    let store = open_store(program, opts);
     let runner = Runner::new(opts.jobs);
     let mut emitted = Vec::new();
+    let mut misses = 0usize;
     for exp in experiments {
-        let out = run_experiment(&runner, exp, opts.scale);
-        for line in &out.preamble {
-            println!("{line}");
+        let out = run_experiment(&runner, exp, opts.scale, store.as_ref())
+            .unwrap_or_else(|e| fail(program, &format!("{}: {e}", exp.name)));
+        print!("{}", report_text(exp.title, &out));
+        if matches!(exp.kind, ExperimentKind::Sweep(_)) {
+            let mut line = format!(
+                "{program}: {}: {} job(s), {} cached, {} simulated in {:.2}s",
+                exp.name,
+                out.cache.hits + out.cache.misses,
+                out.cache.hits,
+                out.cache.misses,
+                seconds(out.sim_wall_us),
+            );
+            if let Some((label, us)) = &out.slowest {
+                line.push_str(&format!(" (slowest {label} {:.2}s)", seconds(*us)));
+            }
+            eprintln!("{line}");
         }
-        crate::emit(exp.title, &out.table);
-        for line in &out.postamble {
-            println!("{line}");
-        }
+        misses += out.cache.misses;
         if opts.json.is_some() {
             emitted.push(experiment_json(exp, opts.scale, &out));
         }
     }
-    if let Some(path) = &opts.json {
-        let mut doc = Json::object();
-        doc.set("generator", program)
-            .set("scale", opts.scale.name())
-            .set("experiments", Json::Array(emitted));
-        if let Err(e) = std::fs::write(path, doc.render() + "\n") {
-            eprintln!("{program}: cannot write {path:?}: {e}");
-            std::process::exit(1);
+    let mut doc = Json::object();
+    doc.set("generator", program)
+        .set("scale", opts.scale.name())
+        .set("experiments", Json::Array(emitted));
+    write_json(program, opts.json.as_ref(), &doc);
+    if let Some(store) = &store {
+        compact_store(program, store, experiments);
+    }
+    enforce_expect_cached(program, opts, misses);
+}
+
+/// Runs one shard of `experiments`: no stdout report (a shard cannot
+/// render normalised tables), just the shard JSON document plus stderr
+/// telemetry. Non-sweep experiments run on shard 1 only.
+fn run_shard_and_emit(program: &str, experiments: &[Experiment], opts: &Options, shard: Shard) {
+    let store = open_store(program, opts);
+    let runner = Runner::new(opts.jobs);
+    let mut entries = Vec::new();
+    let mut misses = 0usize;
+    for exp in experiments {
+        match &exp.kind {
+            ExperimentKind::Sweep(sweep) => {
+                let run = runner
+                    .run_sweep_shard(sweep, opts.scale, exp.name, store.as_ref(), shard)
+                    .unwrap_or_else(|e| fail(program, &format!("{}: {e}", exp.name)));
+                eprintln!(
+                    "{program}: shard {shard}: {}: {}/{} job(s), {} cached, {} simulated in {:.2}s",
+                    exp.name,
+                    run.owned_jobs(),
+                    run.total_jobs(),
+                    run.cache.hits,
+                    run.cache.misses,
+                    seconds(run.sim_wall_us()),
+                );
+                misses += run.cache.misses;
+                entries.push(merge::shard_entry(exp, opts.scale, &run, sweep));
+            }
+            ExperimentKind::Security | ExperimentKind::Table1 => {
+                if shard.index() != 1 {
+                    eprintln!(
+                        "{program}: shard {shard}: {}: non-sweep experiments run on shard 1, skipping",
+                        exp.name
+                    );
+                    continue;
+                }
+                let out = run_experiment(&runner, exp, opts.scale, None)
+                    .unwrap_or_else(|e| fail(program, &format!("{}: {e}", exp.name)));
+                entries.push(merge::shard_nonsweep_entry(exp, opts.scale, &out));
+            }
         }
-        eprintln!("wrote {path}");
+    }
+    let doc = merge::shard_doc(program, opts.scale, shard, entries);
+    write_json(program, opts.json.as_ref(), &doc);
+    if let Some(store) = &store {
+        compact_store(program, store, experiments);
+    }
+    enforce_expect_cached(program, opts, misses);
+}
+
+/// Applies `--workloads`, then dispatches to the unsharded or sharded
+/// run path.
+fn run_selected(program: &str, mut experiments: Vec<Experiment>, opts: &Options, selection: bool) {
+    if let Some(names) = &opts.workloads {
+        if let Err(e) = apply_workload_filter(&mut experiments, names) {
+            eprint!("{program}: {e}\n\n{}", usage(program, selection));
+            std::process::exit(2);
+        }
+        // A name can be valid for one suite and absent from another
+        // (e.g. `mcf` exists in SPEC2006 but not Parsec). Skip sweeps
+        // the filter emptied — loudly — rather than printing header-only
+        // tables for them.
+        experiments.retain(|e| {
+            let emptied = matches!(&e.kind,
+                ExperimentKind::Sweep(s) if s.workloads.as_deref() == Some(&[]));
+            if emptied {
+                eprintln!(
+                    "{program}: {}: no selected workload is in this suite, skipping",
+                    e.name
+                );
+            }
+            !emptied
+        });
+        if experiments.is_empty() {
+            fail(program, "--workloads left no experiment to run");
+        }
+    }
+    match opts.shard {
+        Some(shard) => run_shard_and_emit(program, &experiments, opts, shard),
+        None => run_and_emit(program, &experiments, opts),
     }
 }
 
 /// `main` body of a single-figure binary: strict flag parsing, then the
 /// named registry experiment.
 pub fn figure_main(name: &str) {
-    let opts = parse_or_exit(name, false);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_or_exit(name, &args, false);
     let exp =
         experiment::find(name).unwrap_or_else(|| panic!("{name} is not a registered experiment"));
-    run_and_emit(name, &[exp], &opts);
+    run_selected(name, vec![exp], &opts, false);
 }
 
-/// `main` body of the `gm-run` driver: `--list`, `--filter`, or the
-/// whole registry.
+/// `main` body of the `gm-run` driver: the `merge` subcommand, `--list`,
+/// `--filter`, or the whole registry.
 pub fn gm_run_main() {
-    let opts = parse_or_exit("gm-run", true);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        merge_main(&args[1..]);
+        return;
+    }
+    let opts = parse_or_exit("gm-run", &args, true);
     let selected = match &opts.filter {
         Some(pattern) => experiment::matching(pattern),
         None => experiment::registry(),
@@ -180,7 +381,89 @@ pub fn gm_run_main() {
         );
         std::process::exit(1);
     }
-    run_and_emit("gm-run", &selected, &opts);
+    run_selected("gm-run", selected, &opts, true);
+}
+
+fn merge_usage() -> String {
+    "usage: gm-run merge <SHARD.json>... [--json <PATH>] [--jobs <N>]\n\
+     \n\
+     Combines the JSON documents written by `gm-run --shard K/N --json ...`\n\
+     into one report, bit-identical to the unsharded run that a shared\n\
+     result store would produce: tables and CSV on stdout, the combined\n\
+     document to --json. All N shards must be present exactly once.\n"
+        .to_owned()
+}
+
+/// `gm-run merge`: recombine shard documents.
+fn merge_main(args: &[String]) {
+    let program = "gm-run";
+    let mut files: Vec<String> = Vec::new();
+    let mut json: Option<String> = None;
+    let mut jobs = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(v) => json = Some(v.clone()),
+                None => {
+                    eprint!("{program}: --json requires a value\n\n{}", merge_usage());
+                    std::process::exit(2);
+                }
+            },
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprint!(
+                            "{program}: --jobs requires a positive integer\n\n{}",
+                            merge_usage()
+                        );
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                print!("{}", merge_usage());
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => {
+                eprint!("{program}: unknown argument {flag:?}\n\n{}", merge_usage());
+                std::process::exit(2);
+            }
+            file => files.push(file.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        eprint!(
+            "{program}: merge needs at least one shard document\n\n{}",
+            merge_usage()
+        );
+        std::process::exit(2);
+    }
+    let docs: Vec<Json> = files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(program, &format!("cannot read {path:?}: {e}")));
+            Json::parse(&text)
+                .unwrap_or_else(|e| fail(program, &format!("cannot parse {path:?}: {e}")))
+        })
+        .collect();
+    let merged = merge::merge_docs(&docs, &Runner::new(jobs))
+        .unwrap_or_else(|e| fail(program, &format!("merge: {e}")));
+    let mut emitted = Vec::new();
+    for (exp, out) in &merged.outputs {
+        print!("{}", report_text(exp.title, out));
+        if json.is_some() {
+            emitted.push(experiment_json(exp, merged.scale, out));
+        }
+    }
+    let mut doc = Json::object();
+    doc.set("generator", program)
+        .set("scale", merged.scale.name())
+        .set("experiments", Json::Array(emitted));
+    write_json(program, json.as_ref(), &doc);
 }
 
 #[cfg(test)]
@@ -203,6 +486,39 @@ mod tests {
         assert_eq!(o.jobs, 4);
         assert_eq!(o.json.as_deref(), Some("out.json"));
         assert!(!o.list && o.filter.is_none() && !o.help);
+        assert!(o.workloads.is_none() && o.store.is_none());
+        assert!(!o.expect_cached && o.shard.is_none());
+    }
+
+    #[test]
+    fn parses_the_store_and_shard_flags() {
+        let o = parse(
+            &args(&[
+                "--store",
+                ".gm-store",
+                "--expect-cached",
+                "--shard",
+                "2/4",
+                "--json",
+                "s.json",
+            ]),
+            true,
+        )
+        .unwrap();
+        assert_eq!(o.store.as_deref(), Some(".gm-store"));
+        assert!(o.expect_cached);
+        assert_eq!(o.shard, Some(Shard::new(2, 4).unwrap()));
+    }
+
+    #[test]
+    fn parses_workload_lists() {
+        let o = parse(&args(&["--workloads", "mcf,lbm,povray"]), false).unwrap();
+        assert_eq!(
+            o.workloads.as_deref().unwrap(),
+            ["mcf".to_owned(), "lbm".to_owned(), "povray".to_owned()]
+        );
+        assert!(parse(&args(&["--workloads", ""]), false).is_err());
+        assert!(parse(&args(&["--workloads", "a,,b"]), false).is_err());
     }
 
     #[test]
@@ -229,6 +545,7 @@ mod tests {
         let o = parse(&args(&["--filter", "fig1"]), true).unwrap();
         assert_eq!(o.filter.as_deref(), Some("fig1"));
         assert!(parse(&args(&["--filter", "fig1"]), false).is_err());
+        assert!(parse(&args(&["--shard", "1/2", "--json", "s.json"]), false).is_err());
     }
 
     #[test]
@@ -238,15 +555,42 @@ mod tests {
         assert!(parse(&args(&["--jobs", "many"]), false).is_err());
         assert!(parse(&args(&["--jobs"]), false).is_err());
         assert!(parse(&args(&["--json"]), false).is_err());
+        assert!(parse(&args(&["--store"]), false).is_err());
+        assert!(parse(&args(&["--shard", "0/4", "--json", "s.json"]), true).is_err());
+        assert!(parse(&args(&["--shard", "nope", "--json", "s.json"]), true).is_err());
+    }
+
+    #[test]
+    fn inconsistent_combinations_are_rejected() {
+        let e = parse(&args(&["--expect-cached"]), false).unwrap_err();
+        assert!(e.contains("--store"), "{e}");
+        let e = parse(&args(&["--shard", "1/2"]), true).unwrap_err();
+        assert!(e.contains("--json"), "{e}");
+        // --list and --help escape the --json requirement (nothing runs).
+        assert!(parse(&args(&["--shard", "1/2", "--list"]), true).is_ok());
+        assert!(parse(&args(&["--shard", "1/2", "--help"]), true).is_ok());
     }
 
     #[test]
     fn usage_mentions_every_flag() {
         let u = usage("gm-run", true);
-        for flag in ["--scale", "--jobs", "--json", "--list", "--filter"] {
+        for flag in [
+            "--scale",
+            "--jobs",
+            "--json",
+            "--workloads",
+            "--store",
+            "--expect-cached",
+            "--list",
+            "--filter",
+            "--shard",
+            "merge",
+        ] {
             assert!(u.contains(flag), "{flag} missing from usage");
         }
-        assert!(!usage("fig6", false).contains("--filter"));
+        let fig = usage("fig6", false);
+        assert!(!fig.contains("--filter") && !fig.contains("--shard"));
+        assert!(fig.contains("--store") && fig.contains("--workloads"));
     }
 
     #[test]

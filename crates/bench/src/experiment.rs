@@ -223,6 +223,51 @@ pub fn find(name: &str) -> Option<Experiment> {
     registry().into_iter().find(|e| e.name == name)
 }
 
+/// Restricts every selected sweep to the workloads in `names`
+/// (intersected with any existing `Sweep::workloads` filter, suite
+/// order preserved). Errors — reported with usage and exit 2 by the CLI
+/// — if a name matches no selected sweep's suite, or if no selected
+/// experiment sweeps workloads at all.
+pub fn apply_workload_filter(
+    experiments: &mut [Experiment],
+    names: &[String],
+) -> Result<(), String> {
+    let mut known: Vec<&'static str> = Vec::new();
+    for e in experiments.iter() {
+        if let ExperimentKind::Sweep(s) = &e.kind {
+            known.extend(
+                WorkloadSet::new(s.suite, Scale::Test)
+                    .units
+                    .iter()
+                    .map(|u| u.name),
+            );
+        }
+    }
+    if known.is_empty() {
+        return Err("--workloads: no selected experiment sweeps workloads".into());
+    }
+    for n in names {
+        if !known.contains(&n.as_str()) {
+            return Err(format!(
+                "unknown workload {n:?} for the selected experiments"
+            ));
+        }
+    }
+    for e in experiments.iter_mut() {
+        if let ExperimentKind::Sweep(s) = &mut e.kind {
+            let keep: Vec<&'static str> = WorkloadSet::new(s.suite, Scale::Test)
+                .units
+                .iter()
+                .map(|u| u.name)
+                .filter(|n| names.iter().any(|m| m == n))
+                .filter(|n| s.workloads.as_ref().map_or(true, |prev| prev.contains(n)))
+                .collect();
+            s.workloads = Some(keep);
+        }
+    }
+    Ok(())
+}
+
 /// All experiments whose name contains `pattern`.
 pub fn matching(pattern: &str) -> Vec<Experiment> {
     registry()

@@ -9,9 +9,13 @@
 //!   [`experiment::registry`] holds all ten of them;
 //! * [`runner`] — expands a sweep into independent (workload × scheme)
 //!   jobs and executes them on a scoped thread pool with deterministic
-//!   result ordering;
+//!   result ordering; consults a [`gm_results::ResultStore`] before
+//!   simulating (cache-aware re-runs) and partitions the job list under
+//!   a [`runner::Shard`];
 //! * [`report`] — turns raw [`MachineResult`]s into the figures' tables
-//!   and structured JSON;
+//!   and structured JSON (per-job [`gm_results::record`] objects);
+//! * [`merge`] — shard documents and the `gm-run merge` recombination,
+//!   bit-identical to an unsharded run;
 //! * [`cli`] — argument parsing plus the `main` bodies of the thin
 //!   figure binaries and the `gm-run` driver.
 //!
@@ -20,14 +24,14 @@
 
 pub mod cli;
 pub mod experiment;
+pub mod merge;
 pub mod report;
 pub mod runner;
 
 pub use experiment::{Experiment, ExperimentKind, Report, SchemeCol, Sweep};
-pub use runner::Runner;
+pub use runner::{CacheStats, Job, Runner, Shard, SweepRun};
 
 use ghostminion::{Machine, MachineResult, Scheme, SystemConfig};
-use gm_stats::Table;
 use gm_workloads::WorkloadUnit;
 
 /// Runs one workload unit (any thread count) under `scheme`, with the
@@ -36,13 +40,4 @@ use gm_workloads::WorkloadUnit;
 pub fn run_unit(scheme: Scheme, unit: &WorkloadUnit, cfg: SystemConfig) -> MachineResult {
     let mut m = Machine::new(scheme, cfg, unit.programs.clone());
     m.run(cfg.max_cycles)
-}
-
-/// Prints a table in both human and CSV form, the convention all
-/// binaries follow.
-pub fn emit(title: &str, table: &Table) {
-    println!("== {title} ==\n");
-    println!("{}", table.render());
-    println!("-- csv --");
-    println!("{}", table.to_csv());
 }

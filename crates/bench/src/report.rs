@@ -2,15 +2,16 @@
 //! lines, and structured JSON.
 
 use crate::experiment::{Experiment, ExperimentKind, Report, Sweep};
-use crate::runner::{Runner, SweepResults};
+use crate::runner::{CacheStats, Runner, Shard, SweepResults, SweepRun};
 use ghostminion::{Scheme, SystemConfig};
 use gm_attacks::{run_all, spectre_rewind, spectre_v1_string};
+use gm_results::{job_record, ResultStore};
 use gm_stats::{geomean, Json, Table};
 use gm_workloads::Scale;
 
 /// Everything one experiment produces: lines printed before the table,
-/// the table itself, lines printed after it, and the raw per-job results
-/// for JSON output.
+/// the table itself, lines printed after it, the raw per-job results
+/// for JSON output, and runner telemetry for the stderr summary.
 #[derive(Debug)]
 pub struct ExperimentOutput {
     pub preamble: Vec<String>,
@@ -18,29 +19,89 @@ pub struct ExperimentOutput {
     pub postamble: Vec<String>,
     /// Per-job raw results (empty array for non-sweep experiments).
     pub results: Json,
+    /// Cache hit/miss counts (zero for non-sweep experiments; without a
+    /// store every job is a miss).
+    pub cache: CacheStats,
+    /// Wall-clock spent simulating cache misses, µs.
+    pub sim_wall_us: u64,
+    /// Slowest simulated job as ("workload/scheme", µs).
+    pub slowest: Option<(String, u64)>,
 }
 
-/// Executes one registered experiment end to end.
-pub fn run_experiment(runner: &Runner, exp: &Experiment, scale: Scale) -> ExperimentOutput {
+impl ExperimentOutput {
+    fn non_sweep(
+        table: Table,
+        preamble: Vec<String>,
+        postamble: Vec<String>,
+        results: Json,
+    ) -> Self {
+        Self {
+            preamble,
+            table,
+            postamble,
+            results,
+            cache: CacheStats::default(),
+            sim_wall_us: 0,
+            slowest: None,
+        }
+    }
+}
+
+/// Executes one registered experiment end to end, consulting (and
+/// feeding) `store` for sweep jobs.
+pub fn run_experiment(
+    runner: &Runner,
+    exp: &Experiment,
+    scale: Scale,
+    store: Option<&ResultStore>,
+) -> Result<ExperimentOutput, String> {
     match &exp.kind {
         ExperimentKind::Sweep(sweep) => {
-            let results = runner.run_sweep(sweep, scale);
+            let run = runner.run_sweep_shard(sweep, scale, exp.name, store, Shard::full())?;
+            let results = run.to_results();
             let (preamble, table, postamble) = render_sweep(sweep, &results);
-            ExperimentOutput {
+            Ok(ExperimentOutput {
                 preamble,
                 table,
                 postamble,
-                results: sweep_results_json(sweep, &results),
-            }
+                results: sweep_results_json(sweep, &run),
+                cache: run.cache,
+                sim_wall_us: run.sim_wall_us(),
+                slowest: run.slowest_sim(sweep),
+            })
         }
-        ExperimentKind::Security => security_report(runner),
-        ExperimentKind::Table1 => ExperimentOutput {
-            preamble: Vec::new(),
-            table: table1_table(&SystemConfig::micro2021()),
-            postamble: Vec::new(),
-            results: Json::Array(Vec::new()),
-        },
+        ExperimentKind::Security => Ok(security_report(runner)),
+        ExperimentKind::Table1 => Ok(ExperimentOutput::non_sweep(
+            table1_table(&SystemConfig::micro2021()),
+            Vec::new(),
+            Vec::new(),
+            Json::Array(Vec::new()),
+        )),
     }
+}
+
+/// The exact stdout of one experiment: preamble lines, the table in
+/// human and CSV form, postamble lines. `gm-run`, the figure binaries,
+/// and `gm-run merge` all print this string, which is what makes
+/// "merged output is bit-identical to an unsharded run" a string
+/// equality.
+pub fn report_text(title: &str, out: &ExperimentOutput) -> String {
+    let mut s = String::new();
+    for line in &out.preamble {
+        s.push_str(line);
+        s.push('\n');
+    }
+    s.push_str(&format!("== {title} ==\n\n"));
+    s.push_str(&out.table.render());
+    s.push('\n');
+    s.push_str("-- csv --\n");
+    s.push_str(&out.table.to_csv());
+    s.push('\n');
+    for line in &out.postamble {
+        s.push_str(line);
+        s.push('\n');
+    }
+    s
 }
 
 /// Renders a sweep's results according to its report rule.
@@ -180,25 +241,23 @@ fn strict_fu_table(res: &SweepResults) -> Table {
     table
 }
 
-/// The raw (workload × scheme) results as a JSON array: enough metadata
-/// per job to re-derive any figure offline.
-pub fn sweep_results_json(sweep: &Sweep, res: &SweepResults) -> Json {
+/// The raw (workload × scheme) results as a JSON array of
+/// [`gm_results::record`] objects: enough metadata per job to re-derive
+/// any figure offline, reconstruct a [`ghostminion::MachineResult`]
+/// (`gm-run merge` does exactly that), or seed a result store. Jobs
+/// owned by other shards are simply absent.
+pub fn sweep_results_json(sweep: &Sweep, run: &SweepRun) -> Json {
     let mut jobs = Vec::new();
-    for (unit, row_results) in res.set.units.iter().zip(&res.rows) {
-        for (col, r) in sweep.schemes.iter().zip(row_results) {
-            let mut counters = Json::object();
-            for (name, value) in r.mem_stats.iter() {
-                counters.set(name, value);
-            }
-            let mut job = Json::object();
-            job.set("workload", unit.name)
-                .set("scheme", col.label.as_str())
-                .set("scheme_name", r.scheme_name)
-                .set("threads", r.threads)
-                .set("cycles", r.cycles)
-                .set("committed", r.committed())
-                .set("counters", counters);
-            jobs.push(job);
+    for (unit, row) in run.set.units.iter().zip(&run.rows) {
+        for (col, job) in sweep.schemes.iter().zip(row) {
+            let Some(job) = job else { continue };
+            jobs.push(job_record(
+                unit.name,
+                &col.label,
+                &job.result,
+                job.wall_us,
+                &job.fingerprint,
+            ));
         }
     }
     Json::Array(jobs)
@@ -256,12 +315,7 @@ fn security_report(runner: &Runner) -> ExperimentOutput {
         String::from_utf8_lossy(&recovered)
     )];
 
-    ExperimentOutput {
-        preamble: Vec::new(),
-        table,
-        postamble,
-        results: Json::Array(results),
-    }
+    ExperimentOutput::non_sweep(table, Vec::new(), postamble, Json::Array(results))
 }
 
 /// Table 1 as a component/configuration table.

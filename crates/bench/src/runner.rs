@@ -1,4 +1,4 @@
-//! Parallel job execution for experiment sweeps.
+//! Parallel, cache-aware job execution for experiment sweeps.
 //!
 //! Each `Machine` run is self-contained (no shared mutable state), so a
 //! sweep expands into independent (workload × scheme) jobs executed on a
@@ -6,13 +6,114 @@
 //! the output — tables, geomeans, JSON — is bit-identical no matter how
 //! many workers run (`--jobs 1` vs `--jobs N` is a pure wall-clock
 //! difference).
+//!
+//! Two orthogonal features layer on top of the pool:
+//!
+//! * **Caching** — with a [`ResultStore`], each job's
+//!   [`gm_results::job_fingerprint`] is looked up before simulating; a
+//!   hit reconstructs the stored [`MachineResult`] (and its original
+//!   wall-clock) instead of re-running, a miss simulates and appends the
+//!   record the moment the job finishes, so interrupted runs keep their
+//!   completed work.
+//! * **Sharding** — a [`Shard`] deterministically partitions the flat
+//!   job list (`flat_index % count == index - 1`), so N machines can
+//!   split one experiment and `gm-run merge` can recombine the outputs.
+//!   Unowned jobs are simply `None` in the result grid.
 
 use crate::experiment::Sweep;
 use crate::run_unit;
 use ghostminion::MachineResult;
+use gm_results::{job_fingerprint, job_record, record_wall_us, result_from_record, ResultStore};
 use gm_workloads::{Scale, WorkloadSet};
+use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// One deterministic partition of a job list: the `index`th (1-based) of
+/// `count` round-robin slices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    index: u32,
+    count: u32,
+}
+
+impl Shard {
+    /// The trivial partition that owns every job.
+    pub fn full() -> Self {
+        Self { index: 1, count: 1 }
+    }
+
+    /// Shard `index` of `count`; `index` is 1-based.
+    pub fn new(index: u32, count: u32) -> Result<Self, String> {
+        if count == 0 || index == 0 || index > count {
+            return Err(format!(
+                "invalid shard {index}/{count} (expected 1 <= K <= N)"
+            ));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses the CLI form `K/N`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let err = || format!("invalid --shard {text:?} (expected K/N, e.g. 2/4)");
+        let (k, n) = text.split_once('/').ok_or_else(err)?;
+        let index = k.parse::<u32>().map_err(|_| err())?;
+        let count = n.parse::<u32>().map_err(|_| err())?;
+        Self::new(index, count).map_err(|_| err())
+    }
+
+    /// Whether this shard owns the job at `flat_index` in the expanded
+    /// job list. Round-robin, so long and short workloads spread evenly
+    /// across shards.
+    pub fn owns(&self, flat_index: usize) -> bool {
+        flat_index % self.count as usize == (self.index - 1) as usize
+    }
+
+    /// 1-based shard index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Total number of shards.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether this is the trivial single-shard partition.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Cache outcome counts for one sweep run. Without a store every owned
+/// job counts as a miss (it had to be simulated).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: usize,
+    pub misses: usize,
+}
+
+/// One finished job: the simulation result plus its store metadata.
+#[derive(Debug)]
+pub struct Job {
+    pub result: MachineResult,
+    /// Wall-clock of the simulation, µs. Cache hits report the wall of
+    /// the run that originally produced the result, so store-backed
+    /// outputs are reproducible byte for byte.
+    pub wall_us: u64,
+    /// Content address of the job (see [`gm_results::fingerprint`]).
+    pub fingerprint: String,
+    /// Whether the result was reconstructed from the store.
+    pub cached: bool,
+}
 
 /// Executes independent jobs across a fixed number of worker threads.
 #[derive(Clone, Copy, Debug)]
@@ -85,22 +186,97 @@ impl Runner {
     }
 
     /// Expands `sweep` at `scale` into (workload × scheme) jobs, runs
-    /// them, and returns results in (workload, scheme) order.
-    pub fn run_sweep(&self, sweep: &Sweep, scale: Scale) -> SweepResults {
+    /// this shard's slice of them — consulting `store` before simulating
+    /// and appending fresh results to it — and returns the job grid.
+    ///
+    /// `experiment` names the store file. A store whose record fails to
+    /// reconstruct (corrupt line, old format version) degrades to a
+    /// cache miss and re-simulates; the subsequent append supersedes the
+    /// bad record, so the store heals itself.
+    pub fn run_sweep_shard(
+        &self,
+        sweep: &Sweep,
+        scale: Scale,
+        experiment: &str,
+        store: Option<&ResultStore>,
+        shard: Shard,
+    ) -> Result<SweepRun, String> {
         let set = sweep.workload_set(scale);
         let nschemes = sweep.schemes.len();
-        let jobs: Vec<(usize, usize)> = (0..set.units.len())
+        let owned: Vec<(usize, usize)> = (0..set.units.len())
             .flat_map(|u| (0..nschemes).map(move |s| (u, s)))
+            .enumerate()
+            .filter(|&(flat, _)| shard.owns(flat))
+            .map(|(_, job)| job)
             .collect();
-        let flat = self.map(&jobs, |&(u, s)| {
-            run_unit(sweep.schemes[s].scheme, &set.units[u], sweep.config)
+        let cached: HashMap<String, gm_stats::Json> = match store {
+            Some(st) => {
+                st.load(experiment)
+                    .map_err(|e| format!("cannot load store for {experiment}: {e}"))?
+                    .records
+            }
+            None => HashMap::new(),
+        };
+        let jobs = self.map(&owned, |&(u, s)| {
+            let unit = &set.units[u];
+            let scheme = sweep.schemes[s].scheme;
+            let fingerprint = job_fingerprint(unit, &scheme, scale, &sweep.config);
+            if let Some(record) = cached.get(&fingerprint) {
+                let reconstructed = result_from_record(record, unit.name, scheme.name())
+                    .and_then(|result| Ok((result, record_wall_us(record)?)));
+                if let Ok((result, wall_us)) = reconstructed {
+                    return Job {
+                        result,
+                        wall_us,
+                        fingerprint,
+                        cached: true,
+                    };
+                }
+            }
+            let started = Instant::now();
+            let result = run_unit(scheme, unit, sweep.config);
+            let wall_us = started.elapsed().as_micros() as u64;
+            if let Some(st) = store {
+                let record = job_record(
+                    unit.name,
+                    &sweep.schemes[s].label,
+                    &result,
+                    wall_us,
+                    &fingerprint,
+                );
+                if let Err(e) = st.append(experiment, &record) {
+                    // Losing cache warmth is not worth failing the run.
+                    eprintln!("warning: cannot append to store for {experiment}: {e}");
+                }
+            }
+            Job {
+                result,
+                wall_us,
+                fingerprint,
+                cached: false,
+            }
         });
-        let mut rows: Vec<Vec<MachineResult>> = Vec::with_capacity(set.units.len());
-        let mut flat = flat.into_iter();
-        for _ in 0..set.units.len() {
-            rows.push(flat.by_ref().take(nschemes).collect());
+        let mut rows: Vec<Vec<Option<Job>>> = (0..set.units.len())
+            .map(|_| (0..nschemes).map(|_| None).collect())
+            .collect();
+        let mut cache = CacheStats::default();
+        for (&(u, s), job) in owned.iter().zip(jobs) {
+            if job.cached {
+                cache.hits += 1;
+            } else {
+                cache.misses += 1;
+            }
+            rows[u][s] = Some(job);
         }
-        SweepResults { set, rows }
+        Ok(SweepRun { set, rows, cache })
+    }
+
+    /// Runs the complete sweep with no store: the cache-free,
+    /// single-shard fast path used by tests and benches.
+    pub fn run_sweep(&self, sweep: &Sweep, scale: Scale) -> SweepResults {
+        self.run_sweep_shard(sweep, scale, "", None, Shard::full())
+            .expect("storeless runs cannot fail")
+            .into_results()
     }
 }
 
@@ -116,6 +292,100 @@ impl Default for Runner {
 pub struct SweepResults {
     pub set: WorkloadSet,
     pub rows: Vec<Vec<MachineResult>>,
+}
+
+/// The job grid a (possibly sharded, possibly cached) sweep run
+/// produced: `rows[workload][scheme]` is `None` for jobs owned by other
+/// shards.
+#[derive(Debug)]
+pub struct SweepRun {
+    pub set: WorkloadSet,
+    pub rows: Vec<Vec<Option<Job>>>,
+    pub cache: CacheStats,
+}
+
+impl SweepRun {
+    /// Number of jobs this run owns (ran or reconstructed).
+    pub fn owned_jobs(&self) -> usize {
+        self.rows.iter().flatten().filter(|j| j.is_some()).count()
+    }
+
+    /// Total number of jobs in the full grid.
+    pub fn total_jobs(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Total wall-clock spent actually simulating (cache misses), µs.
+    pub fn sim_wall_us(&self) -> u64 {
+        self.rows
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|j| !j.cached)
+            .map(|j| j.wall_us)
+            .sum()
+    }
+
+    /// The slowest simulated job as (`workload/scheme`, µs).
+    pub fn slowest_sim(&self, sweep: &Sweep) -> Option<(String, u64)> {
+        let mut best: Option<(String, u64)> = None;
+        for (unit, row) in self.set.units.iter().zip(&self.rows) {
+            for (col, job) in sweep.schemes.iter().zip(row) {
+                let Some(job) = job else { continue };
+                let beats = match &best {
+                    None => true,
+                    Some((_, us)) => job.wall_us > *us,
+                };
+                if !job.cached && beats {
+                    best = Some((format!("{}/{}", unit.name, col.label), job.wall_us));
+                }
+            }
+        }
+        best
+    }
+
+    /// Collapses a complete (single-shard) run into plain results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job is missing — callers must not use this on
+    /// partial shard runs.
+    pub fn into_results(self) -> SweepResults {
+        let rows = self
+            .rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|j| j.expect("into_results on a partial shard run").result)
+                    .collect()
+            })
+            .collect();
+        SweepResults {
+            set: self.set,
+            rows,
+        }
+    }
+
+    /// Borrows the grid as plain results, panicking on missing jobs.
+    pub fn to_results(&self) -> SweepResults {
+        SweepResults {
+            set: self.set.clone(),
+            rows: self
+                .rows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|j| {
+                            j.as_ref()
+                                .expect("to_results on a partial shard run")
+                                .result
+                                .clone()
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +413,28 @@ mod tests {
     fn map_on_empty_input_is_empty() {
         let got: Vec<u64> = Runner::new(4).map(&[] as &[u64], |&x| x);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn shard_parsing_is_strict() {
+        assert_eq!(Shard::parse("1/1").unwrap(), Shard::full());
+        let s = Shard::parse("2/4").unwrap();
+        assert_eq!((s.index(), s.count()), (2, 4));
+        assert_eq!(s.to_string(), "2/4");
+        assert!(!s.is_full());
+        for bad in ["", "2", "0/4", "5/4", "2/0", "a/4", "2/b", "1/2/3", "-1/4"] {
+            assert!(Shard::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn shards_partition_any_job_list() {
+        for n in 1..=7u32 {
+            let shards: Vec<Shard> = (1..=n).map(|k| Shard::new(k, n).unwrap()).collect();
+            for job in 0..100usize {
+                let owners = shards.iter().filter(|s| s.owns(job)).count();
+                assert_eq!(owners, 1, "job {job} must have exactly one of {n} owners");
+            }
+        }
     }
 }

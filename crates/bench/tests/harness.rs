@@ -1,12 +1,44 @@
 //! Integration tests for the experiment harness: the parallel runner
-//! must be a pure wall-clock optimisation — tables, CSV and JSON have to
-//! be bit-identical to the serial run.
+//! must be a pure wall-clock optimisation (tables, CSV and JSON
+//! bit-identical to the serial run), a warm result store must eliminate
+//! re-simulation entirely, and any `--shard K/N` split must merge back
+//! into a report bit-identical to the unsharded `--jobs 1` run.
 
 use ghostminion::{Scheme, SystemConfig};
-use gm_bench::experiment::{Report, SchemeCol, Sweep};
-use gm_bench::report::{render_sweep, sweep_results_json};
-use gm_bench::Runner;
+use gm_bench::experiment::{self, apply_workload_filter, ExperimentKind, Report, SchemeCol, Sweep};
+use gm_bench::merge::{merge_docs, shard_doc, shard_entry};
+use gm_bench::report::{render_sweep, report_text, run_experiment, sweep_results_json};
+use gm_bench::{Runner, Shard};
+use gm_results::ResultStore;
 use gm_workloads::{Scale, Suite};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A unique scratch directory under the system temp dir, removed on
+/// drop (the offline environment has no `tempfile` crate).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        Self(std::env::temp_dir().join(format!(
+            "gm-harness-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+
+    fn store(&self) -> ResultStore {
+        ResultStore::open(&self.0).expect("scratch store opens")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
 
 fn small_sweep(suite: Suite, workloads: Vec<&'static str>) -> Sweep {
     Sweep {
@@ -31,22 +63,78 @@ fn jobs4_is_bit_identical_to_jobs1() {
     let (_, t4, _) = render_sweep(&sweep, &parallel);
     assert_eq!(t1.render(), t4.render(), "table must not depend on --jobs");
     assert_eq!(t1.to_csv(), t4.to_csv(), "CSV must not depend on --jobs");
+}
+
+#[test]
+fn store_backed_json_is_bit_identical_across_worker_counts() {
+    // Per-job JSON carries wall-clock, so byte-identity across runs holds
+    // when both runs replay the same store (hits report the stored wall).
+    let scratch = Scratch::new("jobs-json");
+    let store = scratch.store();
+    let sweep = small_sweep(Suite::Spec2006, vec!["gamess", "hmmer"]);
+    let warm = Runner::new(2)
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .unwrap();
+    assert_eq!(warm.cache.misses, 4);
+
+    let serial = Runner::new(1)
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .unwrap();
+    let parallel = Runner::new(4)
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .unwrap();
     assert_eq!(
         sweep_results_json(&sweep, &serial).render(),
         sweep_results_json(&sweep, &parallel).render(),
-        "JSON must not depend on --jobs"
+        "store-backed JSON must not depend on --jobs"
+    );
+    assert_eq!(
+        sweep_results_json(&sweep, &warm).render(),
+        sweep_results_json(&sweep, &serial).render(),
+        "cache hits must replay the original records bit for bit"
     );
 }
 
 #[test]
-fn normalized_sweep_has_rows_plus_geomean() {
+fn a_warm_store_eliminates_all_simulation() {
+    let scratch = Scratch::new("warm");
+    let store = scratch.store();
     let sweep = small_sweep(Suite::Spec2006, vec!["gamess", "hmmer"]);
-    let res = Runner::new(2).run_sweep(&sweep, Scale::Test);
-    let (_, table, _) = render_sweep(&sweep, &res);
-    assert_eq!(table.len(), 3, "two workloads + geomean");
-    let csv = table.to_csv();
-    assert!(csv.starts_with("workload,GhostMinion"));
-    assert!(csv.contains("geomean"));
+
+    let cold = Runner::new(2)
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .unwrap();
+    assert_eq!((cold.cache.hits, cold.cache.misses), (0, 4));
+    assert!(cold.sim_wall_us() > 0, "misses must record wall-clock");
+    assert!(cold.slowest_sim(&sweep).is_some());
+
+    let warm = Runner::new(2)
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .unwrap();
+    assert_eq!((warm.cache.hits, warm.cache.misses), (4, 0));
+    assert_eq!(warm.sim_wall_us(), 0, "zero re-simulation on a warm store");
+    assert!(warm.slowest_sim(&sweep).is_none());
+
+    // The replayed grid renders the same report.
+    let (_, cold_table, _) = render_sweep(&sweep, &cold.to_results());
+    let (_, warm_table, _) = render_sweep(&sweep, &warm.to_results());
+    assert_eq!(cold_table.render(), warm_table.render());
+}
+
+#[test]
+fn a_config_change_invalidates_the_cache() {
+    let scratch = Scratch::new("invalidate");
+    let store = scratch.store();
+    let mut sweep = small_sweep(Suite::Spec2006, vec!["gamess"]);
+    Runner::new(1)
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .unwrap();
+    // Any behavioural knob flips the fingerprint; the warm store misses.
+    sweep.config.core.rob_entries -= 1;
+    let run = Runner::new(1)
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .unwrap();
+    assert_eq!((run.cache.hits, run.cache.misses), (0, 2));
 }
 
 #[test]
@@ -62,10 +150,23 @@ fn the_same_sweep_loop_handles_multithreaded_units() {
 }
 
 #[test]
-fn sweep_json_carries_per_job_metadata() {
+fn normalized_sweep_has_rows_plus_geomean() {
+    let sweep = small_sweep(Suite::Spec2006, vec!["gamess", "hmmer"]);
+    let res = Runner::new(2).run_sweep(&sweep, Scale::Test);
+    let (_, table, _) = render_sweep(&sweep, &res);
+    assert_eq!(table.len(), 3, "two workloads + geomean");
+    let csv = table.to_csv();
+    assert!(csv.starts_with("workload,GhostMinion"));
+    assert!(csv.contains("geomean"));
+}
+
+#[test]
+fn sweep_json_carries_per_job_records() {
     let sweep = small_sweep(Suite::Spec2006, vec!["gamess"]);
-    let res = Runner::new(1).run_sweep(&sweep, Scale::Test);
-    let json = sweep_results_json(&sweep, &res).render();
+    let run = Runner::new(1)
+        .run_sweep_shard(&sweep, Scale::Test, "t", None, Shard::full())
+        .unwrap();
+    let json = sweep_results_json(&sweep, &run).render();
     for field in [
         "\"workload\":\"gamess\"",
         "\"scheme\":\"Unsafe\"",
@@ -73,8 +174,124 @@ fn sweep_json_carries_per_job_metadata() {
         "\"threads\":1",
         "\"cycles\":",
         "\"committed\":",
+        "\"wall_us\":",
+        "\"fingerprint\":",
         "\"counters\":{",
+        "\"cores\":[{",
     ] {
         assert!(json.contains(field), "{field} missing from {json}");
+    }
+}
+
+#[test]
+fn workload_filter_is_strict_and_intersects() {
+    let mut experiments = vec![experiment::find("fig6").unwrap()];
+    let err = apply_workload_filter(&mut experiments, &["not-a-workload".to_owned()]).unwrap_err();
+    assert!(err.contains("unknown workload"), "{err}");
+
+    apply_workload_filter(&mut experiments, &["hmmer".to_owned(), "gamess".to_owned()]).unwrap();
+    let ExperimentKind::Sweep(sweep) = &experiments[0].kind else {
+        panic!("fig6 is a sweep");
+    };
+    // Suite order, not request order.
+    assert_eq!(
+        sweep.workloads.as_deref(),
+        Some(["gamess", "hmmer"].as_slice())
+    );
+
+    // Intersecting an existing filter narrows it.
+    apply_workload_filter(&mut experiments, &["hmmer".to_owned(), "mcf".to_owned()]).unwrap();
+    let ExperimentKind::Sweep(sweep) = &experiments[0].kind else {
+        panic!("fig6 is a sweep");
+    };
+    assert_eq!(sweep.workloads.as_deref(), Some(["hmmer"].as_slice()));
+
+    // Non-sweep-only selections reject the flag outright.
+    let mut t1 = vec![experiment::find("table1").unwrap()];
+    assert!(apply_workload_filter(&mut t1, &["gamess".to_owned()]).is_err());
+}
+
+/// One sharded end-to-end round at `n` shards for the scoped-down
+/// `fu_order` registry experiment, against a shared warm store:
+/// partition must be disjoint and covering, and the merged report must
+/// be bit-identical to the unsharded `--jobs 1` run.
+fn shard_round(n: u32, store: &ResultStore, reference: &(String, String)) {
+    let mut experiments = vec![experiment::find("fu_order").unwrap()];
+    apply_workload_filter(&mut experiments, &["gamess".to_owned(), "hmmer".to_owned()]).unwrap();
+    let exp = &experiments[0];
+    let ExperimentKind::Sweep(sweep) = &exp.kind else {
+        panic!("fu_order is a sweep");
+    };
+
+    let mut docs = Vec::new();
+    let mut owned_per_job: Vec<usize> = Vec::new();
+    for k in 1..=n {
+        let shard = Shard::new(k, n).unwrap();
+        let run = Runner::new(1)
+            .run_sweep_shard(sweep, Scale::Test, exp.name, Some(store), shard)
+            .unwrap();
+        assert_eq!(run.cache.misses, 0, "warm store: shards never simulate");
+        // Flatten ownership in job order.
+        let flat: Vec<bool> = run
+            .rows
+            .iter()
+            .flat_map(|row| row.iter().map(Option::is_some))
+            .collect();
+        if owned_per_job.is_empty() {
+            owned_per_job = vec![0; flat.len()];
+        }
+        for (slot, owned) in owned_per_job.iter_mut().zip(&flat) {
+            *slot += usize::from(*owned);
+        }
+        docs.push(shard_doc(
+            "gm-run",
+            Scale::Test,
+            shard,
+            vec![shard_entry(exp, Scale::Test, &run, sweep)],
+        ));
+    }
+    // Disjoint and covering: every job owned by exactly one shard.
+    assert!(
+        owned_per_job.iter().all(|&owners| owners == 1),
+        "{n}-way partition must own every job exactly once: {owned_per_job:?}"
+    );
+
+    let merged = merge_docs(&docs, &Runner::new(1)).unwrap();
+    assert_eq!(merged.outputs.len(), 1);
+    let (mexp, mout) = &merged.outputs[0];
+    assert_eq!(mexp.name, "fu_order");
+    assert_eq!(
+        report_text(mexp.title, mout),
+        reference.0,
+        "{n}-way merge must reproduce the unsharded report"
+    );
+    assert_eq!(
+        mout.results.render(),
+        reference.1,
+        "{n}-way merge must reproduce the unsharded per-job JSON"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Satellite requirement: every K/N partition is disjoint, covers
+    /// all jobs, and its merged report is bit-identical to the
+    /// unsharded `--jobs 1` output.
+    #[test]
+    fn any_shard_split_merges_bit_identically(n in 1u32..=4) {
+        let scratch = Scratch::new("shard-prop");
+        let store = scratch.store();
+        // Unsharded --jobs 1 reference against the same (cold) store.
+        let mut experiments = vec![experiment::find("fu_order").unwrap()];
+        apply_workload_filter(
+            &mut experiments,
+            &["gamess".to_owned(), "hmmer".to_owned()],
+        )
+        .unwrap();
+        let exp = &experiments[0];
+        let out = run_experiment(&Runner::new(1), exp, Scale::Test, Some(&store)).unwrap();
+        let reference = (report_text(exp.title, &out), out.results.render());
+        shard_round(n, &store, &reference);
     }
 }

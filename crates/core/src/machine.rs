@@ -3,7 +3,9 @@
 use crate::memsys::{HierarchyConfig, MemStats, MemorySystem};
 use crate::scheme::Scheme;
 use gm_isa::Program;
+use gm_mem::CacheConfig;
 use gm_sim::{Core, CoreConfig, CoreStats};
+use gm_stats::Json;
 
 /// Complete system configuration (Table 1 by default).
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +47,165 @@ impl SystemConfig {
     pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
         self.max_cycles = max_cycles;
         self
+    }
+
+    /// Canonical-JSON form of the full system configuration: every
+    /// field of the core, hierarchy, predictor, prefetcher, and DRAM
+    /// models, in a fixed order.
+    ///
+    /// Together with [`Scheme::canonical_json`] this is the fingerprint
+    /// input of the result store: any field change (even a latency tweak)
+    /// renders differently and therefore invalidates cached results.
+    /// Every struct is destructured *exhaustively* (no `..`), so adding
+    /// a configuration field fails to compile here until it is added to
+    /// the rendering — the only way a new knob could silently escape the
+    /// fingerprint and cause stale cache hits.
+    pub fn canonical_json(&self) -> Json {
+        let Self {
+            core: c,
+            hierarchy: h,
+            max_cycles,
+        } = *self;
+        let gm_sim::CoreConfig {
+            fetch_width,
+            rename_width,
+            issue_width,
+            commit_width,
+            rob_entries,
+            iq_entries,
+            lq_entries,
+            sq_entries,
+            int_regs,
+            fp_regs,
+            int_alu,
+            fp_alu,
+            muldiv,
+            frontend_delay,
+            fetch_buffer,
+            bpred,
+            strict_fu_order,
+            taint_mode,
+        } = c;
+        let gm_sim::BpredConfig {
+            local_entries,
+            global_entries,
+            choice_entries,
+            btb_entries,
+            ras_entries,
+        } = bpred;
+        let mut core = Json::object();
+        core.set("fetch_width", fetch_width)
+            .set("rename_width", rename_width)
+            .set("issue_width", issue_width)
+            .set("commit_width", commit_width)
+            .set("rob_entries", rob_entries)
+            .set("iq_entries", iq_entries)
+            .set("lq_entries", lq_entries)
+            .set("sq_entries", sq_entries)
+            .set("int_regs", int_regs)
+            .set("fp_regs", fp_regs)
+            .set("int_alu", int_alu)
+            .set("fp_alu", fp_alu)
+            .set("muldiv", muldiv)
+            .set("frontend_delay", frontend_delay)
+            .set("fetch_buffer", fetch_buffer)
+            .set("bpred", {
+                let mut j = Json::object();
+                j.set("local_entries", local_entries)
+                    .set("global_entries", global_entries)
+                    .set("choice_entries", choice_entries)
+                    .set("btb_entries", btb_entries)
+                    .set("ras_entries", ras_entries);
+                j
+            })
+            // The per-scheme overrides (Machine::new replaces both from
+            // the Scheme) still belong here: a config can also set them
+            // directly, e.g. through run_single.
+            .set("strict_fu_order", strict_fu_order)
+            .set(
+                "taint_mode",
+                match taint_mode {
+                    None => Json::Null,
+                    Some(gm_sim::TaintMode::Spectre) => Json::from("spectre"),
+                    Some(gm_sim::TaintMode::Future) => Json::from("future"),
+                },
+            );
+
+        let cache = |cc: CacheConfig| {
+            let CacheConfig {
+                size_bytes,
+                ways,
+                latency,
+            } = cc;
+            let mut j = Json::object();
+            j.set("size_bytes", size_bytes)
+                .set("ways", ways)
+                .set("latency", latency);
+            j
+        };
+        let HierarchyConfig {
+            l1i,
+            l1d,
+            l1_mshrs,
+            l2,
+            l2_mshrs,
+            dram,
+            prefetcher,
+            l0_bytes,
+            l0_ways,
+            replay_latency,
+        } = h;
+        let gm_mem::DramConfig {
+            banks,
+            row_bytes,
+            t_cas,
+            t_rcd,
+            t_rp,
+            t_burst,
+            close_speculative_pages,
+        } = dram;
+        let gm_mem::StridePrefetcherConfig {
+            entries,
+            threshold,
+            max_confidence,
+            degree,
+            max_distance,
+        } = prefetcher;
+        let mut hier = Json::object();
+        hier.set("l1i", cache(l1i))
+            .set("l1d", cache(l1d))
+            .set("l1_mshrs", l1_mshrs)
+            .set("l2", cache(l2))
+            .set("l2_mshrs", l2_mshrs)
+            .set("dram", {
+                let mut j = Json::object();
+                j.set("banks", banks)
+                    .set("row_bytes", row_bytes)
+                    .set("t_cas", t_cas)
+                    .set("t_rcd", t_rcd)
+                    .set("t_rp", t_rp)
+                    .set("t_burst", t_burst)
+                    .set("close_speculative_pages", close_speculative_pages);
+                j
+            })
+            .set("prefetcher", {
+                let mut j = Json::object();
+                j.set("entries", entries)
+                    .set("threshold", u64::from(threshold))
+                    .set("max_confidence", u64::from(max_confidence))
+                    .set("degree", degree)
+                    .set("max_distance", max_distance);
+                j
+            })
+            .set("l0_bytes", l0_bytes)
+            .set("l0_ways", l0_ways)
+            .set("replay_latency", replay_latency);
+
+        let mut j = Json::object();
+        j.set("core", core)
+            .set("hierarchy", hier)
+            .set("max_cycles", max_cycles);
+        j
     }
 }
 
@@ -349,5 +510,47 @@ mod tests {
         );
         let cfg = SystemConfig::micro2021().with_max_cycles(1234);
         assert_eq!(cfg.max_cycles, 1234);
+    }
+
+    #[test]
+    fn canonical_json_pins_the_table1_rendering() {
+        // The result store keys cached simulations on this rendering: if
+        // this test fails, a config value or the rendering changed — fine,
+        // update the pin; old caches must be invalidated anyway. (Missing
+        // *new* fields can't happen silently: canonical_json destructures
+        // every config struct exhaustively, so that's a compile error.)
+        let j = SystemConfig::micro2021().canonical_json().render();
+        assert_eq!(
+            j,
+            "{\"core\":{\"fetch_width\":8,\"rename_width\":8,\"issue_width\":8,\
+             \"commit_width\":8,\"rob_entries\":192,\"iq_entries\":64,\
+             \"lq_entries\":32,\"sq_entries\":32,\"int_regs\":256,\"fp_regs\":256,\
+             \"int_alu\":6,\"fp_alu\":4,\"muldiv\":2,\"frontend_delay\":3,\
+             \"fetch_buffer\":16,\"bpred\":{\"local_entries\":2048,\
+             \"global_entries\":8192,\"choice_entries\":8192,\"btb_entries\":4096,\
+             \"ras_entries\":16},\"strict_fu_order\":false,\"taint_mode\":null},\
+             \"hierarchy\":{\"l1i\":{\"size_bytes\":32768,\"ways\":2,\"latency\":2},\
+             \"l1d\":{\"size_bytes\":65536,\"ways\":2,\"latency\":2},\"l1_mshrs\":4,\
+             \"l2\":{\"size_bytes\":2097152,\"ways\":8,\"latency\":20},\"l2_mshrs\":20,\
+             \"dram\":{\"banks\":8,\"row_bytes\":8192,\"t_cas\":28,\"t_rcd\":28,\
+             \"t_rp\":28,\"t_burst\":8,\"close_speculative_pages\":false},\
+             \"prefetcher\":{\"entries\":64,\"threshold\":2,\"max_confidence\":3,\
+             \"degree\":4,\"max_distance\":64},\"l0_bytes\":2048,\"l0_ways\":2,\
+             \"replay_latency\":22},\"max_cycles\":2000000000}"
+        );
+    }
+
+    #[test]
+    fn canonical_json_tracks_every_knob_change() {
+        let base = SystemConfig::micro2021().canonical_json().render();
+        let mut a = SystemConfig::micro2021();
+        a.core.rob_entries = 191;
+        let mut b = SystemConfig::micro2021();
+        b.hierarchy.l2.latency = 21;
+        let c = SystemConfig::micro2021().with_max_cycles(1);
+        for changed in [a.canonical_json(), b.canonical_json(), c.canonical_json()] {
+            assert_ne!(changed.render(), base);
+        }
+        assert_ne!(base, SystemConfig::tiny().canonical_json().render());
     }
 }

@@ -2,6 +2,7 @@
 //! every baseline the paper compares against (Figures 6–8).
 
 use gm_sim::TaintMode;
+use gm_stats::Json;
 
 /// Configuration of the GhostMinion mechanisms, enabling the Fig. 9
 /// breakdown: each component can be enabled independently.
@@ -249,6 +250,61 @@ impl Scheme {
         }
     }
 
+    /// Canonical-JSON form of the scheme: every knob that changes
+    /// simulated behaviour, spelled out field by field in a fixed order.
+    ///
+    /// This is half of a result's cache fingerprint (the other half is
+    /// [`crate::SystemConfig::canonical_json`]), so two schemes render
+    /// identically *iff* they would produce identical simulations. The
+    /// display [`Scheme::name`] is deliberately not part of it: labels
+    /// may be reworded without invalidating stored results.
+    pub fn canonical_json(&self) -> Json {
+        let mut j = Json::object();
+        match self.kind {
+            SchemeKind::Unsafe => {
+                j.set("kind", "unsafe");
+            }
+            SchemeKind::GhostMinion(c) => {
+                // Exhaustive destructuring (no `..`): a new component
+                // knob fails to compile here until it joins the
+                // fingerprint, so it can never silently produce stale
+                // cache hits.
+                let GhostMinionConfig {
+                    dminion,
+                    iminion,
+                    timeguard,
+                    leapfrog,
+                    coherence,
+                    prefetch_gate,
+                    minion_bytes,
+                    minion_ways,
+                    async_reload,
+                } = c;
+                j.set("kind", "ghostminion")
+                    .set("dminion", dminion)
+                    .set("iminion", iminion)
+                    .set("timeguard", timeguard)
+                    .set("leapfrog", leapfrog)
+                    .set("coherence", coherence)
+                    .set("prefetch_gate", prefetch_gate)
+                    .set("minion_bytes", minion_bytes)
+                    .set("minion_ways", minion_ways)
+                    .set("async_reload", async_reload);
+            }
+            SchemeKind::MuonTrap { flush } => {
+                j.set("kind", "muontrap").set("flush", flush);
+            }
+            SchemeKind::InvisiSpec { future } => {
+                j.set("kind", "invisispec").set("future", future);
+            }
+            SchemeKind::Stt { future } => {
+                j.set("kind", "stt").set("future", future);
+            }
+        }
+        j.set("strict_fu_order", self.strict_fu_order);
+        j
+    }
+
     /// The seven schemes plotted in Figures 6–8, in legend order,
     /// preceded by the unsafe baseline.
     pub fn figure_lineup() -> Vec<Scheme> {
@@ -320,6 +376,43 @@ mod tests {
     fn lineups_have_expected_sizes() {
         assert_eq!(Scheme::figure_lineup().len(), 8);
         assert_eq!(Scheme::breakdown_lineup().len(), 6);
+    }
+
+    #[test]
+    fn canonical_json_distinguishes_every_knob() {
+        // Every scheme in both lineups plus §4.9 and sizing variants must
+        // render to a distinct canonical form.
+        let mut strict = Scheme::ghost_minion();
+        strict.strict_fu_order = true;
+        let mut all = Scheme::figure_lineup();
+        all.extend(Scheme::breakdown_lineup());
+        all.push(strict);
+        all.push(Scheme::ghost_minion_with(GhostMinionConfig {
+            minion_bytes: 128,
+            ..GhostMinionConfig::default()
+        }));
+        all.push(Scheme::ghost_minion_with(GhostMinionConfig {
+            minion_bytes: 128,
+            async_reload: true,
+            ..GhostMinionConfig::default()
+        }));
+        let mut rendered: Vec<String> = all.iter().map(|s| s.canonical_json().render()).collect();
+        // GhostMinion appears in both lineups; dedup only collapses that.
+        rendered.sort_unstable();
+        rendered.dedup();
+        assert_eq!(rendered.len(), all.len() - 1, "canonical forms collide");
+    }
+
+    #[test]
+    fn canonical_json_is_stable_for_equal_schemes() {
+        assert_eq!(
+            Scheme::ghost_minion().canonical_json().render(),
+            Scheme::ghost_minion().canonical_json().render()
+        );
+        assert!(Scheme::ghost_minion()
+            .canonical_json()
+            .render()
+            .contains("\"minion_bytes\":2048"));
     }
 
     #[test]

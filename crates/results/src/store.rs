@@ -1,0 +1,438 @@
+//! The on-disk result store: one append-only JSON-lines file per
+//! experiment, keyed by job fingerprint.
+//!
+//! Layout: `<dir>/<experiment>.jsonl`, one [`crate::record`] object per
+//! line. The runner appends a line the moment a job finishes, so an
+//! interrupted run keeps everything it already simulated; a re-run
+//! resumes from the survivors. Appends are serialized through an
+//! in-process lock; cross-machine writes go to *separate* stores whose
+//! outputs meet in `gm-run merge`, not to a shared file.
+//!
+//! Reads tolerate damage: a truncated final line (killed process) or a
+//! corrupt line (bit rot) is skipped and counted, and the affected job
+//! simply re-simulates. [`ResultStore::compact`] rewrites a file without
+//! the damage and without superseded duplicates — atomically, by
+//! renaming a complete temporary file over the original, so a reader
+//! never observes a half-written store.
+
+use gm_stats::Json;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// What a load found in one experiment's store file.
+#[derive(Debug, Default)]
+pub struct LoadedShard {
+    /// Records by fingerprint; a later line supersedes an earlier one
+    /// with the same fingerprint (append-wins).
+    pub records: HashMap<String, Json>,
+    /// Total well-formed lines read (including superseded duplicates).
+    pub lines: usize,
+    /// Lines that failed to parse or carried no fingerprint.
+    pub corrupt: usize,
+}
+
+impl LoadedShard {
+    /// Whether a compaction would change the file on disk.
+    pub fn needs_compaction(&self) -> bool {
+        self.corrupt > 0 || self.lines > self.records.len()
+    }
+}
+
+/// Result of a [`ResultStore::compact`] pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Records surviving in the rewritten file.
+    pub kept: usize,
+    /// Superseded duplicate lines dropped.
+    pub superseded: usize,
+    /// Corrupt lines dropped.
+    pub corrupt: usize,
+}
+
+/// A directory of per-experiment JSON-lines result files.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    /// Serializes appends from the runner's worker threads.
+    append_lock: Mutex<()>,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            append_lock: Mutex::new(()),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file holding `experiment`'s results.
+    pub fn path(&self, experiment: &str) -> PathBuf {
+        self.dir.join(format!("{experiment}.jsonl"))
+    }
+
+    /// Loads every record of `experiment`. A missing file is an empty
+    /// shard, not an error.
+    pub fn load(&self, experiment: &str) -> io::Result<LoadedShard> {
+        let text = match fs::read_to_string(self.path(experiment)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LoadedShard::default()),
+            Err(e) => return Err(e),
+        };
+        let mut shard = LoadedShard::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = match Json::parse(line) {
+                Ok(r) => r,
+                Err(_) => {
+                    shard.corrupt += 1;
+                    continue;
+                }
+            };
+            match record.get("fingerprint").and_then(Json::as_str) {
+                Some(fp) => {
+                    shard.lines += 1;
+                    shard.records.insert(fp.to_owned(), record);
+                }
+                None => shard.corrupt += 1,
+            }
+        }
+        Ok(shard)
+    }
+
+    /// Appends one record to `experiment`'s file. The record must carry
+    /// a `"fingerprint"` field (it is the lookup key on the next load).
+    pub fn append(&self, experiment: &str, record: &Json) -> io::Result<()> {
+        debug_assert!(
+            record.get("fingerprint").and_then(Json::as_str).is_some(),
+            "store records must carry a fingerprint"
+        );
+        let line = record.render() + "\n";
+        let _guard = self.append_lock.lock().expect("append lock poisoned");
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(experiment))?;
+        f.write_all(line.as_bytes())
+    }
+
+    /// Rewrites `experiment`'s file keeping only the surviving record
+    /// per fingerprint (in first-appearance order) and dropping corrupt
+    /// lines. Atomic: the new content is written to a sibling temporary
+    /// file, flushed, and renamed over the original, so a crash mid-way
+    /// leaves either the old or the new file — never a truncated one.
+    pub fn compact(&self, experiment: &str) -> io::Result<CompactStats> {
+        let _guard = self.append_lock.lock().expect("append lock poisoned");
+        let path = self.path(experiment);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok(CompactStats {
+                    kept: 0,
+                    superseded: 0,
+                    corrupt: 0,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        self.compact_snapshot(&path, &text)
+    }
+
+    /// The write phase of [`ResultStore::compact`], operating on a text
+    /// snapshot already read from `path`. Separated so the
+    /// grown-under-us abort path is deterministically testable.
+    fn compact_snapshot(&self, path: &Path, text: &str) -> io::Result<CompactStats> {
+        // Pass 1: parse every line, remembering each fingerprint's last
+        // (surviving) occurrence.
+        let mut entries: Vec<(String, String)> = Vec::new();
+        let mut survivor: HashMap<String, usize> = HashMap::new();
+        let mut corrupt = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fp = Json::parse(line).ok().and_then(|r| {
+                r.get("fingerprint")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+            });
+            match fp {
+                Some(fp) => {
+                    survivor.insert(fp.clone(), entries.len());
+                    entries.push((fp, line.to_owned()));
+                }
+                None => corrupt += 1,
+            }
+        }
+        // Pass 2: emit each fingerprint's surviving line at its first
+        // appearance, preserving the file's chronology.
+        let mut out = String::new();
+        let mut kept = 0usize;
+        let mut superseded = 0usize;
+        let mut emitted: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for (fp, _) in &entries {
+            if !emitted.insert(fp) {
+                superseded += 1;
+                continue;
+            }
+            out.push_str(&entries[survivor[fp]].1);
+            out.push('\n');
+            kept += 1;
+        }
+        let stats = CompactStats {
+            kept,
+            superseded,
+            corrupt,
+        };
+        // Nothing to drop: leave the file untouched (callers compact
+        // after every store-backed run).
+        if superseded == 0 && corrupt == 0 {
+            return Ok(stats);
+        }
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            f.sync_all()?;
+        }
+        // The in-process lock cannot see *other* processes appending to
+        // the same file; a rename would silently discard their records.
+        // Re-check the length just before renaming and abort if the file
+        // grew — the duplicates survive until the next quiet compaction,
+        // which is the safe direction to lose. (A writer landing inside
+        // the remaining check-to-rename window can still lose a record;
+        // stores are designed for one process per directory — shard
+        // across directories and `gm-run merge` instead.)
+        if fs::metadata(path)?.len() != text.len() as u64 {
+            let _ = fs::remove_file(&tmp);
+            // Report what actually happened: nothing was dropped.
+            return Ok(CompactStats {
+                kept: kept + superseded,
+                superseded: 0,
+                corrupt: 0,
+            });
+        }
+        fs::rename(&tmp, path)?;
+        Ok(stats)
+    }
+
+    /// Names of the experiments with a store file, sorted.
+    pub fn experiments(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_owned());
+                }
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch directory under the system temp dir, removed on
+    /// drop (the offline environment has no `tempfile` crate).
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "gm-results-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            Self(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn rec(fp: &str, cycles: u64) -> Json {
+        let mut j = Json::object();
+        j.set("fingerprint", fp).set("cycles", cycles);
+        j
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let s = Scratch::new("empty");
+        let store = ResultStore::open(&s.0).unwrap();
+        let shard = store.load("fig6").unwrap();
+        assert!(shard.records.is_empty());
+        assert_eq!((shard.lines, shard.corrupt), (0, 0));
+        assert!(!shard.needs_compaction());
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let s = Scratch::new("roundtrip");
+        let store = ResultStore::open(&s.0).unwrap();
+        store.append("fig6", &rec("aa", 100)).unwrap();
+        store.append("fig6", &rec("bb", 200)).unwrap();
+        store.append("other", &rec("cc", 300)).unwrap();
+        let shard = store.load("fig6").unwrap();
+        assert_eq!(shard.records.len(), 2);
+        assert_eq!(
+            shard.records["aa"].get("cycles").unwrap().as_u64(),
+            Some(100)
+        );
+        assert_eq!(store.experiments().unwrap(), ["fig6", "other"]);
+    }
+
+    #[test]
+    fn later_appends_supersede_earlier_ones() {
+        let s = Scratch::new("supersede");
+        let store = ResultStore::open(&s.0).unwrap();
+        store.append("fig6", &rec("aa", 1)).unwrap();
+        store.append("fig6", &rec("aa", 2)).unwrap();
+        let shard = store.load("fig6").unwrap();
+        assert_eq!(shard.records.len(), 1);
+        assert_eq!(shard.records["aa"].get("cycles").unwrap().as_u64(), Some(2));
+        assert_eq!(shard.lines, 2);
+        assert!(shard.needs_compaction());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_lines_are_skipped_not_fatal() {
+        let s = Scratch::new("corrupt");
+        let store = ResultStore::open(&s.0).unwrap();
+        store.append("fig6", &rec("aa", 1)).unwrap();
+        // A torn final line, as left by a killed process.
+        let path = store.path("fig6");
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"fingerprint\":\"bb\",\"cyc");
+        fs::write(&path, text).unwrap();
+        let shard = store.load("fig6").unwrap();
+        assert_eq!(shard.records.len(), 1);
+        assert_eq!(shard.corrupt, 1);
+        assert!(shard.needs_compaction());
+    }
+
+    #[test]
+    fn compact_dedups_heals_and_is_atomic() {
+        let s = Scratch::new("compact");
+        let store = ResultStore::open(&s.0).unwrap();
+        store.append("fig6", &rec("aa", 1)).unwrap();
+        store.append("fig6", &rec("bb", 2)).unwrap();
+        store.append("fig6", &rec("aa", 3)).unwrap();
+        let path = store.path("fig6");
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("not json\n{\"no_fingerprint\":1}\n");
+        fs::write(&path, text).unwrap();
+
+        let stats = store.compact("fig6").unwrap();
+        assert_eq!(
+            stats,
+            CompactStats {
+                kept: 2,
+                superseded: 1,
+                corrupt: 2
+            }
+        );
+        // No temporary file left behind.
+        assert!(!path.with_extension("jsonl.tmp").exists());
+        // First-appearance order, surviving values.
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"aa\"") && lines[0].contains("\"cycles\":3"));
+        assert!(lines[1].contains("\"bb\""));
+        // Idempotent.
+        let again = store.compact("fig6").unwrap();
+        assert_eq!(
+            again,
+            CompactStats {
+                kept: 2,
+                superseded: 0,
+                corrupt: 0
+            }
+        );
+        assert!(!store.load("fig6").unwrap().needs_compaction());
+    }
+
+    #[test]
+    fn compact_aborts_instead_of_discarding_a_concurrent_append() {
+        let s = Scratch::new("compact-race");
+        let store = ResultStore::open(&s.0).unwrap();
+        store.append("fig6", &rec("aa", 1)).unwrap();
+        store.append("fig6", &rec("aa", 2)).unwrap();
+        // Snapshot the dirty file, then let "another process" append.
+        let path = store.path("fig6");
+        let stale = fs::read_to_string(&path).unwrap();
+        store.append("fig6", &rec("bb", 3)).unwrap();
+        // Compacting from the stale snapshot must notice the growth,
+        // drop nothing, and leave no temporary file behind.
+        let stats = store.compact_snapshot(&path, &stale).unwrap();
+        assert_eq!(
+            stats,
+            CompactStats {
+                kept: 2,
+                superseded: 0,
+                corrupt: 0
+            }
+        );
+        assert!(!path.with_extension("jsonl.tmp").exists());
+        let shard = store.load("fig6").unwrap();
+        assert_eq!(shard.records.len(), 2, "bb must survive");
+        assert_eq!(shard.records["bb"].get("cycles").unwrap().as_u64(), Some(3));
+        // The next (current-snapshot) compaction dedups as usual.
+        assert_eq!(store.compact("fig6").unwrap().superseded, 1);
+    }
+
+    #[test]
+    fn compact_of_missing_file_is_a_noop() {
+        let s = Scratch::new("compact-missing");
+        let store = ResultStore::open(&s.0).unwrap();
+        assert_eq!(
+            store.compact("nope").unwrap(),
+            CompactStats {
+                kept: 0,
+                superseded: 0,
+                corrupt: 0
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_appends_keep_every_line_well_formed() {
+        let s = Scratch::new("threads");
+        let store = ResultStore::open(&s.0).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        store.append("fig6", &rec(&format!("{t}-{i}"), i)).unwrap();
+                    }
+                });
+            }
+        });
+        let shard = store.load("fig6").unwrap();
+        assert_eq!(shard.records.len(), 100);
+        assert_eq!(shard.corrupt, 0);
+    }
+}

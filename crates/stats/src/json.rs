@@ -1,4 +1,4 @@
-//! Minimal JSON emission for structured benchmark results.
+//! Minimal JSON emission and parsing for structured benchmark results.
 //!
 //! The build environment is offline, so rather than depending on serde
 //! this module provides a small self-describing [`Json`] value type with
@@ -6,6 +6,13 @@
 //! Rust's shortest round-trip formatting, and non-finite floats become
 //! `null`. That determinism is what lets the harness assert bit-identical
 //! JSON between serial and parallel runs.
+//!
+//! [`Json::parse`] is the inverse: a strict recursive-descent parser that
+//! round-trips anything [`Json::render`] emits, which is what the result
+//! store and the `gm-run merge` subcommand read shard files back with.
+//! Numbers without a fraction, exponent, or sign that fit in `u64` parse
+//! as [`Json::U64`] (preserving full counter precision); everything else
+//! numeric parses as [`Json::F64`].
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -40,6 +47,83 @@ impl Json {
             other => panic!("Json::set on non-object {other:?}"),
         }
         self
+    }
+
+    /// Parses a JSON document. Strict: trailing garbage, trailing
+    /// commas, unquoted keys, and `NaN`/`Infinity` literals are errors.
+    /// Errors carry the byte offset of the offending input.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a field of an object. Returns `None` for missing keys
+    /// and non-objects. Duplicate keys resolve to the *last* occurrence,
+    /// matching the append-wins semantics of the result store.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (accepting integral values too).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(f) => Some(*f),
+            Json::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's items, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's fields in insertion order, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
     }
 
     /// Renders to a compact JSON string.
@@ -103,6 +187,277 @@ fn write_escaped(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Container nesting depth; bounded so adversarial input fails with
+    /// a parse error instead of exhausting the stack (the parser recurses
+    /// once per level).
+    depth: usize,
+}
+
+/// Deeper nesting than any legitimate result document by orders of
+/// magnitude, but far shallower than the thread stack.
+const MAX_DEPTH: usize = 256;
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 256 levels"));
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.descend()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.descend()?;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            // Surrogate pairs encode astral-plane chars.
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            s.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                            // hex4 leaves pos past the digits; skip the
+                            // shared increment below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character"));
+                }
+                Some(b) if b < 0x80 => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // One multi-byte UTF-8 scalar, decoded from its own
+                    // slice only — revalidating the whole remaining input
+                    // per character would make string parsing quadratic.
+                    // The input arrived as &str, so the sequence is valid.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let chunk = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = chunk.chars().next().expect("non-empty chunk");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads four hex digits (after `\u`), returning the code unit.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let mut v = 0u32;
+        for &b in &self.bytes[self.pos..end] {
+            // Explicit digit check: from_str_radix would also accept a
+            // leading '+', which JSON does not.
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid \\u escape"))?;
+            v = v * 16 + digit;
+        }
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// Consumes one or more ASCII digits; errors if there is none.
+    fn digits(&mut self, what: &str) -> Result<usize, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err(&format!("expected digits {what}")));
+        }
+        Ok(self.pos - start)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // JSON grammar: the integer part is `0` or a non-zero digit
+        // followed by digits — no leading zeros.
+        let int_start = self.pos;
+        let int_digits = self.digits("in number")?;
+        if int_digits > 1 && self.bytes[int_start] == b'0' {
+            return Err(self.err("leading zero in number"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            self.digits("after decimal point")?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits("in exponent")?;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if integral && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.err(&format!("invalid number {text:?}")))
+    }
 }
 
 impl From<bool> for Json {
@@ -196,5 +551,149 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn set_on_scalar_panics() {
         Json::Null.set("k", 1u64);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let mut doc = Json::object();
+        doc.set("cycles", u64::MAX)
+            .set("ratio", 1.0625)
+            .set("name", "a\"b\\c\nd\te")
+            .set("ok", true)
+            .set("missing", Json::Null)
+            .set(
+                "cores",
+                Json::Array(vec![Json::from(1u64), Json::from(2u64)]),
+            )
+            .set("nested", {
+                let mut n = Json::object();
+                n.set("k", 0u64);
+                n
+            });
+        let text = doc.render();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.render(), text, "render ∘ parse ∘ render is stable");
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::U64(u64::MAX)
+        );
+        assert_eq!(Json::parse("-3").unwrap(), Json::F64(-3.0));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::F64(1.5));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::F64(2000.0));
+        // One past u64::MAX overflows into f64.
+        assert_eq!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::F64(1.8446744073709552e19)
+        );
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_unicode_escapes() {
+        let v = Json::parse(" { \"a\" : [ 1 , \"\\u0041\\u00e9\" ] } ").unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_str(),
+            Some("Aé")
+        );
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::from("\u{1F600}")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{'a':1}",
+            "nul",
+            "01x",
+            "1 2",
+            "\"\\q\"",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "\"\\ud800\"",
+            "NaN",
+            // RFC 8259 number grammar: no leading zeros, digits required
+            // after the decimal point and exponent, no bare minus.
+            "01",
+            "-01",
+            "1.",
+            "1.e3",
+            "2e",
+            "2e+",
+            "-",
+            ".5",
+            // from_str_radix would accept the '+'; JSON does not.
+            "\"\\u+041\"",
+            "\"\\u00 1\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Zero itself (and 0.5 etc.) remain valid.
+        assert_eq!(Json::parse("0").unwrap(), Json::U64(0));
+        assert_eq!(Json::parse("0.5").unwrap(), Json::F64(0.5));
+        assert_eq!(Json::parse("-0.5").unwrap(), Json::F64(-0.5));
+    }
+
+    #[test]
+    fn large_strings_parse_in_linear_time() {
+        // The per-character path must not revalidate the remaining
+        // input (that would be quadratic: minutes for a few MiB).
+        let body = "é漢x".repeat(200_000);
+        let doc = Json::from(body.clone()).render();
+        let started = std::time::Instant::now();
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.as_str(), Some(body.as_str()));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "string parsing is superlinear: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        // Comfortably deep documents parse...
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_ok());
+        // ...but adversarial nesting fails with an error instead of
+        // overflowing the stack.
+        let evil = "[".repeat(200_000);
+        let err = Json::parse(&evil).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let evil_obj = "{\"a\":".repeat(300) + "1";
+        assert!(Json::parse(&evil_obj).is_err());
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let v =
+            Json::parse("{\"n\":7,\"f\":1.5,\"s\":\"x\",\"b\":false,\"a\":[],\"o\":{}}").unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
+        assert!(v.get("a").unwrap().as_array().unwrap().is_empty());
+        assert!(v.get("o").unwrap().as_object().unwrap().is_empty());
+        assert!(v.get("zzz").is_none());
+        assert!(Json::Null.get("n").is_none());
+        assert_eq!(v.get("s").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn get_resolves_duplicate_keys_to_the_last() {
+        let v = Json::parse("{\"k\":1,\"k\":2}").unwrap();
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(2));
     }
 }

@@ -11,13 +11,15 @@
 //! * [`workloads`] — SPEC CPU2006 / SPECspeed 2017 / Parsec analog kernels;
 //! * [`attacks`] — Spectre-family attack gadgets and harness;
 //! * [`energy`] — CACTI-calibrated energy model (paper §6.5);
-//! * [`stats`] — counters and report tables.
+//! * [`stats`] — counters and report tables;
+//! * [`results`] — fingerprinted, persistent experiment results.
 
 pub use ghostminion as core;
 pub use gm_attacks as attacks;
 pub use gm_energy as energy;
 pub use gm_isa as isa;
 pub use gm_mem as mem;
+pub use gm_results as results;
 pub use gm_sim as sim;
 pub use gm_stats as stats;
 pub use gm_workloads as workloads;
