@@ -63,7 +63,11 @@ impl Default for Options {
 pub fn usage(program: &str, selection: bool) -> String {
     let mut u = format!("usage: {program} [options]\n");
     if selection {
-        u.push_str("       gm-run merge <SHARD.json>... [--json <PATH>] [--jobs <N>]\n");
+        u.push_str(
+            "       gm-run merge <SHARD.json>... [--json <PATH>] [--jobs <N>]\n\
+             \x20      gm-run bench [--scale <S>] [--jobs <N>] [--filter <SUBSTR>] [--json <PATH>]\n\
+             \x20      gm-run store <DIR> [--compact]\n",
+        );
     }
     u.push_str(
         "\n\
@@ -189,18 +193,24 @@ fn write_json(program: &str, opts_json: Option<&String>, doc: &Json) {
 
 /// Compacts the store files this run touched, reporting anything that
 /// was actually rewritten.
+/// Compacts one experiment's store file, reporting to stderr only when
+/// something was actually dropped. Shared by post-run compaction and
+/// `gm-run store --compact` so the report/warning policy cannot drift.
+fn compact_one(program: &str, store: &ResultStore, experiment: &str) {
+    match store.compact(experiment) {
+        Ok(stats) if stats.superseded > 0 || stats.corrupt > 0 => eprintln!(
+            "{program}: store: compacted {experiment}: kept {}, dropped {} superseded and {} corrupt line(s)",
+            stats.kept, stats.superseded, stats.corrupt
+        ),
+        Ok(_) => {}
+        Err(e) => eprintln!("warning: store compaction for {experiment} failed: {e}"),
+    }
+}
+
 fn compact_store(program: &str, store: &ResultStore, experiments: &[Experiment]) {
     for exp in experiments {
-        if !matches!(exp.kind, ExperimentKind::Sweep(_)) {
-            continue;
-        }
-        match store.compact(exp.name) {
-            Ok(stats) if stats.superseded > 0 || stats.corrupt > 0 => eprintln!(
-                "{program}: store: compacted {}: kept {}, dropped {} superseded and {} corrupt line(s)",
-                exp.name, stats.kept, stats.superseded, stats.corrupt
-            ),
-            Ok(_) => {}
-            Err(e) => eprintln!("warning: store compaction for {} failed: {e}", exp.name),
+        if matches!(exp.kind, ExperimentKind::Sweep(_)) {
+            compact_one(program, store, exp.name);
         }
     }
 }
@@ -217,6 +227,16 @@ fn enforce_expect_cached(program: &str, opts: &Options, misses: usize) {
 
 fn seconds(us: u64) -> f64 {
     us as f64 / 1e6
+}
+
+/// Simulated megacycles per wall-clock second — the engine-throughput
+/// telemetry every sweep reports and `gm-run bench` snapshots.
+fn mcycles_per_s(sim_cycles: u64, sim_wall_us: u64) -> f64 {
+    if sim_wall_us == 0 {
+        0.0
+    } else {
+        sim_cycles as f64 / sim_wall_us as f64
+    }
 }
 
 /// Runs `experiments` unsharded, printing each report and writing the
@@ -239,6 +259,12 @@ fn run_and_emit(program: &str, experiments: &[Experiment], opts: &Options) {
                 out.cache.misses,
                 seconds(out.sim_wall_us),
             );
+            if out.cache.misses > 0 {
+                line.push_str(&format!(
+                    " at {:.1} Mcycles/s",
+                    mcycles_per_s(out.sim_cycles, out.sim_wall_us)
+                ));
+            }
             if let Some((label, us)) = &out.slowest {
                 line.push_str(&format!(" (slowest {label} {:.2}s)", seconds(*us)));
             }
@@ -275,13 +301,14 @@ fn run_shard_and_emit(program: &str, experiments: &[Experiment], opts: &Options,
                     .run_sweep_shard(sweep, opts.scale, exp.name, store.as_ref(), shard)
                     .unwrap_or_else(|e| fail(program, &format!("{}: {e}", exp.name)));
                 eprintln!(
-                    "{program}: shard {shard}: {}: {}/{} job(s), {} cached, {} simulated in {:.2}s",
+                    "{program}: shard {shard}: {}: {}/{} job(s), {} cached, {} simulated in {:.2}s at {:.1} Mcycles/s",
                     exp.name,
                     run.owned_jobs(),
                     run.total_jobs(),
                     run.cache.hits,
                     run.cache.misses,
                     seconds(run.sim_wall_us()),
+                    mcycles_per_s(run.sim_cycles(), run.sim_wall_us()),
                 );
                 misses += run.cache.misses;
                 entries.push(merge::shard_entry(exp, opts.scale, &run, sweep));
@@ -355,9 +382,20 @@ pub fn figure_main(name: &str) {
 /// `--filter`, or the whole registry.
 pub fn gm_run_main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("merge") {
-        merge_main(&args[1..]);
-        return;
+    match args.first().map(String::as_str) {
+        Some("merge") => {
+            merge_main(&args[1..]);
+            return;
+        }
+        Some("bench") => {
+            bench_main(&args[1..]);
+            return;
+        }
+        Some("store") => {
+            store_main(&args[1..]);
+            return;
+        }
+        _ => {}
     }
     let opts = parse_or_exit("gm-run", &args, true);
     let selected = match &opts.filter {
@@ -382,6 +420,197 @@ pub fn gm_run_main() {
         std::process::exit(1);
     }
     run_selected("gm-run", selected, &opts, true);
+}
+
+fn bench_usage() -> String {
+    "usage: gm-run bench [--scale <test|bench|full>] [--jobs <N>] \
+     [--filter <SUBSTR>] [--json <PATH>]\n\
+     \n\
+     Runs every selected sweep experiment cold (no result store), measures\n\
+     total simulation wall-clock and simulated-cycles-per-second engine\n\
+     throughput, and writes the snapshot to --json (default:\n\
+     BENCH_engine.json). Re-run after engine changes to extend the repo's\n\
+     perf trajectory; see README \"Performance\".\n"
+        .to_owned()
+}
+
+/// `gm-run bench`: cold perf snapshot of the simulation engine.
+fn bench_main(args: &[String]) {
+    let program = "gm-run bench";
+    let opts = match parse(args, true) {
+        Ok(opts) => {
+            if opts.help {
+                print!("{}", bench_usage());
+                std::process::exit(0);
+            }
+            if opts.store.is_some() || opts.shard.is_some() || opts.list {
+                eprint!(
+                    "{program}: bench always runs cold and unsharded\n\n{}",
+                    bench_usage()
+                );
+                std::process::exit(2);
+            }
+            opts
+        }
+        Err(e) => {
+            eprint!("{program}: {e}\n\n{}", bench_usage());
+            std::process::exit(2);
+        }
+    };
+    let selected: Vec<Experiment> = match &opts.filter {
+        Some(pattern) => experiment::matching(pattern),
+        None => experiment::registry(),
+    }
+    .into_iter()
+    .filter(|e| matches!(e.kind, ExperimentKind::Sweep(_)))
+    .collect();
+    if selected.is_empty() {
+        fail(program, "no sweep experiment selected (try --filter fig6)");
+    }
+    let runner = Runner::new(opts.jobs);
+    let mut table = gm_stats::Table::new(vec![
+        "experiment".into(),
+        "jobs".into(),
+        "sim_wall_s".into(),
+        "Mcycles/s".into(),
+    ]);
+    let mut entries = Vec::new();
+    let (mut total_jobs, mut total_cycles, mut total_wall) = (0u64, 0u64, 0u64);
+    for exp in &selected {
+        let out = run_experiment(&runner, exp, opts.scale, None)
+            .unwrap_or_else(|e| fail(program, &format!("{}: {e}", exp.name)));
+        let jobs = (out.cache.hits + out.cache.misses) as u64;
+        total_jobs += jobs;
+        total_cycles += out.sim_cycles;
+        total_wall += out.sim_wall_us;
+        table.row(vec![
+            exp.name.to_owned(),
+            jobs.to_string(),
+            format!("{:.2}", seconds(out.sim_wall_us)),
+            format!("{:.1}", mcycles_per_s(out.sim_cycles, out.sim_wall_us)),
+        ]);
+        let mut j = Json::object();
+        j.set("name", exp.name)
+            .set("jobs", jobs)
+            .set("sim_cycles", out.sim_cycles)
+            .set("sim_wall_us", out.sim_wall_us)
+            .set(
+                "mcycles_per_s",
+                format!("{:.1}", mcycles_per_s(out.sim_cycles, out.sim_wall_us)),
+            );
+        entries.push(j);
+    }
+    table.row(vec![
+        "total".into(),
+        total_jobs.to_string(),
+        format!("{:.2}", seconds(total_wall)),
+        format!("{:.1}", mcycles_per_s(total_cycles, total_wall)),
+    ]);
+    print!("{}", table.render());
+    let mut doc = Json::object();
+    let mut total = Json::object();
+    total
+        .set("jobs", total_jobs)
+        .set("sim_cycles", total_cycles)
+        .set("sim_wall_us", total_wall)
+        .set(
+            "mcycles_per_s",
+            format!("{:.1}", mcycles_per_s(total_cycles, total_wall)),
+        );
+    doc.set("generator", "gm-run bench")
+        .set("scale", opts.scale.name())
+        .set("jobs", runner.jobs() as u64)
+        .set("experiments", Json::Array(entries))
+        .set("total", total);
+    let path = opts.json.unwrap_or_else(|| "BENCH_engine.json".to_owned());
+    write_json(program, Some(&path), &doc);
+}
+
+fn store_usage() -> String {
+    "usage: gm-run store <DIR> [--compact]\n\
+     \n\
+     Inspects a result store: per-experiment record counts and the total\n\
+     cached simulation wall-clock those records represent (the time a warm\n\
+     re-run saves). --compact rewrites every store file, dropping\n\
+     superseded and corrupt lines.\n"
+        .to_owned()
+}
+
+/// `gm-run store`: result-store maintenance.
+fn store_main(args: &[String]) {
+    let program = "gm-run store";
+    let mut dir: Option<String> = None;
+    let mut compact = false;
+    for arg in args {
+        match arg.as_str() {
+            "--compact" => compact = true,
+            "--help" | "-h" => {
+                print!("{}", store_usage());
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => {
+                eprint!("{program}: unknown argument {flag:?}\n\n{}", store_usage());
+                std::process::exit(2);
+            }
+            path if dir.is_none() => dir = Some(path.to_owned()),
+            extra => {
+                eprint!(
+                    "{program}: unexpected argument {extra:?}\n\n{}",
+                    store_usage()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprint!("{program}: store needs a directory\n\n{}", store_usage());
+        std::process::exit(2);
+    };
+    let store = ResultStore::open(&dir)
+        .unwrap_or_else(|e| fail(program, &format!("cannot open store {dir:?}: {e}")));
+    let experiments = store
+        .experiments()
+        .unwrap_or_else(|e| fail(program, &format!("cannot list store {dir:?}: {e}")));
+    let mut table = gm_stats::Table::new(vec![
+        "experiment".into(),
+        "records".into(),
+        "cached_wall_s".into(),
+        "superseded".into(),
+        "corrupt".into(),
+    ]);
+    let (mut total_records, mut total_wall) = (0u64, 0u64);
+    for name in &experiments {
+        let shard = store
+            .load(name)
+            .unwrap_or_else(|e| fail(program, &format!("cannot load {name}: {e}")));
+        let wall: u64 = shard
+            .records
+            .values()
+            .filter_map(|r| gm_results::record_wall_us(r).ok())
+            .sum();
+        total_records += shard.records.len() as u64;
+        total_wall += wall;
+        table.row(vec![
+            name.clone(),
+            shard.records.len().to_string(),
+            format!("{:.2}", seconds(wall)),
+            (shard.lines - shard.records.len()).to_string(),
+            shard.corrupt.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "total".into(),
+        total_records.to_string(),
+        format!("{:.2}", seconds(total_wall)),
+        String::new(),
+        String::new(),
+    ]);
+    print!("{}", table.render());
+    if compact {
+        for name in &experiments {
+            compact_one(program, &store, name);
+        }
+    }
 }
 
 fn merge_usage() -> String {
@@ -585,6 +814,8 @@ mod tests {
             "--filter",
             "--shard",
             "merge",
+            "bench",
+            "store",
         ] {
             assert!(u.contains(flag), "{flag} missing from usage");
         }

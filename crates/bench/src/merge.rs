@@ -202,6 +202,7 @@ pub fn merge_docs(docs: &[Json], runner: &Runner) -> Result<Merged, String> {
                     results: sweep_results_json(sweep, &run),
                     cache: CacheStats::default(),
                     sim_wall_us: 0,
+                    sim_cycles: 0,
                     slowest: None,
                 };
                 outputs.push((exp, out));

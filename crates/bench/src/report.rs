@@ -24,6 +24,8 @@ pub struct ExperimentOutput {
     pub cache: CacheStats,
     /// Wall-clock spent simulating cache misses, µs.
     pub sim_wall_us: u64,
+    /// Simulated cycles across cache misses (throughput telemetry).
+    pub sim_cycles: u64,
     /// Slowest simulated job as ("workload/scheme", µs).
     pub slowest: Option<(String, u64)>,
 }
@@ -42,6 +44,7 @@ impl ExperimentOutput {
             results,
             cache: CacheStats::default(),
             sim_wall_us: 0,
+            sim_cycles: 0,
             slowest: None,
         }
     }
@@ -67,6 +70,7 @@ pub fn run_experiment(
                 results: sweep_results_json(sweep, &run),
                 cache: run.cache,
                 sim_wall_us: run.sim_wall_us(),
+                sim_cycles: run.sim_cycles(),
                 slowest: run.slowest_sim(sweep),
             })
         }

@@ -326,6 +326,19 @@ impl SweepRun {
             .sum()
     }
 
+    /// Total simulated cycles across the jobs that were actually
+    /// simulated (cache misses). Together with [`SweepRun::sim_wall_us`]
+    /// this yields the engine's simulated-cycles-per-second throughput.
+    pub fn sim_cycles(&self) -> u64 {
+        self.rows
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|j| !j.cached)
+            .map(|j| j.result.cycles)
+            .sum()
+    }
+
     /// The slowest simulated job as (`workload/scheme`, µs).
     pub fn slowest_sim(&self, sweep: &Sweep) -> Option<(String, u64)> {
         let mut best: Option<(String, u64)> = None;

@@ -310,11 +310,57 @@ impl Machine {
 
     /// Runs until all cores halt (or `max_cycles`), returning the result.
     ///
+    /// Cycle-skipping: when a whole cycle passes in which *no* core
+    /// changes any state (every pipeline is stalled on memory or a
+    /// long-latency unit), the clock jumps straight to the earliest
+    /// cycle at which any core can act again, after replaying the
+    /// per-cycle stall counters for the elided cycles. The memory system
+    /// is purely reactive (every latency is computed when a request
+    /// arrives, cancellations are queued by requests), so a cycle in
+    /// which no core acts cannot change backend state either — results
+    /// are bit-identical to [`Machine::run_lockstep`].
+    ///
     /// # Panics
     ///
     /// Panics if any core fails to halt within `max_cycles` — a workload
     /// that does not terminate is a harness bug.
     pub fn run(&mut self, max_cycles: u64) -> MachineResult {
+        while !self.halted() && self.cycle < max_cycles {
+            let mut progress = false;
+            let mut wake = u64::MAX;
+            for core in &mut self.cores {
+                if core.halted() {
+                    continue;
+                }
+                let outcome = core.tick(&mut self.mem, self.cycle);
+                progress |= outcome.progress;
+                wake = wake.min(outcome.next_wake);
+            }
+            self.cycle += 1;
+            if !progress && wake > self.cycle {
+                let target = wake.min(max_cycles);
+                if target > self.cycle {
+                    let skipped = target - self.cycle;
+                    for core in &mut self.cores {
+                        if !core.halted() {
+                            core.account_idle_cycles(skipped);
+                        }
+                    }
+                    self.cycle = target;
+                }
+            }
+        }
+        assert!(
+            self.halted(),
+            "machine did not halt within {max_cycles} cycles (scheme {})",
+            self.mem.scheme().name()
+        );
+        self.result()
+    }
+
+    /// Reference run loop ticking every core on every cycle, kept as the
+    /// oracle for the cycle-skipping equivalence tests.
+    pub fn run_lockstep(&mut self, max_cycles: u64) -> MachineResult {
         while !self.halted() && self.cycle < max_cycles {
             self.tick();
         }
@@ -323,6 +369,10 @@ impl Machine {
             "machine did not halt within {max_cycles} cycles (scheme {})",
             self.mem.scheme().name()
         );
+        self.result()
+    }
+
+    fn result(&self) -> MachineResult {
         MachineResult {
             cycles: self.cycle,
             core_stats: self.cores.iter().map(|c| *c.stats()).collect(),

@@ -34,13 +34,13 @@
 use crate::minion::{GhostMinionCache, MinionFill, MinionRead};
 use crate::order::{Flow, FlowKind, OrderAuditor};
 use crate::scheme::{GhostMinionConfig, Scheme, SchemeKind};
+use gm_mem::FxHashSet;
 use gm_mem::{
     line_addr, Cache, CacheConfig, Dram, DramConfig, MesiState, MshrFile, SparseMem,
     StridePrefetcher, StridePrefetcherConfig,
 };
 use gm_sim::{LoadResp, MemReq, MemoryBackend, Ticket};
 use gm_stats::Counters;
-use std::collections::HashSet;
 
 /// Marks MSHR traffic that has no cancellable owner (stores, prefetches,
 /// commit-time reloads).
@@ -144,7 +144,7 @@ struct PerCore {
     l0: Cache,
     /// Lines forwarded non-coherently to this core's speculative
     /// structure; the consuming load replays at commit (§4.6).
-    noncoherent: HashSet<u64>,
+    noncoherent: FxHashSet<u64>,
 }
 
 /// Aggregated memory-side statistics (also the Fig. 10 event sources).
@@ -190,7 +190,7 @@ impl MemorySystem {
                     ways: cfg.l0_ways,
                     latency: 1,
                 }),
-                noncoherent: HashSet::new(),
+                noncoherent: FxHashSet::default(),
             })
             .collect();
         Self {

@@ -109,16 +109,24 @@ pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Way>>,
     use_tick: u64,
+    /// Set-selection mask/shift when the set count is a power of two
+    /// (every Table 1 geometry) — avoids a hardware divide on the probe
+    /// path, which every access through every level pays.
+    set_mask: Option<(u64, u32)>,
 }
 
 impl Cache {
     /// Builds an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
         let num_sets = cfg.num_sets();
+        let set_mask = num_sets
+            .is_power_of_two()
+            .then(|| (num_sets as u64 - 1, num_sets.trailing_zeros()));
         Self {
             cfg,
             sets: vec![vec![Way::empty(); cfg.ways]; num_sets],
             use_tick: 0,
+            set_mask,
         }
     }
 
@@ -134,11 +142,19 @@ impl Cache {
 
     /// Set index for an address.
     pub fn set_index(&self, addr: u64) -> usize {
-        ((line_addr(addr) / LINE_BYTES) % self.sets.len() as u64) as usize
+        let line = line_addr(addr) / LINE_BYTES;
+        match self.set_mask {
+            Some((mask, _)) => (line & mask) as usize,
+            None => (line % self.sets.len() as u64) as usize,
+        }
     }
 
     fn tag_of(&self, addr: u64) -> u64 {
-        line_addr(addr) / LINE_BYTES / self.sets.len() as u64
+        let line = line_addr(addr) / LINE_BYTES;
+        match self.set_mask {
+            Some((_, shift)) => line >> shift,
+            None => line / self.sets.len() as u64,
+        }
     }
 
     fn find(&self, addr: u64) -> Option<usize> {

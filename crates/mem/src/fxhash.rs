@@ -1,0 +1,131 @@
+//! A dependency-free fast hasher for the simulator's hot maps.
+//!
+//! The functional memory and the memory system key maps by line/block
+//! addresses — small, well-distributed `u64` keys hashed millions of
+//! times per simulated second. `std`'s default SipHash is keyed and
+//! DoS-resistant, which buys nothing here (keys are simulated addresses,
+//! not attacker input) and costs real time. This is the classic
+//! Fx/rustc multiply-mix hash: one rotate, one xor, one multiply per
+//! word, implemented in-repo so the workspace stays dependency-free
+//! (the same policy as `gm-results`' in-repo SHA-256).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative mixing constant (from Firefox/rustc's FxHash; the
+/// golden-ratio-derived odd constant spreads low-entropy keys well).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-word-at-a-time multiply-mix hasher. Not DoS-resistant — use only
+/// where keys are simulator-internal (addresses, seqs, tickets).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps and sets.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by simulator-internal values.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` of simulator-internal values.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_of(v: u64) -> u64 {
+        let mut h = FxBuildHasher::default().build_hasher();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        assert_eq!(hash_of(0x1000), hash_of(0x1000));
+        assert_ne!(hash_of(0x1000), hash_of(0x1040));
+        // Line addresses differ only in high-ish bits; the multiply must
+        // still spread them across the full range.
+        let hashes: Vec<u64> = (0..1024u64).map(|i| hash_of(i * 64)).collect();
+        let mut deduped = hashes.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), hashes.len(), "line-address collisions");
+    }
+
+    #[test]
+    fn byte_stream_matches_any_chunking() {
+        let bytes = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+        let mut a = FxHasher::default();
+        a.write(&bytes);
+        let mut b = FxHasher::default();
+        b.write(&bytes);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[0u8; 3]);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn fx_map_works_as_a_map() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i * 64, i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(42 * 64)), Some(&42));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

@@ -14,12 +14,14 @@
 
 mod cache;
 mod dram;
+mod fxhash;
 mod mshr;
 mod prefetch;
 mod sparse;
 
 pub use cache::{Cache, CacheConfig, EvictedLine, LineMeta, MesiState};
 pub use dram::{Dram, DramConfig};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mshr::{MshrEntry, MshrFile, MshrToken};
 pub use prefetch::{StridePrefetcher, StridePrefetcherConfig};
 pub use sparse::SparseMem;

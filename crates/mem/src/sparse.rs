@@ -5,13 +5,18 @@
 //! line-granular hash map, so multi-MiB workload footprints cost only what
 //! they touch.
 
-use crate::{line_addr, LINE_BYTES};
-use std::collections::HashMap;
+use crate::{line_addr, within_line, FxHashMap, LINE_BYTES};
 
 /// Byte-addressable sparse memory; unwritten bytes read as zero.
+///
+/// Lookups use the in-repo [`crate::FxHasher`] (line addresses are
+/// simulator-internal, so SipHash's DoS resistance is pure overhead),
+/// and accesses that stay within one line — every aligned access, which
+/// is the overwhelming majority — locate that line once instead of once
+/// per byte.
 #[derive(Clone, Debug, Default)]
 pub struct SparseMem {
-    lines: HashMap<u64, [u8; LINE_BYTES as usize]>,
+    lines: FxHashMap<u64, [u8; LINE_BYTES as usize]>,
 }
 
 impl SparseMem {
@@ -27,6 +32,15 @@ impl SparseMem {
     /// Panics if `size` is 0 or greater than 8.
     pub fn read(&self, addr: u64, size: u64) -> u64 {
         assert!((1..=8).contains(&size), "read size must be 1..=8");
+        if within_line(addr, size) {
+            let Some(line) = self.lines.get(&line_addr(addr)) else {
+                return 0;
+            };
+            let off = (addr % LINE_BYTES) as usize;
+            let mut bytes = [0u8; 8];
+            bytes[..size as usize].copy_from_slice(&line[off..off + size as usize]);
+            return u64::from_le_bytes(bytes);
+        }
         let mut val = 0u64;
         for i in 0..size {
             val |= (self.read_byte(addr + i) as u64) << (8 * i);
@@ -41,6 +55,15 @@ impl SparseMem {
     /// Panics if `size` is 0 or greater than 8.
     pub fn write(&mut self, addr: u64, value: u64, size: u64) {
         assert!((1..=8).contains(&size), "write size must be 1..=8");
+        if within_line(addr, size) {
+            let line = self
+                .lines
+                .entry(line_addr(addr))
+                .or_insert([0; LINE_BYTES as usize]);
+            let off = (addr % LINE_BYTES) as usize;
+            line[off..off + size as usize].copy_from_slice(&value.to_le_bytes()[..size as usize]);
+            return;
+        }
         for i in 0..size {
             self.write_byte(addr + i, (value >> (8 * i)) as u8);
         }

@@ -57,6 +57,28 @@ struct IqEntry {
 const EV_EXEC: u64 = 0;
 const EV_LOAD: u64 = 1;
 
+/// What one [`Core::tick`] did, for the cycle-skipping run loops.
+///
+/// A tick makes *progress* when it changes any observable state: pops a
+/// writeback event, commits, issues, touches the memory backend, renames,
+/// or fetches. A tick with no progress is *quiescent*; re-ticking a
+/// quiescent core before `next_wake` is guaranteed to be quiescent again
+/// with identical per-cycle stall counters, so the run loop may jump
+/// `now` straight to `next_wake` after calling
+/// [`Core::account_idle_cycles`] for the elided cycles. This is what
+/// makes the skipping engine bit-identical to the per-cycle engine
+/// (cycle counts, every statistic, every memory-system interaction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TickOutcome {
+    /// Whether any state changed this cycle.
+    pub progress: bool,
+    /// Earliest cycle at which state *can* change again. `now + 1` after
+    /// a progress tick; `u64::MAX` once halted. Always bounded by the
+    /// deadlock deadline, so a stuck core still panics at the same cycle
+    /// the per-cycle engine would.
+    pub next_wake: u64,
+}
+
 /// Aggregate per-core statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoreStats {
@@ -116,6 +138,14 @@ pub struct Core {
     last_commit_cycle: u64,
     last_committed_iline: u64,
     stats: CoreStats,
+    /// Reusable LSQ candidate buffer (no per-cycle allocation).
+    scratch_candidates: Vec<u64>,
+    /// Whether the current tick changed state (see [`TickOutcome`]).
+    tick_progress: bool,
+    /// STT-gated loads counted this tick; replayed per skipped cycle.
+    idle_stt_delays: u64,
+    /// Strictness-blocked non-pipelined ops counted this tick.
+    idle_strict_fu_delays: u64,
 }
 
 impl Core {
@@ -157,6 +187,10 @@ impl Core {
             last_commit_cycle: 0,
             last_committed_iline: u64::MAX,
             stats: CoreStats::default(),
+            scratch_candidates: Vec::new(),
+            tick_progress: false,
+            idle_stt_delays: 0,
+            idle_strict_fu_delays: 0,
             cfg,
             id,
             program,
@@ -202,11 +236,18 @@ impl Core {
         self.regs.read(self.regs.lookup(r))
     }
 
-    /// Advances one cycle against `mem`.
-    pub fn tick(&mut self, mem: &mut dyn MemoryBackend, now: u64) {
+    /// Advances one cycle against `mem`, reporting whether the cycle
+    /// changed state and when the next one can.
+    pub fn tick(&mut self, mem: &mut dyn MemoryBackend, now: u64) -> TickOutcome {
         if self.halted {
-            return;
+            return TickOutcome {
+                progress: false,
+                next_wake: u64::MAX,
+            };
         }
+        self.tick_progress = false;
+        self.idle_stt_delays = 0;
+        self.idle_strict_fu_delays = 0;
         self.stats.cycles = now + 1;
         self.fu.new_cycle();
         self.drain_cancellations(mem, now);
@@ -225,10 +266,95 @@ impl Core {
                 self.rob.head().map(|e| (e.seq, e.pc, e.inst, e.status))
             );
         }
+        let next_wake = if self.tick_progress {
+            now + 1
+        } else {
+            self.next_wake(now)
+        };
+        TickOutcome {
+            progress: self.tick_progress,
+            next_wake,
+        }
+    }
+
+    /// Earliest cycle after a quiescent tick at `now` at which any stage
+    /// predicate can flip. Every `now`-comparison in the tick is listed:
+    /// the writeback event heap, fetch/commit stalls, a done-but-future
+    /// ROB head, the frontend delay of the next rename candidate, load
+    /// retry backoffs, and the non-pipelined FU busy times. The deadlock
+    /// deadline bounds the result so a wedged core still panics exactly
+    /// where the per-cycle engine does.
+    fn next_wake(&self, now: u64) -> u64 {
+        let mut wake = self.last_commit_cycle + DEADLOCK_CYCLES + 1;
+        if let Some(&Reverse((t, _, _, _))) = self.events.peek() {
+            wake = wake.min(t);
+        }
+        if self.fetch_stall_until > now {
+            wake = wake.min(self.fetch_stall_until);
+        }
+        if self.stall_commit_until > now {
+            wake = wake.min(self.stall_commit_until);
+        }
+        if let Some(h) = self.rob.head() {
+            if h.status == RobStatus::Done && h.done_at > now {
+                wake = wake.min(h.done_at);
+            }
+        }
+        if let Some(f) = self.fetch_queue.front() {
+            if f.avail_at > now {
+                wake = wake.min(f.avail_at);
+            }
+        }
+        for le in self.lq.iter() {
+            if le.state == LoadState::Ready && le.retry_at > now {
+                wake = wake.min(le.retry_at);
+            }
+        }
+        if !self.iq.is_empty() {
+            let free = self.fu.muldiv_next_free();
+            if free > now {
+                wake = wake.min(free);
+            }
+        }
+        wake.max(now + 1)
+    }
+
+    /// Replays the per-cycle stall counters for `cycles` elided
+    /// quiescent cycles, so skipping is invisible in the statistics.
+    pub fn account_idle_cycles(&mut self, cycles: u64) {
+        self.stats.stt_delays += self.idle_stt_delays * cycles;
+        self.stats.strict_fu_delays += self.idle_strict_fu_delays * cycles;
     }
 
     /// Runs until halt or `max_cycles`, returning the final cycle count.
+    ///
+    /// Quiescent stretches (all stages stalled on memory or long-latency
+    /// units) are skipped in one jump; results are bit-identical to
+    /// [`Core::run_lockstep`].
     pub fn run(&mut self, mem: &mut dyn MemoryBackend, max_cycles: u64) -> u64 {
+        self.install_program_data(mem);
+        let mut now = 0;
+        while !self.halted && now < max_cycles {
+            let outcome = self.tick(mem, now);
+            now += 1;
+            if !outcome.progress && outcome.next_wake > now {
+                let target = outcome.next_wake.min(max_cycles);
+                if target > now {
+                    self.account_idle_cycles(target - now);
+                    now = target;
+                }
+            }
+        }
+        assert!(
+            self.halted,
+            "program did not halt within {max_cycles} cycles"
+        );
+        now
+    }
+
+    /// Reference run loop that ticks every cycle (no skipping). Kept as
+    /// the oracle for the cycle-skipping equivalence tests.
+    pub fn run_lockstep(&mut self, mem: &mut dyn MemoryBackend, max_cycles: u64) -> u64 {
         self.install_program_data(mem);
         let mut now = 0;
         while !self.halted && now < max_cycles {
@@ -245,7 +371,12 @@ impl Core {
     // ---- cancellations (leapfrogging, §4.5) ----
 
     fn drain_cancellations(&mut self, mem: &mut dyn MemoryBackend, _now: u64) {
-        for ticket in mem.take_cancellations(self.id) {
+        let cancelled = mem.take_cancellations(self.id);
+        if cancelled.is_empty() {
+            return;
+        }
+        self.tick_progress = true;
+        for ticket in cancelled {
             if self.lq.cancel_ticket(ticket).is_some() {
                 self.stats.load_replays += 1;
             }
@@ -260,6 +391,7 @@ impl Core {
                 break;
             }
             let Reverse((_, seq, kind, ticket)) = self.events.pop().expect("peeked");
+            self.tick_progress = true;
             match kind {
                 EV_EXEC => self.complete_exec(mem, seq, now),
                 EV_LOAD => self.complete_load(seq, ticket, now),
@@ -269,11 +401,9 @@ impl Core {
     }
 
     fn complete_exec(&mut self, mem: &mut dyn MemoryBackend, seq: u64, now: u64) {
-        let Some(e) = self.rob.get_mut(seq) else {
+        let Some(e) = self.rob.set_done(seq, now) else {
             return; // squashed while in flight
         };
-        e.status = RobStatus::Done;
-        e.done_at = now;
         let inst = e.inst;
         let result = e.result;
         let result_tainted = e.result_tainted;
@@ -304,11 +434,9 @@ impl Core {
             le.done_at = now;
         }
         let taint_mode = self.cfg.taint_mode;
-        let Some(e) = self.rob.get_mut(seq) else {
+        let Some(e) = self.rob.set_done(seq, now) else {
             return;
         };
-        e.status = RobStatus::Done;
-        e.done_at = now;
         e.result = value;
         if let Some(p) = e.phys_rd {
             let tainted = taint_mode.is_some() && e.issued_speculatively;
@@ -377,6 +505,9 @@ impl Core {
             let inst = head.inst;
             let fetch_line = head.fetch_line;
             let mem_addr = head.mem_addr;
+            // Past the gates something always changes: a commit, a halt,
+            // or a commit-time stall being installed.
+            self.tick_progress = true;
 
             match inst.op {
                 Op::Ld(_) | Op::Ll => {
@@ -482,23 +613,20 @@ impl Core {
     // ---- issue ----
 
     fn older_unresolved_branch(&self, seq: u64) -> bool {
-        self.rob
-            .any_older(seq, |e| e.inst.op.is_ctrl() && e.status != RobStatus::Done)
+        self.rob.older_unresolved_ctrl(seq)
     }
 
     fn older_pending_mem(&self, seq: u64) -> bool {
-        self.rob
-            .any_older(seq, |e| e.is_mem && e.status != RobStatus::Done)
+        self.rob.older_pending_mem(seq)
     }
 
     fn older_pending_fence(&self, seq: u64) -> bool {
-        self.rob.any_older(seq, |e| e.inst.op == Op::Fence)
+        self.rob.older_fence(seq)
     }
 
     fn issue(&mut self, now: u64) {
         let mut issued = 0;
-        let mut blocked_nonpipelined: Vec<FuClass> = Vec::new();
-        let mut remove: Vec<u64> = Vec::new();
+        let mut blocked_nonpipelined = 0usize;
 
         for qi in 0..self.iq.len() {
             if issued >= self.cfg.issue_width {
@@ -511,14 +639,15 @@ impl Core {
             // §4.9: strictness-ordered scheduling of non-pipelined units —
             // an op may not overtake an older, not-yet-issued op that may
             // use the same unit (all such ops share the Mult/Div pool).
-            if self.cfg.strict_fu_order && nonpipelined && !blocked_nonpipelined.is_empty() {
+            if self.cfg.strict_fu_order && nonpipelined && blocked_nonpipelined > 0 {
                 self.stats.strict_fu_delays += 1;
-                blocked_nonpipelined.push(q.class);
+                self.idle_strict_fu_delays += 1;
+                blocked_nonpipelined += 1;
                 continue;
             }
             if !ready || !self.fu.can_issue(q.class, now) {
                 if nonpipelined {
-                    blocked_nonpipelined.push(q.class);
+                    blocked_nonpipelined += 1;
                 }
                 continue;
             }
@@ -543,7 +672,10 @@ impl Core {
             let latency = inst.op.latency();
             self.fu.issue(q.class, now, latency);
             issued += 1;
-            remove.push(q.seq);
+            self.tick_progress = true;
+            // Tombstone the slot; one linear sweep below removes all of
+            // them (the old `remove.contains` pass was O(n²) per cycle).
+            self.iq[qi].seq = u64::MAX;
 
             if inst.op.is_mem() {
                 // AGU: resolve the address; the LSQ takes over next phase.
@@ -588,25 +720,29 @@ impl Core {
             self.events
                 .push(Reverse((now + latency, q.seq, EV_EXEC, 0)));
         }
-        self.iq.retain(|q| !remove.contains(&q.seq));
+        if issued > 0 {
+            self.iq.retain(|q| q.seq != u64::MAX);
+        }
     }
 
     // ---- LSQ: send ready loads to memory ----
 
     fn lsq_tick(&mut self, mem: &mut dyn MemoryBackend, now: u64) {
         let mut sent = 0;
-        let mut completions: Vec<(u64, u64)> = Vec::new();
         let taint_mode = self.cfg.taint_mode;
 
-        // Collect candidate seqs first to appease the borrow checker.
-        let candidates: Vec<u64> = self
-            .lq
-            .iter_mut()
-            .filter(|le| le.state == LoadState::Ready && le.retry_at <= now)
-            .map(|le| le.seq)
-            .collect();
+        // Collect candidate seqs into the reusable scratch buffer (taken
+        // so the LQ borrow ends before the issue loop mutates `self`).
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        candidates.extend(
+            self.lq
+                .iter()
+                .filter(|le| le.state == LoadState::Ready && le.retry_at <= now)
+                .map(|le| le.seq),
+        );
 
-        for seq in candidates {
+        for &seq in &candidates {
             if sent >= MEM_PORTS {
                 break;
             }
@@ -625,6 +761,7 @@ impl Core {
                     };
                     if !visible {
                         self.stats.stt_delays += 1;
+                        self.idle_stt_delays += 1;
                         continue;
                     }
                 }
@@ -645,9 +782,11 @@ impl Core {
                     le.forwarded = true;
                     le.filled_locally = true;
                     self.stats.load_forwards += 1;
-                    completions.push((now + 1, seq));
+                    self.tick_progress = true;
+                    self.events.push(Reverse((now + 1, seq, EV_LOAD, u64::MAX)));
                 }
                 ForwardResult::NoMatch => {
+                    self.tick_progress = true;
                     let speculative = self.older_unresolved_branch(seq);
                     let e = self.rob.get(seq).expect("live load");
                     if e.inst.op == Op::Ll {
@@ -691,9 +830,7 @@ impl Core {
                 }
             }
         }
-        for (at, seq) in completions {
-            self.events.push(Reverse((at, seq, EV_LOAD, u64::MAX)));
-        }
+        self.scratch_candidates = candidates;
     }
 
     // ---- rename/dispatch ----
@@ -722,6 +859,7 @@ impl Core {
                 }
             }
             let f = self.fetch_queue.pop_front().expect("checked");
+            self.tick_progress = true;
             let seq = self.next_seq;
             self.next_seq += 1;
 
@@ -781,6 +919,7 @@ impl Core {
             let fetch_line = line_addr(iaddr);
 
             if self.cur_fetch_line != Some(fetch_line) {
+                self.tick_progress = true; // the ifetch touches the backend
                 let req = MemReq {
                     core: self.id,
                     addr: fetch_line,
@@ -848,6 +987,7 @@ impl Core {
                 _ => {}
             }
 
+            self.tick_progress = true;
             self.fetch_queue.push_back(Fetched {
                 pc,
                 inst,

@@ -79,11 +79,11 @@ impl StoreQueue {
 
     /// Records the resolved address and data (execute).
     pub fn resolve(&mut self, seq: u64, addr: u64, data: u64) {
-        let e = self
+        let i = self
             .entries
-            .iter_mut()
-            .find(|e| e.seq == seq)
+            .binary_search_by_key(&seq, |e| e.seq)
             .expect("resolving a store not in the queue");
+        let e = &mut self.entries[i];
         e.addr = Some(addr);
         e.data = Some(data);
     }
@@ -230,17 +230,29 @@ impl LoadQueue {
         });
     }
 
+    /// Index of the entry with sequence `seq`. The queue is ordered by
+    /// seq (rename allocates monotonically, squash pops the back), so
+    /// lookups binary-search instead of scanning.
+    fn index_of(&self, seq: u64) -> Option<usize> {
+        self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
     /// Looks up a load by seq.
     pub fn get(&self, seq: u64) -> Option<&LoadEntry> {
-        self.entries.iter().find(|e| e.seq == seq)
+        self.index_of(seq).map(|i| &self.entries[i])
     }
 
     /// Mutable lookup by seq.
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut LoadEntry> {
-        self.entries.iter_mut().find(|e| e.seq == seq)
+        self.index_of(seq).map(move |i| &mut self.entries[i])
     }
 
     /// Iterates over loads, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &LoadEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration over loads, oldest first.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut LoadEntry> {
         self.entries.iter_mut()
     }

@@ -7,7 +7,7 @@
 
 use crate::bpred::RasCheckpoint;
 use crate::regfile::PhysReg;
-use gm_isa::Inst;
+use gm_isa::{Inst, Op};
 use std::collections::VecDeque;
 
 /// Execution status of a ROB entry.
@@ -100,10 +100,28 @@ impl RobEntry {
 
 /// The reorder buffer: a bounded FIFO of in-flight instructions ordered
 /// by sequence number.
+///
+/// Three sorted watch lists mirror the entries so the per-cycle ordering
+/// queries the issue and LSQ stages ask — "is there an older unresolved
+/// branch / pending memory op / fence?" — are O(1) reads of the oldest
+/// watched seq instead of prefix scans of the whole buffer.
 #[derive(Clone, Debug)]
 pub struct Rob {
     entries: VecDeque<RobEntry>,
     capacity: usize,
+    /// Seqs of control-flow entries whose status is not yet `Done`.
+    unresolved_ctrl: Vec<u64>,
+    /// Seqs of memory entries whose status is not yet `Done`.
+    unresolved_mem: Vec<u64>,
+    /// Seqs of in-flight fences (watched until commit, not completion).
+    fences: Vec<u64>,
+}
+
+/// Removes `seq` from a sorted watch list, if present.
+fn unwatch(list: &mut Vec<u64>, seq: u64) {
+    if let Ok(i) = list.binary_search(&seq) {
+        list.remove(i);
+    }
 }
 
 impl Rob {
@@ -113,6 +131,9 @@ impl Rob {
         Self {
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            unresolved_ctrl: Vec::new(),
+            unresolved_mem: Vec::new(),
+            fences: Vec::new(),
         }
     }
 
@@ -141,6 +162,15 @@ impl Rob {
         assert!(self.free() > 0, "ROB overflow");
         if let Some(tail) = self.entries.back() {
             assert!(seq > tail.seq, "sequence numbers must be monotonic");
+        }
+        if inst.op.is_ctrl() {
+            self.unresolved_ctrl.push(seq);
+        }
+        if inst.op.is_mem() {
+            self.unresolved_mem.push(seq);
+        }
+        if inst.op == Op::Fence {
+            self.fences.push(seq);
         }
         self.entries
             .push_back(RobEntry::new(seq, pc, inst, fetch_line));
@@ -173,13 +203,42 @@ impl Rob {
 
     /// Removes and returns the oldest entry (commit).
     pub fn pop_head(&mut self) -> Option<RobEntry> {
-        self.entries.pop_front()
+        let head = self.entries.pop_front()?;
+        // A committing entry is `Done`, so the ctrl/mem lists were
+        // already pruned by `set_done`; fences stay watched until here.
+        unwatch(&mut self.unresolved_ctrl, head.seq);
+        unwatch(&mut self.unresolved_mem, head.seq);
+        unwatch(&mut self.fences, head.seq);
+        Some(head)
+    }
+
+    /// Marks `seq` as executed: sets its status to [`RobStatus::Done`]
+    /// with result time `now` and releases it from the ordering watch
+    /// lists. Returns the entry for further writeback bookkeeping, or
+    /// `None` if it was squashed while in flight.
+    pub fn set_done(&mut self, seq: u64, now: u64) -> Option<&mut RobEntry> {
+        let i = self.index_of(seq)?;
+        unwatch(&mut self.unresolved_ctrl, seq);
+        unwatch(&mut self.unresolved_mem, seq);
+        let e = &mut self.entries[i];
+        e.status = RobStatus::Done;
+        e.done_at = now;
+        Some(e)
     }
 
     /// Removes every entry with `seq > above`, youngest first, invoking
     /// `on_squash` for each (rename rollback). Returns how many were
     /// squashed.
     pub fn squash_above(&mut self, above: u64, mut on_squash: impl FnMut(&RobEntry)) -> usize {
+        for list in [
+            &mut self.unresolved_ctrl,
+            &mut self.unresolved_mem,
+            &mut self.fences,
+        ] {
+            while list.last().is_some_and(|&s| s > above) {
+                list.pop();
+            }
+        }
         let mut n = 0;
         while self.entries.back().is_some_and(|e| e.seq > above) {
             let e = self.entries.pop_back().expect("checked non-empty");
@@ -197,6 +256,24 @@ impl Rob {
     /// Whether any entry older than `seq` satisfies `pred`.
     pub fn any_older(&self, seq: u64, pred: impl FnMut(&RobEntry) -> bool) -> bool {
         self.entries.iter().take_while(|e| e.seq < seq).any(pred)
+    }
+
+    /// Whether a control-flow entry older than `seq` has not produced
+    /// its result yet. O(1): reads the oldest watched seq.
+    pub fn older_unresolved_ctrl(&self, seq: u64) -> bool {
+        self.unresolved_ctrl.first().is_some_and(|&s| s < seq)
+    }
+
+    /// Whether a memory entry older than `seq` has not completed yet.
+    /// O(1): reads the oldest watched seq.
+    pub fn older_pending_mem(&self, seq: u64) -> bool {
+        self.unresolved_mem.first().is_some_and(|&s| s < seq)
+    }
+
+    /// Whether a fence older than `seq` is still in flight (fences are
+    /// watched until they commit). O(1): reads the oldest watched seq.
+    pub fn older_fence(&self, seq: u64) -> bool {
+        self.fences.first().is_some_and(|&s| s < seq)
     }
 }
 
@@ -276,6 +353,53 @@ mod tests {
         assert!(!r.any_older(11, |e| e.status != RobStatus::Done));
         assert!(r.any_older(12, |e| e.status != RobStatus::Done)); // 11 waiting
         assert!(!r.any_older(10, |_| true), "head has nothing older");
+    }
+
+    #[test]
+    fn watch_lists_answer_ordering_queries_in_o1() {
+        use gm_isa::{Op, Reg};
+        let mut r = Rob::new(8);
+        let inst = |op| Inst::new(op, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0);
+        r.push(10, 0, inst(Op::Beq), 0); // ctrl
+        r.push(11, 1, inst(Op::Ld(gm_isa::MemSize::B8)), 0); // mem
+        r.push(12, 2, inst(Op::Fence), 0);
+        r.push(13, 3, Inst::nop(), 0);
+        assert!(r.older_unresolved_ctrl(11));
+        assert!(!r.older_unresolved_ctrl(10), "nothing older than head");
+        assert!(r.older_pending_mem(13));
+        assert!(!r.older_pending_mem(11));
+        assert!(r.older_fence(13));
+        assert!(!r.older_fence(12));
+
+        // Completion releases ctrl/mem watches...
+        assert!(r.set_done(10, 5).is_some());
+        assert!(!r.older_unresolved_ctrl(13));
+        assert!(r.set_done(11, 6).is_some());
+        assert!(!r.older_pending_mem(13));
+        // ...but fences stay watched until they commit.
+        assert!(r.set_done(12, 7).is_some());
+        assert!(r.older_fence(13));
+        r.pop_head(); // 10
+        r.pop_head(); // 11
+        r.pop_head(); // 12 — fence leaves the window
+        assert!(!r.older_fence(13));
+    }
+
+    #[test]
+    fn squash_prunes_watch_lists() {
+        use gm_isa::{Op, Reg};
+        let mut r = Rob::new(8);
+        let inst = |op| Inst::new(op, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0);
+        r.push(10, 0, Inst::nop(), 0);
+        r.push(11, 1, inst(Op::Beq), 0);
+        r.push(12, 2, inst(Op::Ld(gm_isa::MemSize::B8)), 0);
+        r.push(13, 3, inst(Op::Fence), 0);
+        r.squash_above(10, |_| {});
+        assert!(!r.older_unresolved_ctrl(u64::MAX));
+        assert!(!r.older_pending_mem(u64::MAX));
+        assert!(!r.older_fence(u64::MAX));
+        // set_done on a squashed seq reports the miss.
+        assert!(r.set_done(12, 9).is_none());
     }
 
     #[test]

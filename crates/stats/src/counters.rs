@@ -36,7 +36,15 @@ impl Counters {
 
     /// Increments `name` by `amount`.
     pub fn add(&mut self, name: &str, amount: u64) {
-        *self.values.entry(name.to_owned()).or_insert(0) += amount;
+        // Hot path: counters are bumped millions of times per simulated
+        // job. `entry` would allocate an owned key on every call; only
+        // the first increment of a name needs one.
+        match self.values.get_mut(name) {
+            Some(v) => *v += amount,
+            None => {
+                self.values.insert(name.to_owned(), amount);
+            }
+        }
     }
 
     /// Returns the value of `name`, or zero if it was never incremented.
