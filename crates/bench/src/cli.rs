@@ -66,7 +66,8 @@ pub fn usage(program: &str, selection: bool) -> String {
         u.push_str(
             "       gm-run merge <SHARD.json>... [--json <PATH>] [--jobs <N>]\n\
              \x20      gm-run bench [--scale <S>] [--jobs <N>] [--filter <SUBSTR>] [--json <PATH>]\n\
-             \x20      gm-run store <DIR> [--compact]\n",
+             \x20                   [--check <BASELINE.json>]\n\
+             \x20      gm-run store <DIR> [--compact] [--gc]\n",
         );
     }
     u.push_str(
@@ -424,19 +425,130 @@ pub fn gm_run_main() {
 
 fn bench_usage() -> String {
     "usage: gm-run bench [--scale <test|bench|full>] [--jobs <N>] \
-     [--filter <SUBSTR>] [--json <PATH>]\n\
+     [--filter <SUBSTR>] [--json <PATH>] [--check <BASELINE.json>]\n\
      \n\
      Runs every selected sweep experiment cold (no result store), measures\n\
      total simulation wall-clock and simulated-cycles-per-second engine\n\
      throughput, and writes the snapshot to --json (default:\n\
      BENCH_engine.json). Re-run after engine changes to extend the repo's\n\
-     perf trajectory; see README \"Performance\".\n"
+     perf trajectory; see README \"Performance\".\n\
+     \n\
+     --check compares the fresh run against a committed baseline snapshot\n\
+     and exits non-zero if any experiment's (or the total) mcycles_per_s\n\
+     dropped by more than 25% — the CI perf-regression gate. With --check\n\
+     the snapshot defaults to BENCH_fresh.json (never the baseline path,\n\
+     which --json may not name either). Compare runs from the same runner\n\
+     class; absolute throughput is machine-specific.\n"
         .to_owned()
 }
 
-/// `gm-run bench`: cold perf snapshot of the simulation engine.
+/// Maximum tolerated fractional `mcycles_per_s` drop per experiment
+/// before `gm-run bench --check` fails.
+const BENCH_REGRESSION_FRACTION: f64 = 0.25;
+
+/// Outcome of comparing a fresh bench snapshot against a baseline.
+struct BenchCheck {
+    /// One human-readable comparison line per checked experiment.
+    report: Vec<String>,
+    /// The subset that regressed beyond the threshold.
+    regressions: Vec<String>,
+}
+
+/// Extracts `(name, mcycles_per_s)` rows — every experiment entry plus
+/// the `total` — from a `gm-run bench` snapshot document.
+fn bench_rates(doc: &Json, label: &str) -> Result<Vec<(String, f64)>, String> {
+    let rate = |name: &str, e: &Json| -> Result<(String, f64), String> {
+        let r = e
+            .get("mcycles_per_s")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("{label}: {name} has no numeric mcycles_per_s"))?;
+        Ok((name.to_owned(), r))
+    };
+    let mut rows = Vec::new();
+    for e in doc
+        .get("experiments")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{label}: no experiments array (not a bench snapshot?)"))?
+    {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: experiment entry without a name"))?;
+        rows.push(rate(name, e)?);
+    }
+    let total = doc
+        .get("total")
+        .ok_or_else(|| format!("{label}: no total entry"))?;
+    rows.push(rate("total", total)?);
+    Ok(rows)
+}
+
+/// Compares a fresh snapshot against a committed baseline: every
+/// baseline experiment also present in the fresh run (a `--filter`ed
+/// check legitimately covers a subset) must hold at least
+/// `1 - BENCH_REGRESSION_FRACTION` of its baseline throughput.
+fn bench_check(fresh: &Json, baseline: &Json) -> Result<BenchCheck, String> {
+    let fresh_rates = bench_rates(fresh, "fresh run")?;
+    let base_rates = bench_rates(baseline, "baseline")?;
+    let mut report = Vec::new();
+    let mut regressions = Vec::new();
+    // A filtered run's total only covers the selected experiments and is
+    // not comparable to the full baseline total.
+    let all_present = base_rates
+        .iter()
+        .filter(|(n, _)| n != "total")
+        .all(|(n, _)| fresh_rates.iter().any(|(f, _)| f == n));
+    for (name, base) in &base_rates {
+        if name == "total" && !all_present {
+            continue;
+        }
+        let Some((_, now)) = fresh_rates.iter().find(|(n, _)| n == name) else {
+            continue; // not selected in this run
+        };
+        let ratio = if *base > 0.0 {
+            now / base
+        } else {
+            f64::INFINITY
+        };
+        let mut line = format!("{name}: {base:.1} -> {now:.1} Mcycles/s ({ratio:.2}x)");
+        if ratio < 1.0 - BENCH_REGRESSION_FRACTION {
+            line.push_str(" REGRESSION");
+            regressions.push(line.clone());
+        }
+        report.push(line);
+    }
+    if report.is_empty() {
+        return Err("no baseline experiment matches the fresh run".into());
+    }
+    Ok(BenchCheck {
+        report,
+        regressions,
+    })
+}
+
+/// `gm-run bench`: cold perf snapshot of the simulation engine, with an
+/// optional `--check` regression gate against a committed baseline.
 fn bench_main(args: &[String]) {
     let program = "gm-run bench";
+    // `--check` is bench-only; strip it before the shared parser.
+    let mut check: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args_it = args.iter();
+    while let Some(arg) = args_it.next() {
+        if arg == "--check" {
+            match args_it.next() {
+                Some(v) => check = Some(v.clone()),
+                None => {
+                    eprint!("{program}: --check requires a value\n\n{}", bench_usage());
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    let args = rest.as_slice();
     let opts = match parse(args, true) {
         Ok(opts) => {
             if opts.help {
@@ -457,6 +569,34 @@ fn bench_main(args: &[String]) {
             std::process::exit(2);
         }
     };
+    // With --check, the snapshot defaults to BENCH_fresh.json so the
+    // default output can never be the baseline under comparison; an
+    // explicit collision is rejected — otherwise a regressed run would
+    // overwrite the baseline before failing, and the re-run would pass.
+    let snapshot_path = opts.json.clone().unwrap_or_else(|| {
+        if check.is_some() {
+            "BENCH_fresh.json".to_owned()
+        } else {
+            "BENCH_engine.json".to_owned()
+        }
+    });
+    if check.as_deref() == Some(snapshot_path.as_str()) {
+        eprint!(
+            "{program}: --json and --check name the same file ({snapshot_path}); \
+             writing the fresh snapshot there would clobber the baseline \
+             before it is checked\n\n{}",
+            bench_usage()
+        );
+        std::process::exit(2);
+    }
+    // Read the baseline before the (minutes-long) bench run, so a bad
+    // path fails fast.
+    let baseline = check.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(program, &format!("cannot read baseline {path:?}: {e}")));
+        Json::parse(&text)
+            .unwrap_or_else(|e| fail(program, &format!("cannot parse baseline {path:?}: {e}")))
+    });
     let selected: Vec<Experiment> = match &opts.filter {
         Some(pattern) => experiment::matching(pattern),
         None => experiment::registry(),
@@ -522,18 +662,66 @@ fn bench_main(args: &[String]) {
         .set("jobs", runner.jobs() as u64)
         .set("experiments", Json::Array(entries))
         .set("total", total);
-    let path = opts.json.unwrap_or_else(|| "BENCH_engine.json".to_owned());
-    write_json(program, Some(&path), &doc);
+    write_json(program, Some(&snapshot_path), &doc);
+    if let (Some(baseline), Some(check_path)) = (baseline, check) {
+        let outcome = bench_check(&doc, &baseline)
+            .unwrap_or_else(|e| fail(program, &format!("--check {check_path}: {e}")));
+        for line in &outcome.report {
+            eprintln!("{program}: check vs {check_path}: {line}");
+        }
+        if !outcome.regressions.is_empty() {
+            fail(
+                program,
+                &format!(
+                    "{} experiment(s) regressed more than {}% vs {check_path}:\n  {}",
+                    outcome.regressions.len(),
+                    (BENCH_REGRESSION_FRACTION * 100.0) as u32,
+                    outcome.regressions.join("\n  ")
+                ),
+            );
+        }
+        eprintln!("{program}: check vs {check_path}: OK");
+    }
 }
 
 fn store_usage() -> String {
-    "usage: gm-run store <DIR> [--compact]\n\
+    "usage: gm-run store <DIR> [--compact] [--gc]\n\
      \n\
      Inspects a result store: per-experiment record counts and the total\n\
      cached simulation wall-clock those records represent (the time a warm\n\
      re-run saves). --compact rewrites every store file, dropping\n\
-     superseded and corrupt lines.\n"
+     superseded and corrupt lines. --gc additionally drops records whose\n\
+     fingerprint no current registry experiment produces (at any scale) —\n\
+     stale cache entries from old configs, schemes, or workloads —\n\
+     reporting the records and bytes reclaimed; a fully-reclaimed file is\n\
+     removed.\n"
         .to_owned()
+}
+
+/// Every fingerprint `experiment` can currently produce, across all
+/// scales — the live set a store garbage collection keeps. `None` when
+/// the name is not a registered sweep experiment (its records are all
+/// stale by definition).
+fn registry_fingerprints(experiment: &str) -> Option<std::collections::HashSet<String>> {
+    let exp = experiment::find(experiment)?;
+    let ExperimentKind::Sweep(sweep) = &exp.kind else {
+        return None; // non-sweep experiments write no records
+    };
+    let mut set = std::collections::HashSet::new();
+    for scale in [Scale::Test, Scale::Bench, Scale::Full] {
+        let ws = sweep.workload_set(scale);
+        for unit in &ws.units {
+            for col in &sweep.schemes {
+                set.insert(gm_results::job_fingerprint(
+                    unit,
+                    &col.scheme,
+                    scale,
+                    &sweep.config,
+                ));
+            }
+        }
+    }
+    Some(set)
 }
 
 /// `gm-run store`: result-store maintenance.
@@ -541,9 +729,11 @@ fn store_main(args: &[String]) {
     let program = "gm-run store";
     let mut dir: Option<String> = None;
     let mut compact = false;
+    let mut gc = false;
     for arg in args {
         match arg.as_str() {
             "--compact" => compact = true,
+            "--gc" => gc = true,
             "--help" | "-h" => {
                 print!("{}", store_usage());
                 std::process::exit(0);
@@ -610,6 +800,41 @@ fn store_main(args: &[String]) {
         for name in &experiments {
             compact_one(program, &store, name);
         }
+    }
+    if gc {
+        let (mut total_dropped, mut total_bytes) = (0u64, 0u64);
+        for name in &experiments {
+            let live = registry_fingerprints(name);
+            let result = match &live {
+                Some(set) => store.gc(name, &|fp| set.contains(fp)),
+                // Unknown experiment: nothing in the registry produces
+                // its records, so the whole file is stale.
+                None => store.gc(name, &|_| false),
+            };
+            match result {
+                Ok(stats) if stats.dropped > 0 || stats.superseded > 0 || stats.corrupt > 0 => {
+                    total_dropped += stats.dropped as u64;
+                    total_bytes += stats.reclaimed_bytes;
+                    eprintln!(
+                        "{program}: gc {name}: kept {}, dropped {} stale, {} superseded and \
+                         {} corrupt line(s), reclaimed {} byte(s){}",
+                        stats.kept,
+                        stats.dropped,
+                        stats.superseded,
+                        stats.corrupt,
+                        stats.reclaimed_bytes,
+                        if stats.kept == 0 {
+                            " (file removed)"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!("warning: store gc for {name} failed: {e}"),
+            }
+        }
+        eprintln!("{program}: gc reclaimed {total_dropped} record(s), {total_bytes} byte(s)");
     }
 }
 
@@ -816,12 +1041,71 @@ mod tests {
             "merge",
             "bench",
             "store",
+            "--check",
+            "--gc",
         ] {
             assert!(u.contains(flag), "{flag} missing from usage");
         }
         let fig = usage("fig6", false);
         assert!(!fig.contains("--filter") && !fig.contains("--shard"));
         assert!(fig.contains("--store") && fig.contains("--workloads"));
+    }
+
+    fn bench_doc(rates: &[(&str, f64)], total: f64) -> Json {
+        let mut entries = Vec::new();
+        for (name, rate) in rates {
+            let mut e = Json::object();
+            e.set("name", *name)
+                .set("jobs", 1u64)
+                .set("mcycles_per_s", format!("{rate:.1}"));
+            entries.push(e);
+        }
+        let mut t = Json::object();
+        t.set("mcycles_per_s", format!("{total:.1}"));
+        let mut doc = Json::object();
+        doc.set("experiments", Json::Array(entries)).set("total", t);
+        doc
+    }
+
+    #[test]
+    fn bench_check_passes_within_the_threshold() {
+        let baseline = bench_doc(&[("fig6", 2.0), ("fig7", 0.8)], 1.6);
+        let fresh = bench_doc(&[("fig6", 1.6), ("fig7", 3.1)], 2.1);
+        // fig6 dropped to exactly 0.80x — inside the 25% tolerance.
+        let out = bench_check(&fresh, &baseline).unwrap();
+        assert!(out.regressions.is_empty(), "{:?}", out.regressions);
+        assert_eq!(out.report.len(), 3, "two experiments + total");
+    }
+
+    #[test]
+    fn bench_check_fails_past_the_threshold() {
+        let baseline = bench_doc(&[("fig6", 2.0), ("fig7", 0.8)], 1.6);
+        let fresh = bench_doc(&[("fig6", 1.4), ("fig7", 0.8)], 1.1);
+        let out = bench_check(&fresh, &baseline).unwrap();
+        // fig6 at 0.70x and total at ~0.69x both regress.
+        assert_eq!(out.regressions.len(), 2, "{:?}", out.regressions);
+        assert!(out.regressions[0].contains("fig6"));
+        assert!(out.regressions[1].contains("total"));
+        assert!(out.regressions.iter().all(|l| l.contains("REGRESSION")));
+    }
+
+    #[test]
+    fn bench_check_ignores_total_on_filtered_runs() {
+        let baseline = bench_doc(&[("fig6", 2.0), ("fig7", 0.8)], 1.6);
+        // A `--filter fig7` check run: fig7 healthy, but the partial
+        // total (0.9) must not be compared against the full-registry 1.6.
+        let fresh = bench_doc(&[("fig7", 0.9)], 0.9);
+        let out = bench_check(&fresh, &baseline).unwrap();
+        assert!(out.regressions.is_empty(), "{:?}", out.regressions);
+        assert_eq!(out.report.len(), 1, "only fig7 is comparable");
+    }
+
+    #[test]
+    fn bench_check_rejects_non_snapshots() {
+        let baseline = bench_doc(&[("fig6", 2.0)], 2.0);
+        assert!(bench_check(&Json::object(), &baseline).is_err());
+        let disjoint = bench_doc(&[("fig9", 1.0)], 1.0);
+        assert!(bench_check(&disjoint, &baseline).is_err());
     }
 
     #[test]

@@ -71,6 +71,61 @@ impl Shard {
         flat_index % self.count as usize == (self.index - 1) as usize
     }
 
+    /// Ownership of every job in a flat list, given each job's predicted
+    /// cost (see [`predicted_costs`]; `None` when nothing predicts the
+    /// job).
+    ///
+    /// With no cost information this is exactly the historical
+    /// round-robin split ([`Shard::owns`]). As soon as at least one cost
+    /// is known, jobs are partitioned by greedy longest-processing-time:
+    /// sorted by predicted cost (unknown jobs predicted at the mean of
+    /// the known ones), each assigned to the least-loaded shard — so a
+    /// handful of slow workloads no longer serialises one machine while
+    /// the others idle.
+    ///
+    /// The assignment is a pure, deterministic function of `(costs,
+    /// count)`: every shard of an N-way split computes the identical
+    /// partition provided they see the same cost inputs. The cost inputs
+    /// are append-invariant for runs of the current configuration
+    /// (historical records only), so sequential shard runs against one
+    /// store directory always agree; machines with *different* historical
+    /// records produce overlapping or incomplete splits, which `gm-run
+    /// merge` rejects loudly — replicate the store snapshot across
+    /// machines for cost-aware splits.
+    pub fn partition(&self, costs: &[Option<u64>]) -> Vec<bool> {
+        if self.is_full() {
+            return vec![true; costs.len()];
+        }
+        if costs.iter().all(Option::is_none) {
+            return (0..costs.len()).map(|i| self.owns(i)).collect();
+        }
+        let known_sum: u128 = costs.iter().flatten().map(|&c| u128::from(c)).sum();
+        let known_n = costs.iter().flatten().count() as u128;
+        let mean = (known_sum / known_n) as u64;
+        let predicted = |i: usize| costs[i].unwrap_or(mean);
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        // Cost descending; index ascending breaks ties deterministically.
+        order.sort_by(|&a, &b| predicted(b).cmp(&predicted(a)).then(a.cmp(&b)));
+        let n = self.count as usize;
+        // (total predicted cost, job count) per shard; ties go to the
+        // lowest shard index, and the count term spreads runs of
+        // equal-cost jobs instead of piling them onto one shard.
+        let mut load = vec![(0u128, 0usize); n];
+        let mut mine = vec![false; costs.len()];
+        let me = (self.index - 1) as usize;
+        for &i in &order {
+            let best = (0..n)
+                .min_by_key(|&k| (load[k].0, load[k].1, k))
+                .expect("count >= 1");
+            load[best].0 += u128::from(predicted(i));
+            load[best].1 += 1;
+            if best == me {
+                mine[i] = true;
+            }
+        }
+        mine
+    }
+
     /// 1-based shard index.
     pub fn index(&self) -> u32 {
         self.index
@@ -189,6 +244,11 @@ impl Runner {
     /// this shard's slice of them — consulting `store` before simulating
     /// and appending fresh results to it — and returns the job grid.
     ///
+    /// Sharded runs partition cost-aware when the store holds
+    /// *historical* records predicting job costs (see
+    /// [`predicted_costs`] and [`Shard::partition`]); otherwise the
+    /// split is the historical round-robin.
+    ///
     /// `experiment` names the store file. A store whose record fails to
     /// reconstruct (corrupt line, old format version) degrades to a
     /// cache miss and re-simulates; the subsequent append supersedes the
@@ -203,11 +263,8 @@ impl Runner {
     ) -> Result<SweepRun, String> {
         let set = sweep.workload_set(scale);
         let nschemes = sweep.schemes.len();
-        let owned: Vec<(usize, usize)> = (0..set.units.len())
+        let all: Vec<(usize, usize)> = (0..set.units.len())
             .flat_map(|u| (0..nschemes).map(move |s| (u, s)))
-            .enumerate()
-            .filter(|&(flat, _)| shard.owns(flat))
-            .map(|(_, job)| job)
             .collect();
         let cached: HashMap<String, gm_stats::Json> = match store {
             Some(st) => {
@@ -217,10 +274,41 @@ impl Runner {
             }
             None => HashMap::new(),
         };
-        let jobs = self.map(&owned, |&(u, s)| {
+        // With a store, fingerprint every job up front (in parallel):
+        // the cache lookup needs the owned ones anyway, and the
+        // cost-aware partitioner needs the full current set to recognise
+        // historical records. A storeless run computes only its own
+        // shard's fingerprints inside the job closure, as before.
+        let fingerprints: Vec<Option<String>> = if store.is_some() {
+            self.map(&all, |&(u, s)| {
+                Some(job_fingerprint(
+                    &set.units[u],
+                    &sweep.schemes[s].scheme,
+                    scale,
+                    &sweep.config,
+                ))
+            })
+        } else {
+            vec![None; all.len()]
+        };
+        let ownership = if store.is_some() && !shard.is_full() {
+            let costs = predicted_costs(&all, &set, sweep, &fingerprints, &cached);
+            shard.partition(&costs)
+        } else {
+            (0..all.len()).map(|i| shard.owns(i)).collect()
+        };
+        let owned: Vec<(usize, usize, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|&(flat, _)| ownership[flat])
+            .map(|(flat, &(u, s))| (flat, u, s))
+            .collect();
+        let jobs = self.map(&owned, |&(flat, u, s)| {
             let unit = &set.units[u];
             let scheme = sweep.schemes[s].scheme;
-            let fingerprint = job_fingerprint(unit, &scheme, scale, &sweep.config);
+            let fingerprint = fingerprints[flat]
+                .clone()
+                .unwrap_or_else(|| job_fingerprint(unit, &scheme, scale, &sweep.config));
             if let Some(record) = cached.get(&fingerprint) {
                 let reconstructed = result_from_record(record, unit.name, scheme.name())
                     .and_then(|result| Ok((result, record_wall_us(record)?)));
@@ -260,7 +348,7 @@ impl Runner {
             .map(|_| (0..nschemes).map(|_| None).collect())
             .collect();
         let mut cache = CacheStats::default();
-        for (&(u, s), job) in owned.iter().zip(jobs) {
+        for (&(_, u, s), job) in owned.iter().zip(jobs) {
             if job.cached {
                 cache.hits += 1;
             } else {
@@ -284,6 +372,55 @@ impl Default for Runner {
     fn default() -> Self {
         Self::new(0)
     }
+}
+
+/// Predicted wall-clock per job for the cost-aware partitioner.
+///
+/// Predictions come from *historical* records only: records in the
+/// experiment's store file whose fingerprint no current job produces —
+/// results from earlier scales, configs, or code versions — averaged by
+/// (workload, scheme label). Two properties fall out of that choice:
+///
+/// * Current-fingerprint records are exactly the cache hits (a hit
+///   replays in microseconds, costing its shard nothing) and exactly
+///   what a sibling shard's run can append. Excluding them keeps hits
+///   from polluting the balance *and* makes the partition
+///   append-invariant: sequential shard runs against one store
+///   directory read identical cost inputs and split identically.
+/// * A store warmed at a cheaper scale, or invalidated by a config or
+///   code change, still predicts every job's *relative* cost — which is
+///   all greedy longest-processing-time needs.
+fn predicted_costs(
+    all: &[(usize, usize)],
+    set: &WorkloadSet,
+    sweep: &Sweep,
+    fingerprints: &[Option<String>],
+    cached: &HashMap<String, gm_stats::Json>,
+) -> Vec<Option<u64>> {
+    let current: std::collections::HashSet<&str> =
+        fingerprints.iter().flatten().map(String::as_str).collect();
+    let mut sums: HashMap<(&str, &str), (u128, u64)> = HashMap::new();
+    for (fp, record) in cached {
+        if current.contains(fp.as_str()) {
+            continue;
+        }
+        let (Some(workload), Some(label), Ok(us)) = (
+            record.get("workload").and_then(gm_stats::Json::as_str),
+            record.get("scheme").and_then(gm_stats::Json::as_str),
+            record_wall_us(record),
+        ) else {
+            continue;
+        };
+        let e = sums.entry((workload, label)).or_insert((0, 0));
+        e.0 += u128::from(us);
+        e.1 += 1;
+    }
+    all.iter()
+        .map(|&(u, s)| {
+            sums.get(&(set.units[u].name, sweep.schemes[s].label.as_str()))
+                .map(|&(sum, n)| (sum / u128::from(n)) as u64)
+        })
+        .collect()
 }
 
 /// Raw results of a sweep: `rows[workload][scheme]`, aligned with the
@@ -449,5 +586,95 @@ mod tests {
                 assert_eq!(owners, 1, "job {job} must have exactly one of {n} owners");
             }
         }
+    }
+
+    /// Deterministic pseudo-random cost vectors (SplitMix64) with a mix
+    /// of known and unknown entries.
+    fn random_costs(seed: u64, len: usize) -> Vec<Option<u64>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        (0..len)
+            .map(|_| {
+                let x = next();
+                (x % 4 != 0).then_some(x % 1_000_000)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cost_aware_partition_is_disjoint_covering_and_deterministic() {
+        for n in 1..=6u32 {
+            for seed in 0..20u64 {
+                let len = 1 + (seed as usize * 7) % 40;
+                let costs = random_costs(seed, len);
+                let parts: Vec<Vec<bool>> = (1..=n)
+                    .map(|k| Shard::new(k, n).unwrap().partition(&costs))
+                    .collect();
+                for job in 0..len {
+                    let owners = parts.iter().filter(|p| p[job]).count();
+                    assert_eq!(owners, 1, "job {job}, {n} shards, seed {seed}");
+                }
+                // Same inputs, same split — every machine of an N-way
+                // run computes the partition independently.
+                for k in 1..=n {
+                    let again = Shard::new(k, n).unwrap().partition(&costs);
+                    assert_eq!(again, parts[(k - 1) as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_without_costs_is_the_round_robin_split() {
+        let costs = vec![None; 17];
+        for n in 1..=4u32 {
+            for k in 1..=n {
+                let shard = Shard::new(k, n).unwrap();
+                let expect: Vec<bool> = (0..17).map(|i| shard.owns(i)).collect();
+                assert_eq!(shard.partition(&costs), expect, "shard {k}/{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_partition_balances_predicted_cost() {
+        // One 1000µs job and six 10µs jobs on two shards: round-robin
+        // would put three small jobs with the big one; LPT gives the big
+        // job a shard (nearly) to itself.
+        let costs: Vec<Option<u64>> = [1000u64, 10, 10, 10, 10, 10, 10]
+            .iter()
+            .map(|&c| Some(c))
+            .collect();
+        let s1 = Shard::new(1, 2).unwrap().partition(&costs);
+        let s2 = Shard::new(2, 2).unwrap().partition(&costs);
+        let cost_of = |part: &[bool]| -> u64 {
+            part.iter()
+                .zip(&costs)
+                .filter(|(own, _)| **own)
+                .map(|(_, c)| c.unwrap())
+                .sum()
+        };
+        let (a, b) = (cost_of(&s1), cost_of(&s2));
+        assert_eq!(a + b, 1060);
+        assert_eq!(a.max(b), 1000, "the big job's shard takes nothing else");
+        // Unknown costs predict at the mean of known ones and spread by
+        // job count on load ties.
+        let mixed: Vec<Option<u64>> = vec![Some(100), None, None, None];
+        let m1 = Shard::new(1, 2).unwrap().partition(&mixed);
+        let m2 = Shard::new(2, 2).unwrap().partition(&mixed);
+        assert_eq!(m1.iter().filter(|o| **o).count(), 2);
+        assert_eq!(m2.iter().filter(|o| **o).count(), 2);
+    }
+
+    #[test]
+    fn full_shard_owns_everything_regardless_of_costs() {
+        let costs = random_costs(3, 9);
+        assert_eq!(Shard::full().partition(&costs), vec![true; 9]);
     }
 }

@@ -214,7 +214,10 @@ fn workload_filter_is_strict_and_intersects() {
 /// One sharded end-to-end round at `n` shards for the scoped-down
 /// `fu_order` registry experiment, against a shared warm store:
 /// partition must be disjoint and covering, and the merged report must
-/// be bit-identical to the unsharded `--jobs 1` run.
+/// be bit-identical to the unsharded `--jobs 1` run. (A warm
+/// same-configuration store has no *historical* records, so this is the
+/// round-robin path; the LPT path is covered by
+/// `historical_costs_shard_consistently_against_one_store`.)
 fn shard_round(n: u32, store: &ResultStore, reference: &(String, String)) {
     let mut experiments = vec![experiment::find("fu_order").unwrap()];
     apply_workload_filter(&mut experiments, &["gamess".to_owned(), "hmmer".to_owned()]).unwrap();
@@ -270,6 +273,83 @@ fn shard_round(n: u32, store: &ResultStore, reference: &(String, String)) {
         reference.1,
         "{n}-way merge must reproduce the unsharded per-job JSON"
     );
+}
+
+/// Cost-aware sharding from *historical* records: a store warmed under
+/// a different configuration (fingerprints invalidated, workload and
+/// scheme labels intact — the "previous code version / cheaper scale"
+/// workflow) predicts job costs, and only `gamess` is warmed, so
+/// `hmmer`'s jobs are predicted at the mean (partial knowledge). The
+/// shards run *sequentially against the same store directory*: the
+/// partition must not shift when shard 1 appends its freshly simulated
+/// records (cost inputs are historical records only, which a
+/// current-configuration run never writes), and the merged report must
+/// match the unsharded run.
+#[test]
+fn historical_costs_shard_consistently_against_one_store() {
+    let scratch = Scratch::new("historical-cost");
+    let store = scratch.store();
+    let mut experiments = vec![experiment::find("fu_order").unwrap()];
+    apply_workload_filter(&mut experiments, &["gamess".to_owned(), "hmmer".to_owned()]).unwrap();
+    let exp = &experiments[0];
+    let ExperimentKind::Sweep(sweep) = &exp.kind else {
+        panic!("fu_order is a sweep");
+    };
+    // Reference (storeless — the report depends only on the simulation).
+    let reference = report_text(
+        exp.title,
+        &run_experiment(&Runner::new(1), exp, Scale::Test, None).unwrap(),
+    );
+    // Warm the store under an *older* configuration: every record's
+    // fingerprint misses the current jobs, so nothing is cached, but
+    // the (workload, scheme) wall-clocks still predict costs.
+    let mut old = sweep.clone();
+    old.config.core.rob_entries -= 1;
+    old.workloads = Some(vec!["gamess"]);
+    Runner::new(1)
+        .run_sweep_shard(&old, Scale::Test, exp.name, Some(&store), Shard::full())
+        .unwrap();
+
+    let mut docs = Vec::new();
+    let mut owned_per_job: Vec<usize> = Vec::new();
+    let mut misses = 0;
+    for k in 1..=2u32 {
+        let shard = Shard::new(k, 2).unwrap();
+        let run = Runner::new(1)
+            .run_sweep_shard(sweep, Scale::Test, exp.name, Some(&store), shard)
+            .unwrap();
+        misses += run.cache.misses;
+        let flat: Vec<bool> = run
+            .rows
+            .iter()
+            .flat_map(|row| row.iter().map(Option::is_some))
+            .collect();
+        if owned_per_job.is_empty() {
+            owned_per_job = vec![0; flat.len()];
+        }
+        for (slot, owned) in owned_per_job.iter_mut().zip(&flat) {
+            *slot += usize::from(*owned);
+        }
+        docs.push(shard_doc(
+            "gm-run",
+            Scale::Test,
+            shard,
+            vec![shard_entry(exp, Scale::Test, &run, sweep)],
+        ));
+    }
+    assert!(
+        owned_per_job.iter().all(|&owners| owners == 1),
+        "historical-cost LPT split must own every job exactly once even \
+         when shards run sequentially against one store: {owned_per_job:?}"
+    );
+    assert_eq!(
+        misses,
+        owned_per_job.len(),
+        "history predicts costs but caches nothing — every job simulates"
+    );
+    let merged = merge_docs(&docs, &Runner::new(1)).unwrap();
+    let (mexp, mout) = &merged.outputs[0];
+    assert_eq!(report_text(mexp.title, mout), reference);
 }
 
 proptest! {

@@ -4,7 +4,7 @@ use crate::memsys::{HierarchyConfig, MemStats, MemorySystem};
 use crate::scheme::Scheme;
 use gm_isa::Program;
 use gm_mem::CacheConfig;
-use gm_sim::{Core, CoreConfig, CoreStats};
+use gm_sim::{Core, CoreConfig, CoreStats, IssueMode};
 use gm_stats::Json;
 
 /// Complete system configuration (Table 1 by default).
@@ -285,6 +285,16 @@ impl Machine {
         self.mem.auditor.as_ref()
     }
 
+    /// Selects the issue-stage implementation on every core.
+    /// [`IssueMode::Event`] (wakeup lists) is the default;
+    /// [`IssueMode::Scan`] is the linear-scan oracle the equivalence
+    /// tests compare against. Call before the first tick.
+    pub fn set_issue_mode(&mut self, mode: IssueMode) {
+        for core in &mut self.cores {
+            core.set_issue_mode(mode);
+        }
+    }
+
     /// Access to a core (register readout, stats).
     pub fn core(&self, i: usize) -> &Core {
         &self.cores[i]
@@ -359,8 +369,13 @@ impl Machine {
     }
 
     /// Reference run loop ticking every core on every cycle, kept as the
-    /// oracle for the cycle-skipping equivalence tests.
+    /// oracle for the cycle-skipping equivalence tests. Disables the
+    /// cores' quiescent-tick memo so the oracle re-runs every stage on
+    /// every cycle.
     pub fn run_lockstep(&mut self, max_cycles: u64) -> MachineResult {
+        for core in &mut self.cores {
+            core.disable_tick_memo();
+        }
         while !self.halted() && self.cycle < max_cycles {
             self.tick();
         }

@@ -150,6 +150,46 @@ struct PerCore {
 /// Aggregated memory-side statistics (also the Fig. 10 event sources).
 pub type MemStats = Counters;
 
+/// Interned ids for every hot counter this file bumps: each name is
+/// resolved once per process (`counter_ids!` caches the id in a
+/// per-call-site `OnceLock`), so recording an event is a flat `Vec`
+/// index instead of a `BTreeMap<String, _>` walk.
+mod id {
+    gm_stats::counter_ids! {
+        async_reloads => "async_reloads",
+        coherence_replays => "coherence_replays",
+        commit_moves => "commit_moves",
+        dram_accesses => "dram_accesses",
+        energy_iminion_reads => "energy_iminion_reads",
+        energy_iminion_writes => "energy_iminion_writes",
+        energy_l1d_reads => "energy_l1d_reads",
+        energy_l1d_writes => "energy_l1d_writes",
+        energy_l1i_reads => "energy_l1i_reads",
+        energy_minion_reads => "energy_minion_reads",
+        energy_minion_writes => "energy_minion_writes",
+        exposures => "exposures",
+        fill_rejects => "fill_rejects",
+        ifetches => "ifetches",
+        iminion_commit_moves => "iminion_commit_moves",
+        iminion_hits => "iminion_hits",
+        l0_hits => "l0_hits",
+        l1d_hits => "l1d_hits",
+        l1i_hits => "l1i_hits",
+        l2_hits => "l2_hits",
+        leapfrogs => "leapfrogs",
+        loads => "loads",
+        lost_at_commit => "lost_at_commit",
+        minion_hits => "minion_hits",
+        mshr_retries => "mshr_retries",
+        noncoherent_forwards => "noncoherent_forwards",
+        prefetch_fills => "prefetch_fills",
+        squashes => "squashes",
+        stores => "stores",
+        timeguards => "timeguards",
+        timeleaps => "timeleaps",
+    }
+}
+
 /// The memory system: per-core private level + shared L2/DRAM.
 pub struct MemorySystem {
     scheme: Scheme,
@@ -270,7 +310,7 @@ impl MemorySystem {
     ) -> Result<u64, u64> {
         let l2_lat = self.cfg.l2.latency;
         if self.l2.access(line).is_some() {
-            self.stats.inc("l2_hits");
+            self.stats.bump(id::l2_hits());
             return Ok(start + l2_lat);
         }
         self.l2_mshr.reclaim(now);
@@ -284,7 +324,7 @@ impl MemorySystem {
             // timing matches a fresh issue — a real DRAM access, not a
             // head start — and cancel-and-replay the younger load. Data
             // cannot arrive before the physical fill completes.
-            self.stats.inc("timeleaps");
+            self.stats.bump(id::timeleaps());
             if e.owner != NO_OWNER {
                 self.pending_cancels.push((e.owner, e.payload));
             }
@@ -299,7 +339,7 @@ impl MemorySystem {
             if leapfrog {
                 if let Some((tok, victim)) = self.l2_mshr.youngest() {
                     if victim.ts > ts {
-                        self.stats.inc("leapfrogs");
+                        self.stats.bump(id::leapfrogs());
                         self.l2_mshr.steal(tok);
                         if victim.owner != NO_OWNER {
                             self.pending_cancels.push((victim.owner, victim.payload));
@@ -313,7 +353,7 @@ impl MemorySystem {
                 return Err(at);
             }
         }
-        self.stats.inc("dram_accesses");
+        self.stats.bump(id::dram_accesses());
         let done = self.dram.access(line, start + l2_lat, speculative);
         self.l2_mshr
             .alloc(line, done, ts, core, ticket, now)
@@ -331,7 +371,7 @@ impl MemorySystem {
     fn train_prefetcher_for(&mut self, core: usize, pc: u64, addr: u64) {
         for p in self.pf.train(pc ^ ((core as u64) << 48), addr) {
             if self.l2.probe(p).is_none() {
-                self.stats.inc("prefetch_fills");
+                self.stats.bump(id::prefetch_fills());
                 self.l2.fill(p, MesiState::Exclusive, 0);
             }
         }
@@ -363,7 +403,7 @@ impl MemorySystem {
         let line = line_addr(req.addr);
         let now = req.now;
         let lat = self.cfg.l1d.latency;
-        self.stats.add("energy_l1d_reads", 1);
+        self.stats.add_id(id::energy_l1d_reads(), 1);
         // In-flight misses first: the synchronous walk installs tags at
         // request time, so a pending MSHR entry — not a tag probe — is
         // the source of truth for data that has not yet arrived.
@@ -377,7 +417,7 @@ impl MemorySystem {
             };
         }
         if self.cores[req.core].l1d.access(line).is_some() {
-            self.stats.inc("l1d_hits");
+            self.stats.bump(id::l1d_hits());
             return LoadResp::Done {
                 at: now + lat,
                 ticket,
@@ -390,7 +430,7 @@ impl MemorySystem {
                 .next_free_at()
                 .unwrap_or(now + 1)
                 .max(now + 1);
-            self.stats.inc("mshr_retries");
+            self.stats.bump(id::mshr_retries());
             return LoadResp::Retry { at };
         }
         // Coherence: a speculative load freely downgrades remote copies
@@ -417,7 +457,7 @@ impl MemorySystem {
             .l1d_mshr
             .alloc(line, done, req.ts, req.core, ticket, now)
             .expect("space checked");
-        self.stats.add("energy_l1d_writes", 1);
+        self.stats.add_id(id::energy_l1d_writes(), 1);
         if let Some(ev) = self.cores[req.core].l1d.fill(line, MesiState::Exclusive, 0) {
             if ev.dirty {
                 self.l2.fill(ev.addr, MesiState::Modified, 0);
@@ -436,8 +476,8 @@ impl MemorySystem {
         let line = line_addr(req.addr);
         let now = req.now;
         let lat = self.cfg.l1d.latency;
-        self.stats.add("energy_l1d_reads", 1);
-        self.stats.add("energy_minion_reads", 1);
+        self.stats.add_id(id::energy_l1d_reads(), 1);
+        self.stats.add_id(id::energy_minion_reads(), 1);
         // In-flight misses first (see load_unsafe): coalesce or timeleap.
         self.cores[req.core].l1d_mshr.reclaim(now);
         if let Some((tok, e)) = self.cores[req.core].l1d_mshr.find(line) {
@@ -457,7 +497,7 @@ impl MemorySystem {
             // Timeleap (§4.5): the in-flight miss belongs to a younger
             // (or squashed) instruction; restart it with genuine
             // fresh-miss timing and cancel-and-replay the younger load.
-            self.stats.inc("timeleaps");
+            self.stats.bump(id::timeleaps());
             if e.owner != NO_OWNER {
                 self.pending_cancels.push((e.owner, e.payload));
             }
@@ -492,7 +532,7 @@ impl MemorySystem {
                 if stamp != req.ts {
                     self.audit(req.core, stamp, req.ts, FlowKind::CacheLineRead);
                 }
-                self.stats.inc("minion_hits");
+                self.stats.bump(id::minion_hits());
                 return LoadResp::Done {
                     at: now + lat,
                     ticket,
@@ -500,12 +540,12 @@ impl MemorySystem {
                 };
             }
             MinionRead::TimeGuarded => {
-                self.stats.inc("timeguards");
+                self.stats.bump(id::timeguards());
             }
             MinionRead::Miss => {}
         }
         if self.cores[req.core].l1d.access(line).is_some() {
-            self.stats.inc("l1d_hits");
+            self.stats.bump(id::l1d_hits());
             return LoadResp::Done {
                 at: now + lat,
                 ticket,
@@ -516,7 +556,7 @@ impl MemorySystem {
             if c.leapfrog {
                 if let Some((tok, victim)) = self.cores[req.core].l1d_mshr.youngest() {
                     if victim.ts > req.ts {
-                        self.stats.inc("leapfrogs");
+                        self.stats.bump(id::leapfrogs());
                         self.cores[req.core].l1d_mshr.steal(tok);
                         if victim.owner != NO_OWNER {
                             self.pending_cancels.push((victim.owner, victim.payload));
@@ -530,7 +570,7 @@ impl MemorySystem {
                     .next_free_at()
                     .unwrap_or(now + 1)
                     .max(now + 1);
-                self.stats.inc("mshr_retries");
+                self.stats.bump(id::mshr_retries());
                 return LoadResp::Retry { at };
             }
         }
@@ -540,7 +580,7 @@ impl MemorySystem {
         let mut extra = 0;
         if let Some(owner) = self.remote_owner(line, req.core) {
             if c.coherence {
-                self.stats.inc("noncoherent_forwards");
+                self.stats.bump(id::noncoherent_forwards());
                 self.cores[req.core].noncoherent.insert(line);
             } else {
                 extra = self.downgrade_remote(line, owner);
@@ -580,11 +620,11 @@ impl MemorySystem {
     }
 
     fn ghost_fill_minion(&mut self, core: usize, line: u64, ts: u64) -> bool {
-        self.stats.add("energy_minion_writes", 1);
+        self.stats.add_id(id::energy_minion_writes(), 1);
         match self.cores[core].dminion.fill(line, ts) {
             MinionFill::Filled => true,
             MinionFill::Rejected => {
-                self.stats.inc("fill_rejects");
+                self.stats.bump(id::fill_rejects());
                 false
             }
         }
@@ -630,7 +670,7 @@ impl MemorySystem {
             };
         }
         if self.cores[req.core].l0.access(line).is_some() {
-            self.stats.inc("l0_hits");
+            self.stats.bump(id::l0_hits());
             return LoadResp::Done {
                 at: now + l0_lat,
                 ticket,
@@ -638,9 +678,9 @@ impl MemorySystem {
             };
         }
         let lat = self.cfg.l1d.latency + l0_lat;
-        self.stats.add("energy_l1d_reads", 1);
+        self.stats.add_id(id::energy_l1d_reads(), 1);
         if self.cores[req.core].l1d.access(line).is_some() {
-            self.stats.inc("l1d_hits");
+            self.stats.bump(id::l1d_hits());
             return LoadResp::Done {
                 at: now + lat,
                 ticket,
@@ -653,13 +693,13 @@ impl MemorySystem {
                 .next_free_at()
                 .unwrap_or(now + 1)
                 .max(now + 1);
-            self.stats.inc("mshr_retries");
+            self.stats.bump(id::mshr_retries());
             return LoadResp::Retry { at };
         }
         if let Some(_owner) = self.remote_owner(line, req.core) {
             // MuonTrap's non-coherent forwarding (the technique
             // GhostMinion §4.6 reuses).
-            self.stats.inc("noncoherent_forwards");
+            self.stats.bump(id::noncoherent_forwards());
             self.cores[req.core].noncoherent.insert(line);
         }
         let done = match self.shared_walk(
@@ -693,7 +733,7 @@ impl MemorySystem {
         let line = line_addr(req.addr);
         let now = req.now;
         let lat = self.cfg.l1d.latency;
-        self.stats.add("energy_l1d_reads", 1);
+        self.stats.add_id(id::energy_l1d_reads(), 1);
         self.cores[req.core].l1d_mshr.reclaim(now);
         if let Some((tok, e)) = self.cores[req.core].l1d_mshr.find(line) {
             if e.ts != SQUASHED_TS {
@@ -730,7 +770,7 @@ impl MemorySystem {
             };
         }
         if self.cores[req.core].l1d.access(line).is_some() {
-            self.stats.inc("l1d_hits");
+            self.stats.bump(id::l1d_hits());
             return LoadResp::Done {
                 at: now + lat,
                 ticket,
@@ -743,11 +783,11 @@ impl MemorySystem {
                 .next_free_at()
                 .unwrap_or(now + 1)
                 .max(now + 1);
-            self.stats.inc("mshr_retries");
+            self.stats.bump(id::mshr_retries());
             return LoadResp::Retry { at };
         }
         if self.remote_owner(line, req.core).is_some() {
-            self.stats.inc("noncoherent_forwards");
+            self.stats.bump(id::noncoherent_forwards());
             self.cores[req.core].noncoherent.insert(line);
         }
         let done = match self.shared_walk(
@@ -779,7 +819,7 @@ impl MemorySystem {
     /// Fills the committed line into L1 (and L2), handling the dirty
     /// eviction.
     fn fill_l1d_committed(&mut self, core: usize, line: u64) {
-        self.stats.add("energy_l1d_writes", 1);
+        self.stats.add_id(id::energy_l1d_writes(), 1);
         if let Some(ev) = self.cores[core].l1d.fill(line, MesiState::Exclusive, 0) {
             if ev.dirty {
                 self.l2.fill(ev.addr, MesiState::Modified, 0);
@@ -791,7 +831,7 @@ impl MemorySystem {
 
 impl MemoryBackend for MemorySystem {
     fn load(&mut self, req: &MemReq) -> LoadResp {
-        self.stats.inc("loads");
+        self.stats.bump(id::loads());
         let ticket = self.fresh_ticket();
         match self.scheme.kind {
             SchemeKind::Unsafe | SchemeKind::Stt { .. } => self.load_unsafe(req, ticket),
@@ -820,15 +860,15 @@ impl MemoryBackend for MemorySystem {
                 if c.coherence && self.cores[req.core].noncoherent.remove(&line) {
                     // §4.6: the load used a non-coherent copy; replay it
                     // non-speculatively before committing.
-                    self.stats.inc("coherence_replays");
+                    self.stats.bump(id::coherence_replays());
                     if let Some(owner) = self.remote_owner(line, req.core) {
                         self.downgrade_remote(line, owner);
                     }
                     ready = now + self.cfg.replay_latency;
                 }
-                self.stats.add("energy_minion_reads", 1);
+                self.stats.add_id(id::energy_minion_reads(), 1);
                 if self.cores[req.core].dminion.take_for_commit(line, req.ts) {
-                    self.stats.inc("commit_moves");
+                    self.stats.bump(id::commit_moves());
                     self.fill_l1d_committed(req.core, line);
                     if c.prefetch_gate {
                         // §4.7: non-speculative prefetcher training.
@@ -844,14 +884,14 @@ impl MemoryBackend for MemorySystem {
                     if c.prefetch_gate {
                         self.train_prefetcher_for(req.core, req.pc, req.addr);
                     }
-                    self.stats.inc("lost_at_commit");
+                    self.stats.bump(id::lost_at_commit());
                     if c.async_reload {
                         // §6.4: asynchronously reload lines lost before
                         // commit. The reload uses idle memory bandwidth
                         // (it is off every critical path), so it installs
                         // the line without charging demand-visible DRAM
                         // or bus time.
-                        self.stats.inc("async_reloads");
+                        self.stats.bump(id::async_reloads());
                         self.fill_l1d_committed(req.core, line);
                     }
                 }
@@ -861,7 +901,7 @@ impl MemoryBackend for MemorySystem {
             SchemeKind::MuonTrap { .. } => {
                 let mut ready = now;
                 if self.cores[req.core].noncoherent.remove(&line) {
-                    self.stats.inc("coherence_replays");
+                    self.stats.bump(id::coherence_replays());
                     if let Some(owner) = self.remote_owner(line, req.core) {
                         self.downgrade_remote(line, owner);
                     }
@@ -870,7 +910,7 @@ impl MemoryBackend for MemorySystem {
                 if self.cores[req.core].l0.probe(line).is_some()
                     && self.cores[req.core].l1d.probe(line).is_none()
                 {
-                    self.stats.inc("commit_moves");
+                    self.stats.bump(id::commit_moves());
                     self.fill_l1d_committed(req.core, line);
                     self.train_prefetcher_for(req.core, req.pc, req.addr);
                 }
@@ -887,7 +927,7 @@ impl MemoryBackend for MemorySystem {
                         now
                     };
                 }
-                self.stats.inc("exposures");
+                self.stats.bump(id::exposures());
                 let t = self.fresh_ticket();
                 let done = self
                     .shared_walk(
@@ -917,7 +957,7 @@ impl MemoryBackend for MemorySystem {
     }
 
     fn store_commit(&mut self, req: &MemReq, value: u64) {
-        self.stats.inc("stores");
+        self.stats.bump(id::stores());
         let line = line_addr(req.addr);
         let now = req.now;
         self.mem.write(req.addr, value, req.size);
@@ -934,7 +974,7 @@ impl MemoryBackend for MemorySystem {
             self.cores[i].dminion.invalidate(line);
             self.cores[i].noncoherent.remove(&line);
         }
-        self.stats.add("energy_l1d_writes", 1);
+        self.stats.add_id(id::energy_l1d_writes(), 1);
         if self.cores[req.core].l1d.probe(line).is_some() {
             self.cores[req.core].l1d.mark_dirty(line);
             return;
@@ -966,7 +1006,7 @@ impl MemoryBackend for MemorySystem {
     }
 
     fn ifetch(&mut self, req: &MemReq) -> LoadResp {
-        self.stats.inc("ifetches");
+        self.stats.bump(id::ifetches());
         let ticket = self.fresh_ticket();
         let line = line_addr(req.addr);
         let now = req.now;
@@ -1006,9 +1046,9 @@ impl MemoryBackend for MemorySystem {
             };
         }
         if use_iminion {
-            self.stats.add("energy_iminion_reads", 1);
+            self.stats.add_id(id::energy_iminion_reads(), 1);
             if let MinionRead::Hit { .. } = self.cores[req.core].iminion.read(line, req.ts) {
-                self.stats.inc("iminion_hits");
+                self.stats.bump(id::iminion_hits());
                 return LoadResp::Done {
                     at: now + lat,
                     ticket,
@@ -1016,9 +1056,9 @@ impl MemoryBackend for MemorySystem {
                 };
             }
         }
-        self.stats.add("energy_l1i_reads", 1);
+        self.stats.add_id(id::energy_l1i_reads(), 1);
         if self.cores[req.core].l1i.access(line).is_some() {
-            self.stats.inc("l1i_hits");
+            self.stats.bump(id::l1i_hits());
             return LoadResp::Done {
                 at: now + lat,
                 ticket,
@@ -1058,7 +1098,7 @@ impl MemoryBackend for MemorySystem {
             .l1i_mshr
             .alloc(line, done, req.ts, req.core, ticket, now);
         if use_iminion {
-            self.stats.add("energy_iminion_writes", 1);
+            self.stats.add_id(id::energy_iminion_writes(), 1);
             self.cores[req.core].iminion.fill(line, req.ts);
         } else {
             self.cores[req.core].l1i.fill(line, MesiState::Shared, 0);
@@ -1074,14 +1114,14 @@ impl MemoryBackend for MemorySystem {
         if self.gm().is_some_and(|c| c.iminion)
             && self.cores[core].iminion.take_for_commit(line, u64::MAX)
         {
-            self.stats.inc("iminion_commit_moves");
+            self.stats.bump(id::iminion_commit_moves());
             self.cores[core].l1i.fill(line, MesiState::Shared, 0);
             self.l2.fill(line, MesiState::Shared, 0);
         }
     }
 
     fn squash(&mut self, core: usize, above_ts: u64, max_ts: u64, now: u64) {
-        self.stats.inc("squashes");
+        self.stats.bump(id::squashes());
         if let Some(a) = self.auditor.as_mut() {
             a.settle_squash(core, above_ts, max_ts);
         }
@@ -1126,6 +1166,9 @@ impl MemoryBackend for MemorySystem {
     }
 
     fn take_cancellations(&mut self, core: usize) -> Vec<Ticket> {
+        if self.pending_cancels.is_empty() {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         self.pending_cancels.retain(|&(c, t)| {
             if c == core {
@@ -1136,6 +1179,10 @@ impl MemoryBackend for MemorySystem {
             }
         });
         out
+    }
+
+    fn cancellations_pending(&self, core: usize) -> bool {
+        self.pending_cancels.iter().any(|&(c, _)| c == core)
     }
 
     fn read_value(&self, addr: u64, size: u64) -> u64 {

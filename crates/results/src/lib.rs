@@ -34,4 +34,4 @@ pub mod store;
 pub use fingerprint::{job_descriptor, job_fingerprint, program_sha, FORMAT_VERSION};
 pub use hash::{sha256_hex, Sha256};
 pub use record::{job_record, record_fingerprint, record_wall_us, result_from_record};
-pub use store::{CompactStats, LoadedShard, ResultStore};
+pub use store::{CompactStats, GcStats, LoadedShard, ResultStore};

@@ -52,6 +52,22 @@ pub struct CompactStats {
     pub corrupt: usize,
 }
 
+/// Result of a [`ResultStore::gc`] pass over one experiment file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Records surviving in the rewritten file.
+    pub kept: usize,
+    /// Records dropped because no current experiment produces their
+    /// fingerprint.
+    pub dropped: usize,
+    /// Superseded duplicate lines dropped along the way.
+    pub superseded: usize,
+    /// Corrupt lines dropped along the way.
+    pub corrupt: usize,
+    /// Bytes the rewrite reclaimed on disk.
+    pub reclaimed_bytes: u64,
+}
+
 /// A directory of per-experiment JSON-lines result files.
 #[derive(Debug)]
 pub struct ResultStore {
@@ -154,6 +170,42 @@ impl ResultStore {
     /// snapshot already read from `path`. Separated so the
     /// grown-under-us abort path is deterministically testable.
     fn compact_snapshot(&self, path: &Path, text: &str) -> io::Result<CompactStats> {
+        let g = self.rewrite_snapshot(path, text, None)?;
+        Ok(CompactStats {
+            kept: g.kept,
+            superseded: g.superseded,
+            corrupt: g.corrupt,
+        })
+    }
+
+    /// Garbage-collects `experiment`'s file: keeps only records whose
+    /// fingerprint satisfies `keep` (plus the usual compaction of
+    /// superseded and corrupt lines), reporting how many records and
+    /// bytes were reclaimed. A file left with no records is removed.
+    pub fn gc(&self, experiment: &str, keep: &dyn Fn(&str) -> bool) -> io::Result<GcStats> {
+        let _guard = self.append_lock.lock().expect("append lock poisoned");
+        let path = self.path(experiment);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(GcStats::default()),
+            Err(e) => return Err(e),
+        };
+        self.rewrite_snapshot(&path, &text, Some(keep))
+    }
+
+    /// Shared rewrite pass behind [`ResultStore::compact`] and
+    /// [`ResultStore::gc`]: dedups superseded lines, drops corrupt ones,
+    /// and — when a `keep` predicate is given — drops records whose
+    /// fingerprint it rejects. Atomic: the new content is written to a
+    /// sibling temporary file, flushed, and renamed over the original,
+    /// so a crash mid-way leaves either the old or the new file — never
+    /// a truncated one.
+    fn rewrite_snapshot(
+        &self,
+        path: &Path,
+        text: &str,
+        keep: Option<&dyn Fn(&str) -> bool>,
+    ) -> io::Result<GcStats> {
         // Pass 1: parse every line, remembering each fingerprint's last
         // (surviving) occurrence.
         let mut entries: Vec<(String, String)> = Vec::new();
@@ -177,29 +229,40 @@ impl ResultStore {
             }
         }
         // Pass 2: emit each fingerprint's surviving line at its first
-        // appearance, preserving the file's chronology.
+        // appearance, preserving the file's chronology; a `keep`
+        // predicate filters whole fingerprints out.
         let mut out = String::new();
         let mut kept = 0usize;
         let mut superseded = 0usize;
+        let mut dropped = 0usize;
         let mut emitted: std::collections::HashSet<&str> = std::collections::HashSet::new();
         for (fp, _) in &entries {
             if !emitted.insert(fp) {
                 superseded += 1;
                 continue;
             }
+            if keep.is_some_and(|keep| !keep(fp)) {
+                dropped += 1;
+                continue;
+            }
             out.push_str(&entries[survivor[fp]].1);
             out.push('\n');
             kept += 1;
         }
-        let stats = CompactStats {
+        let stats = GcStats {
             kept,
+            dropped,
             superseded,
             corrupt,
+            reclaimed_bytes: (text.len() as u64).saturating_sub(out.len() as u64),
         };
         // Nothing to drop: leave the file untouched (callers compact
         // after every store-backed run).
-        if superseded == 0 && corrupt == 0 {
-            return Ok(stats);
+        if superseded == 0 && corrupt == 0 && dropped == 0 {
+            return Ok(GcStats {
+                reclaimed_bytes: 0,
+                ..stats
+            });
         }
         let tmp = path.with_extension("jsonl.tmp");
         {
@@ -218,13 +281,22 @@ impl ResultStore {
         if fs::metadata(path)?.len() != text.len() as u64 {
             let _ = fs::remove_file(&tmp);
             // Report what actually happened: nothing was dropped.
-            return Ok(CompactStats {
-                kept: kept + superseded,
+            return Ok(GcStats {
+                kept: kept + superseded + dropped,
+                dropped: 0,
                 superseded: 0,
                 corrupt: 0,
+                reclaimed_bytes: 0,
             });
         }
-        fs::rename(&tmp, path)?;
+        if out.is_empty() {
+            // Every record was reclaimed: remove the file instead of
+            // leaving an empty shard behind.
+            let _ = fs::remove_file(&tmp);
+            fs::remove_file(path)?;
+        } else {
+            fs::rename(&tmp, path)?;
+        }
         Ok(stats)
     }
 
@@ -401,6 +473,52 @@ mod tests {
         assert_eq!(shard.records["bb"].get("cycles").unwrap().as_u64(), Some(3));
         // The next (current-snapshot) compaction dedups as usual.
         assert_eq!(store.compact("fig6").unwrap().superseded, 1);
+    }
+
+    #[test]
+    fn gc_drops_stale_fingerprints_and_reports_bytes() {
+        let s = Scratch::new("gc");
+        let store = ResultStore::open(&s.0).unwrap();
+        store.append("fig6", &rec("live", 1)).unwrap();
+        store.append("fig6", &rec("stale", 2)).unwrap();
+        store.append("fig6", &rec("stale", 3)).unwrap(); // superseded too
+        let before = fs::metadata(store.path("fig6")).unwrap().len();
+
+        let stats = store.gc("fig6", &|fp| fp == "live").unwrap();
+        assert_eq!(
+            (stats.kept, stats.dropped, stats.superseded, stats.corrupt),
+            (1, 1, 1, 0)
+        );
+        let after = fs::metadata(store.path("fig6")).unwrap().len();
+        assert_eq!(stats.reclaimed_bytes, before - after);
+        assert!(stats.reclaimed_bytes > 0);
+        let shard = store.load("fig6").unwrap();
+        assert_eq!(shard.records.len(), 1);
+        assert!(shard.records.contains_key("live"));
+
+        // Idempotent: a second pass reclaims nothing.
+        let again = store.gc("fig6", &|fp| fp == "live").unwrap();
+        assert_eq!(
+            (again.kept, again.dropped, again.reclaimed_bytes),
+            (1, 0, 0)
+        );
+    }
+
+    #[test]
+    fn gc_removes_a_fully_reclaimed_file() {
+        let s = Scratch::new("gc-empty");
+        let store = ResultStore::open(&s.0).unwrap();
+        store.append("old_experiment", &rec("a", 1)).unwrap();
+        store.append("old_experiment", &rec("b", 2)).unwrap();
+        let stats = store.gc("old_experiment", &|_| false).unwrap();
+        assert_eq!((stats.kept, stats.dropped), (0, 2));
+        assert!(!store.path("old_experiment").exists(), "empty file removed");
+        assert!(store.experiments().unwrap().is_empty());
+        // And gc of the now-missing file is a no-op.
+        assert_eq!(
+            store.gc("old_experiment", &|_| false).unwrap(),
+            GcStats::default()
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::lsq::{ForwardResult, LoadQueue, LoadState, StoreQueue};
 use crate::mem_if::{AccessKind, LoadResp, MemReq, MemoryBackend};
 use crate::regfile::{PhysReg, RegFile};
 use crate::rob::{Rob, RobStatus};
+use crate::wakeup::WakeupTable;
 use gm_isa::{alu_eval, branch_taken, pc_to_addr, FuClass, Inst, Op, Program, Reg};
 use gm_mem::line_addr;
 use std::cmp::Reverse;
@@ -56,6 +57,23 @@ struct IqEntry {
 
 const EV_EXEC: u64 = 0;
 const EV_LOAD: u64 = 1;
+
+/// Which issue-stage implementation a core runs.
+///
+/// Both are bit-identical; the linear scan is kept as the oracle the
+/// wakeup-equivalence tests compare against (the same role
+/// [`Core::run_lockstep`] plays for cycle skipping).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IssueMode {
+    /// Event-driven: writeback wakes the IQ slots waiting on the
+    /// produced register, and issue selects (oldest-first) from a
+    /// maintained ready set — O(instructions woken + issued).
+    #[default]
+    Event,
+    /// Reference: scan the whole IQ every cycle re-checking every
+    /// entry's source ready bits — O(IQ occupancy).
+    Scan,
+}
 
 /// What one [`Core::tick`] did, for the cycle-skipping run loops.
 ///
@@ -138,10 +156,46 @@ pub struct Core {
     last_commit_cycle: u64,
     last_committed_iline: u64,
     stats: CoreStats,
+    /// Which issue-stage implementation to run (Event in production;
+    /// Scan is the equivalence-test oracle).
+    issue_mode: IssueMode,
+    /// Per-physical-register lists of IQ entries waiting on that value.
+    wakeup: WakeupTable,
+    /// Seqs of IQ entries whose sources are all ready, sorted (so issue
+    /// selects oldest-first, exactly like the linear scan did).
+    ready_seqs: Vec<u64>,
+    /// Seqs of non-pipelined (IntDiv/FpDiv/FpSqrt) IQ entries, sorted.
+    /// Under §4.9 strict FU ordering these drive the blocked/strict
+    /// accounting even while their sources are not ready.
+    nonpipe_seqs: Vec<u64>,
+    /// Reusable wakeup drain buffer (no per-writeback allocation).
+    scratch_woken: Vec<u64>,
+    /// Reusable issue visit list (no per-cycle allocation).
+    scratch_visit: Vec<u64>,
+    /// Reusable list of seqs issued this cycle (no per-cycle allocation).
+    scratch_issued: Vec<u64>,
     /// Reusable LSQ candidate buffer (no per-cycle allocation).
     scratch_candidates: Vec<u64>,
+    /// Loads currently in [`LoadState::Ready`] — the LSQ send stage and
+    /// `next_wake` scan the LQ only when this is non-zero, so a queue
+    /// full of in-flight loads costs nothing per cycle. Maintained at
+    /// every `Ready` transition (AGU, send, forward, cancel-replay) and
+    /// recounted after a squash.
+    lq_ready: usize,
     /// Whether the current tick changed state (see [`TickOutcome`]).
     tick_progress: bool,
+    /// After a quiescent tick: the cycle it reported as `next_wake`.
+    /// Until then, re-ticking is guaranteed to be quiescent with
+    /// identical per-cycle stall counters (see [`TickOutcome`]), so —
+    /// unless the backend has a cancellation waiting, the one channel
+    /// that can change this core's state from outside — `tick` replays
+    /// the stall counters and returns the cached outcome without
+    /// re-running the stages.
+    quiet_until: u64,
+    /// Whether the quiescence memo above may be used. Disabled by the
+    /// lockstep reference loops so the oracle really re-runs every
+    /// stage every cycle.
+    tick_memo: bool,
     /// STT-gated loads counted this tick; replayed per skipped cycle.
     idle_stt_delays: u64,
     /// Strictness-blocked non-pipelined ops counted this tick.
@@ -187,8 +241,18 @@ impl Core {
             last_commit_cycle: 0,
             last_committed_iline: u64::MAX,
             stats: CoreStats::default(),
+            issue_mode: IssueMode::Event,
+            wakeup: WakeupTable::new(cfg.int_regs + cfg.fp_regs),
+            ready_seqs: Vec::with_capacity(cfg.iq_entries),
+            nonpipe_seqs: Vec::with_capacity(cfg.iq_entries),
+            scratch_woken: Vec::new(),
+            scratch_visit: Vec::with_capacity(cfg.iq_entries),
+            scratch_issued: Vec::with_capacity(cfg.issue_width),
             scratch_candidates: Vec::new(),
+            lq_ready: 0,
             tick_progress: false,
+            quiet_until: 0,
+            tick_memo: true,
             idle_stt_delays: 0,
             idle_strict_fu_delays: 0,
             cfg,
@@ -228,6 +292,48 @@ impl Core {
         &self.stats
     }
 
+    /// Selects the issue-stage implementation. [`IssueMode::Event`] is
+    /// the default; [`IssueMode::Scan`] is the linear-scan oracle the
+    /// equivalence tests run against. Call before the first tick.
+    pub fn set_issue_mode(&mut self, mode: IssueMode) {
+        self.issue_mode = mode;
+    }
+
+    /// Writes a result register and wakes the IQ entries waiting on it.
+    /// Every in-flight result write must go through here (initial-state
+    /// writes in [`Core::new`] predate the first dispatch and need not).
+    fn write_reg(&mut self, p: PhysReg, val: u64) {
+        self.regs.write(p, val);
+        if !self.wakeup.is_empty(p) {
+            self.wake_waiters(p);
+        }
+    }
+
+    /// Drains `p`'s wakeup list: every waiter whose sources are now all
+    /// ready moves into the sorted ready set. Waiters that no longer
+    /// resolve in the IQ were squashed after registering — their records
+    /// are dropped here (seqs are never reused, so a stale seq cannot
+    /// alias a live entry).
+    fn wake_waiters(&mut self, p: PhysReg) {
+        let mut woken = std::mem::take(&mut self.scratch_woken);
+        woken.clear();
+        self.wakeup.drain_into(p, &mut woken);
+        for &seq in &woken {
+            let Ok(qi) = self.iq.binary_search_by_key(&seq, |q| q.seq) else {
+                continue; // squashed while waiting
+            };
+            let q = &self.iq[qi];
+            if q.srcs.iter().flatten().all(|&s| self.regs.is_ready(s)) {
+                // An entry waiting on the same register through both
+                // source slots is drained twice; insert it once.
+                if let Err(pos) = self.ready_seqs.binary_search(&seq) {
+                    self.ready_seqs.insert(pos, seq);
+                }
+            }
+        }
+        self.scratch_woken = woken;
+    }
+
     /// Architectural (committed) value of register `r`.
     ///
     /// Only meaningful when the pipeline is drained (halted); mid-flight
@@ -245,6 +351,19 @@ impl Core {
                 next_wake: u64::MAX,
             };
         }
+        if self.tick_memo && now < self.quiet_until && !mem.cancellations_pending(self.id) {
+            // Still inside a known-quiescent stretch: replay one cycle's
+            // stall counters (exactly what re-running the stages would
+            // count) and return the cached outcome.
+            self.stats.cycles = now + 1;
+            self.stats.stt_delays += self.idle_stt_delays;
+            self.stats.strict_fu_delays += self.idle_strict_fu_delays;
+            return TickOutcome {
+                progress: false,
+                next_wake: self.quiet_until,
+            };
+        }
+        self.quiet_until = 0;
         self.tick_progress = false;
         self.idle_stt_delays = 0;
         self.idle_strict_fu_delays = 0;
@@ -269,7 +388,9 @@ impl Core {
         let next_wake = if self.tick_progress {
             now + 1
         } else {
-            self.next_wake(now)
+            let wake = self.next_wake(now);
+            self.quiet_until = wake;
+            wake
         };
         TickOutcome {
             progress: self.tick_progress,
@@ -305,9 +426,11 @@ impl Core {
                 wake = wake.min(f.avail_at);
             }
         }
-        for le in self.lq.iter() {
-            if le.state == LoadState::Ready && le.retry_at > now {
-                wake = wake.min(le.retry_at);
+        if self.lq_ready > 0 {
+            for le in self.lq.iter() {
+                if le.state == LoadState::Ready && le.retry_at > now {
+                    wake = wake.min(le.retry_at);
+                }
             }
         }
         if !self.iq.is_empty() {
@@ -352,9 +475,18 @@ impl Core {
         now
     }
 
+    /// Disables the quiescent-tick memo so every `tick` really re-runs
+    /// the pipeline stages. The lockstep oracles use this to stay an
+    /// independent reference for the cycle-skipping equivalence tests.
+    pub fn disable_tick_memo(&mut self) {
+        self.tick_memo = false;
+        self.quiet_until = 0;
+    }
+
     /// Reference run loop that ticks every cycle (no skipping). Kept as
     /// the oracle for the cycle-skipping equivalence tests.
     pub fn run_lockstep(&mut self, mem: &mut dyn MemoryBackend, max_cycles: u64) -> u64 {
+        self.disable_tick_memo();
         self.install_program_data(mem);
         let mut now = 0;
         while !self.halted && now < max_cycles {
@@ -379,6 +511,7 @@ impl Core {
         for ticket in cancelled {
             if self.lq.cancel_ticket(ticket).is_some() {
                 self.stats.load_replays += 1;
+                self.lq_ready += 1;
             }
         }
     }
@@ -401,52 +534,62 @@ impl Core {
     }
 
     fn complete_exec(&mut self, mem: &mut dyn MemoryBackend, seq: u64, now: u64) {
-        let Some(e) = self.rob.set_done(seq, now) else {
+        let Some(ri) = self.rob.find(seq) else {
             return; // squashed while in flight
         };
+        self.rob.set_done_at(ri, now);
+        let e = self.rob.at(ri);
         let inst = e.inst;
         let result = e.result;
         let result_tainted = e.result_tainted;
-        if let (Some(_rd), Some(p)) = (inst.dest(), e.phys_rd) {
+        let phys_rd = e.phys_rd;
+        if let (Some(_rd), Some(p)) = (inst.dest(), phys_rd) {
             if inst.op != Op::Sc {
                 // Store-conditionals resolve at commit.
-                self.regs.write(p, result);
+                self.write_reg(p, result);
                 self.regs.set_taint(p, result_tainted);
             }
         }
         if inst.op.is_ctrl() {
-            self.resolve_branch(mem, seq, now);
+            self.resolve_branch(mem, ri, now);
         }
     }
 
     fn complete_load(&mut self, seq: u64, ticket: u64, now: u64) {
-        let Some(le) = self.lq.get(seq) else {
+        let Some(li) = self.lq.find(seq) else {
             return; // squashed
         };
+        let le = self.lq.at(li);
         match le.state {
             LoadState::InFlight { ticket: t } if t == ticket => {}
             LoadState::Done if le.forwarded && ticket == u64::MAX => {}
             _ => return, // cancelled and re-issued, or stale
         }
         let value = le.value;
-        if let Some(le) = self.lq.get_mut(seq) {
-            le.state = LoadState::Done;
-            le.done_at = now;
-        }
+        let le = self.lq.at_mut(li);
+        le.state = LoadState::Done;
+        le.done_at = now;
         let taint_mode = self.cfg.taint_mode;
-        let Some(e) = self.rob.set_done(seq, now) else {
+        let Some(ri) = self.rob.find(seq) else {
             return;
         };
+        self.rob.set_done_at(ri, now);
+        let e = self.rob.at_mut(ri);
         e.result = value;
-        if let Some(p) = e.phys_rd {
-            let tainted = taint_mode.is_some() && e.issued_speculatively;
-            self.regs.write(p, value);
+        let phys_rd = e.phys_rd;
+        let speculative = e.issued_speculatively;
+        if let Some(p) = phys_rd {
+            let tainted = taint_mode.is_some() && speculative;
+            self.write_reg(p, value);
             self.regs.set_taint(p, tainted);
         }
     }
 
-    fn resolve_branch(&mut self, mem: &mut dyn MemoryBackend, seq: u64, now: u64) {
-        let e = self.rob.get(seq).expect("caller checked");
+    /// `ri` is the ROB position of the resolving branch (see
+    /// [`Rob::find`]); squashing only removes younger entries, so it
+    /// stays valid throughout.
+    fn resolve_branch(&mut self, mem: &mut dyn MemoryBackend, ri: usize, now: u64) {
+        let e = self.rob.at(ri);
         let mispredict = if e.taken != e.pred_taken {
             true
         } else {
@@ -455,9 +598,9 @@ impl Core {
         if !mispredict {
             return;
         }
-        let (inst, ghist_before, taken, target) =
-            (e.inst, e.ghist_before, e.taken, e.actual_target);
-        self.rob.get_mut(seq).expect("present").mispredicted = true;
+        let (seq, inst, ghist_before, taken, target) =
+            (e.seq, e.inst, e.ghist_before, e.taken, e.actual_target);
+        self.rob.at_mut(ri).mispredicted = true;
         self.stats.mispredicts += 1;
         self.squash_after(mem, seq, target, now);
         if inst.op.is_cond_branch() {
@@ -471,9 +614,13 @@ impl Core {
         let max_ts = self.next_seq.saturating_sub(1);
         let regs = &mut self.regs;
         let bpred = &mut self.bpred;
+        let wakeup = &mut self.wakeup;
         let n = self.rob.squash_above(seq, |e| {
             if let (Some(rd), Some(new), Some(old)) = (e.inst.dest(), e.phys_rd, e.old_phys_rd) {
                 regs.unrename(rd, new, old);
+                // A freed register never gets written; anything still on
+                // its wakeup list was younger and is being squashed too.
+                wakeup.clear(new);
             }
             if let Some(cp) = e.ras_cp {
                 bpred.ras_restore(cp);
@@ -481,7 +628,16 @@ impl Core {
         });
         self.stats.squashed += n as u64;
         self.iq.retain(|q| q.seq <= seq);
+        self.ready_seqs
+            .truncate(self.ready_seqs.partition_point(|&s| s <= seq));
+        self.nonpipe_seqs
+            .truncate(self.nonpipe_seqs.partition_point(|&s| s <= seq));
         self.lq.squash_above(seq);
+        self.lq_ready = self
+            .lq
+            .iter()
+            .filter(|le| le.state == LoadState::Ready)
+            .count();
         self.sq.squash_above(seq);
         self.fetch_queue.clear();
         self.cur_fetch_line = None;
@@ -545,6 +701,9 @@ impl Core {
                 Op::St(_) | Op::Sc => {
                     let addr = mem_addr.expect("committing store has an address");
                     let entry = self.sq.pop_head(seq);
+                    // The drained store no longer shadows older stores
+                    // (or memory) from the loads it partially overlapped.
+                    self.lq.unblock_store(seq);
                     let data = entry.data.expect("resolved store");
                     let req = MemReq {
                         core: self.id,
@@ -561,9 +720,11 @@ impl Core {
                         if ok {
                             mem.store_commit(&req, data);
                         }
-                        let head = self.rob.head().expect("still head");
-                        if let Some(p) = head.phys_rd {
-                            self.regs.write(p, if ok { 0 } else { 1 });
+                        let phys_rd = self.rob.head().expect("still head").phys_rd;
+                        if let Some(p) = phys_rd {
+                            // The SC result register may have waiters in
+                            // the IQ (it only resolves here, at commit).
+                            self.write_reg(p, if ok { 0 } else { 1 });
                             self.regs.set_taint(p, false);
                         }
                     } else {
@@ -625,128 +786,249 @@ impl Core {
     }
 
     fn issue(&mut self, now: u64) {
+        match self.issue_mode {
+            IssueMode::Event => self.issue_event(now),
+            IssueMode::Scan => self.issue_scan(now),
+        }
+    }
+
+    /// One visited IQ slot's trip through the issue checks. Shared by
+    /// both issue implementations so the per-entry semantics — strict-FU
+    /// gating, FU availability, fence serialisation, AGU vs ALU issue —
+    /// cannot drift between them. Returns `true` when the entry issued
+    /// (the caller tombstones the slot).
+    ///
+    /// `qi` indexes `self.iq`; `issued`/`blocked_nonpipelined` carry the
+    /// per-cycle scan state across visited entries.
+    fn try_issue_entry(
+        &mut self,
+        qi: usize,
+        now: u64,
+        issued: &mut usize,
+        blocked_nonpipelined: &mut usize,
+    ) -> bool {
+        let q = self.iq[qi];
+        let ready = q.srcs.iter().flatten().all(|&p| self.regs.is_ready(p));
+        let nonpipelined = matches!(q.class, FuClass::IntDiv | FuClass::FpDiv | FuClass::FpSqrt);
+        // §4.9: strictness-ordered scheduling of non-pipelined units —
+        // an op may not overtake an older, not-yet-issued op that may
+        // use the same unit (all such ops share the Mult/Div pool).
+        if self.cfg.strict_fu_order && nonpipelined && *blocked_nonpipelined > 0 {
+            self.stats.strict_fu_delays += 1;
+            self.idle_strict_fu_delays += 1;
+            *blocked_nonpipelined += 1;
+            return false;
+        }
+        if !ready || !self.fu.can_issue(q.class, now) {
+            if nonpipelined {
+                *blocked_nonpipelined += 1;
+            }
+            return false;
+        }
+        let ri = self.rob.find(q.seq).expect("IQ entry has live ROB entry");
+        let inst = self.rob.at(ri).inst;
+
+        // Fences issue only from the ROB head, and serialise: no
+        // younger instruction may issue until the fence commits
+        // (lfence-style, which also makes rdcycle measurements
+        // well-defined for the attack harness).
+        if inst.op == Op::Fence && self.rob.head().map(|h| h.seq) != Some(q.seq) {
+            return false;
+        }
+        if inst.op != Op::Fence && self.older_pending_fence(q.seq) {
+            return false;
+        }
+
+        let v1 = q.srcs[0].map_or(0, |p| self.regs.read(p));
+        let v2 = q.srcs[1].map_or(0, |p| self.regs.read(p));
+        let taint = self.cfg.taint_mode.is_some()
+            && q.srcs.iter().flatten().any(|&p| self.regs.is_tainted(p));
+        let latency = inst.op.latency();
+        self.fu.issue(q.class, now, latency);
+        *issued += 1;
+        self.tick_progress = true;
+
+        if inst.op.is_mem() {
+            // AGU: resolve the address; the LSQ takes over next phase.
+            let addr = v1.wrapping_add(inst.imm as u64);
+            let e = self.rob.at_mut(ri);
+            e.status = RobStatus::Issued;
+            e.mem_addr = Some(addr);
+            if inst.op.is_load() {
+                let le = self.lq.get_mut(q.seq).expect("allocated at rename");
+                le.addr = Some(addr);
+                le.state = LoadState::Ready;
+                le.addr_tainted = taint;
+                self.lq_ready += 1;
+            } else {
+                self.sq.resolve(q.seq, addr, v2);
+                // The store's address is now visible to the forward
+                // check: wake the loads it was blocking.
+                self.lq.unblock_store(q.seq);
+                // Stores complete once resolved; data drains at commit.
+                self.events
+                    .push(Reverse((now + latency, q.seq, EV_EXEC, 0)));
+            }
+            return true;
+        }
+
+        // Non-memory ops: compute the result now; it becomes visible
+        // at writeback (now + latency).
+        let e = self.rob.at_mut(ri);
+        e.status = RobStatus::Issued;
+        e.result_tainted = taint;
+        if inst.op.is_ctrl() {
+            let (taken, target) = match inst.op {
+                Op::Jal => (true, inst.imm as u64),
+                Op::Jalr => (true, v1.wrapping_add(inst.imm as u64)),
+                _ => {
+                    let t = branch_taken(inst.op, v1, v2);
+                    (t, if t { inst.imm as u64 } else { e.pc + 1 })
+                }
+            };
+            e.taken = taken;
+            e.actual_target = target;
+            e.result = e.pc + 1; // link value for jal/jalr
+        } else {
+            e.result = alu_eval(inst.op, v1, v2, inst.imm, now);
+        }
+        self.events
+            .push(Reverse((now + latency, q.seq, EV_EXEC, 0)));
+        true
+    }
+
+    /// Event-driven issue: visits only the entries that can matter this
+    /// cycle — the maintained ready set, plus (under §4.9 strict FU
+    /// ordering) the waiting non-pipelined entries, whose presence gates
+    /// and counts younger non-pipelined ops exactly as the linear scan's
+    /// `blocked_nonpipelined` bookkeeping did. Both lists are sorted, so
+    /// the merged visit order is the scan's oldest-first order and the
+    /// selection is bit-identical.
+    fn issue_event(&mut self, now: u64) {
+        let strict = self.cfg.strict_fu_order;
+        if self.ready_seqs.is_empty() && (!strict || self.nonpipe_seqs.is_empty()) {
+            return;
+        }
+        let mut visit = std::mem::take(&mut self.scratch_visit);
+        visit.clear();
+        if strict {
+            // Merge the two sorted lists, deduplicating ready
+            // non-pipelined entries (they appear in both).
+            let (mut i, mut j) = (0, 0);
+            while i < self.ready_seqs.len() || j < self.nonpipe_seqs.len() {
+                let a = self.ready_seqs.get(i).copied().unwrap_or(u64::MAX);
+                let b = self.nonpipe_seqs.get(j).copied().unwrap_or(u64::MAX);
+                visit.push(a.min(b));
+                i += usize::from(a <= b);
+                j += usize::from(b <= a);
+            }
+        } else {
+            // Waiting non-pipelined entries have no observable effect
+            // without strict ordering; only ready entries are visited.
+            visit.extend_from_slice(&self.ready_seqs);
+        }
+
         let mut issued = 0;
         let mut blocked_nonpipelined = 0usize;
+        let mut issued_seqs = std::mem::take(&mut self.scratch_issued);
+        issued_seqs.clear();
+        // Resolve each visited seq with a forward cursor: both `visit`
+        // and `self.iq` are seq-sorted, and tombstoning is deferred to
+        // the sweep below, so the walk never revisits a slot.
+        let mut qi = 0usize;
+        for &seq in &visit {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            while self.iq[qi].seq < seq {
+                qi += 1;
+            }
+            debug_assert_eq!(self.iq[qi].seq, seq, "visit lists track live IQ entries");
+            let cur = qi;
+            qi += 1;
+            if self.try_issue_entry(cur, now, &mut issued, &mut blocked_nonpipelined) {
+                self.iq[cur].seq = u64::MAX;
+                issued_seqs.push(seq);
+            }
+        }
+        if issued > 0 {
+            self.iq.retain(|q| q.seq != u64::MAX);
+            self.ready_seqs.retain(|s| !issued_seqs.contains(s));
+            self.nonpipe_seqs.retain(|s| !issued_seqs.contains(s));
+        }
+        self.scratch_issued = issued_seqs;
+        self.scratch_visit = visit;
+    }
 
+    /// Reference issue: the pre-wakeup linear scan over the whole IQ.
+    /// Kept as the oracle for the wakeup-equivalence tests.
+    fn issue_scan(&mut self, now: u64) {
+        let mut issued = 0;
+        let mut blocked_nonpipelined = 0usize;
         for qi in 0..self.iq.len() {
             if issued >= self.cfg.issue_width {
                 break;
             }
-            let q = self.iq[qi];
-            let ready = q.srcs.iter().flatten().all(|&p| self.regs.is_ready(p));
-            let nonpipelined =
-                matches!(q.class, FuClass::IntDiv | FuClass::FpDiv | FuClass::FpSqrt);
-            // §4.9: strictness-ordered scheduling of non-pipelined units —
-            // an op may not overtake an older, not-yet-issued op that may
-            // use the same unit (all such ops share the Mult/Div pool).
-            if self.cfg.strict_fu_order && nonpipelined && blocked_nonpipelined > 0 {
-                self.stats.strict_fu_delays += 1;
-                self.idle_strict_fu_delays += 1;
-                blocked_nonpipelined += 1;
-                continue;
+            if self.try_issue_entry(qi, now, &mut issued, &mut blocked_nonpipelined) {
+                // Tombstone the slot; one linear sweep below removes all
+                // of them (a per-issue `remove` would be O(n²) a cycle).
+                self.iq[qi].seq = u64::MAX;
             }
-            if !ready || !self.fu.can_issue(q.class, now) {
-                if nonpipelined {
-                    blocked_nonpipelined += 1;
-                }
-                continue;
-            }
-            let e = self.rob.get(q.seq).expect("IQ entry has live ROB entry");
-            let inst = e.inst;
-
-            // Fences issue only from the ROB head, and serialise: no
-            // younger instruction may issue until the fence commits
-            // (lfence-style, which also makes rdcycle measurements
-            // well-defined for the attack harness).
-            if inst.op == Op::Fence && self.rob.head().map(|h| h.seq) != Some(q.seq) {
-                continue;
-            }
-            if inst.op != Op::Fence && self.older_pending_fence(q.seq) {
-                continue;
-            }
-
-            let v1 = q.srcs[0].map_or(0, |p| self.regs.read(p));
-            let v2 = q.srcs[1].map_or(0, |p| self.regs.read(p));
-            let taint = self.cfg.taint_mode.is_some()
-                && q.srcs.iter().flatten().any(|&p| self.regs.is_tainted(p));
-            let latency = inst.op.latency();
-            self.fu.issue(q.class, now, latency);
-            issued += 1;
-            self.tick_progress = true;
-            // Tombstone the slot; one linear sweep below removes all of
-            // them (the old `remove.contains` pass was O(n²) per cycle).
-            self.iq[qi].seq = u64::MAX;
-
-            if inst.op.is_mem() {
-                // AGU: resolve the address; the LSQ takes over next phase.
-                let addr = v1.wrapping_add(inst.imm as u64);
-                let e = self.rob.get_mut(q.seq).expect("live");
-                e.status = RobStatus::Issued;
-                e.mem_addr = Some(addr);
-                if inst.op.is_load() {
-                    let le = self.lq.get_mut(q.seq).expect("allocated at rename");
-                    le.addr = Some(addr);
-                    le.state = LoadState::Ready;
-                    le.addr_tainted = taint;
-                } else {
-                    self.sq.resolve(q.seq, addr, v2);
-                    // Stores complete once resolved; data drains at commit.
-                    self.events
-                        .push(Reverse((now + latency, q.seq, EV_EXEC, 0)));
-                }
-                continue;
-            }
-
-            // Non-memory ops: compute the result now; it becomes visible
-            // at writeback (now + latency).
-            let e = self.rob.get_mut(q.seq).expect("live");
-            e.status = RobStatus::Issued;
-            e.result_tainted = taint;
-            if inst.op.is_ctrl() {
-                let (taken, target) = match inst.op {
-                    Op::Jal => (true, inst.imm as u64),
-                    Op::Jalr => (true, v1.wrapping_add(inst.imm as u64)),
-                    _ => {
-                        let t = branch_taken(inst.op, v1, v2);
-                        (t, if t { inst.imm as u64 } else { e.pc + 1 })
-                    }
-                };
-                e.taken = taken;
-                e.actual_target = target;
-                e.result = e.pc + 1; // link value for jal/jalr
-            } else {
-                e.result = alu_eval(inst.op, v1, v2, inst.imm, now);
-            }
-            self.events
-                .push(Reverse((now + latency, q.seq, EV_EXEC, 0)));
         }
         if issued > 0 {
             self.iq.retain(|q| q.seq != u64::MAX);
+            // The wakeup lists are maintained regardless of mode; drop
+            // the issued entries so they stay coherent with the IQ.
+            let iq = &self.iq;
+            self.ready_seqs
+                .retain(|&s| iq.binary_search_by_key(&s, |q| q.seq).is_ok());
+            self.nonpipe_seqs
+                .retain(|&s| iq.binary_search_by_key(&s, |q| q.seq).is_ok());
         }
     }
 
     // ---- LSQ: send ready loads to memory ----
 
     fn lsq_tick(&mut self, mem: &mut dyn MemoryBackend, now: u64) {
+        debug_assert_eq!(
+            self.lq_ready,
+            self.lq
+                .iter()
+                .filter(|le| le.state == LoadState::Ready)
+                .count(),
+            "lq_ready drifted from the queue"
+        );
+        if self.lq_ready == 0 {
+            return; // nothing to send; don't scan the queue
+        }
         let mut sent = 0;
         let taint_mode = self.cfg.taint_mode;
 
-        // Collect candidate seqs into the reusable scratch buffer (taken
-        // so the LQ borrow ends before the issue loop mutates `self`).
+        // Collect candidate *positions* into the reusable scratch buffer
+        // (taken so the LQ borrow ends before the loop mutates `self`).
+        // The queue's membership cannot change inside this stage, so a
+        // position stays a direct O(1) handle — no per-candidate
+        // binary search, which blocked (STT-gated, store-blocked) loads
+        // used to pay every cycle.
         let mut candidates = std::mem::take(&mut self.scratch_candidates);
         candidates.clear();
         candidates.extend(
             self.lq
                 .iter()
-                .filter(|le| le.state == LoadState::Ready && le.retry_at <= now)
-                .map(|le| le.seq),
+                .enumerate()
+                .filter(|(_, le)| {
+                    le.state == LoadState::Ready && le.retry_at <= now && le.blocked_on.is_none()
+                })
+                .map(|(i, _)| i as u64),
         );
 
-        for &seq in &candidates {
+        for &li in &candidates {
             if sent >= MEM_PORTS {
                 break;
             }
-            let le = *self.lq.get(seq).expect("candidate");
+            let li = li as usize;
+            let le = *self.lq.at(li);
+            let seq = le.seq;
             let addr = le.addr.expect("Ready implies resolved address");
 
             // STT gate: tainted-address loads wait for their visibility
@@ -768,19 +1050,25 @@ impl Core {
             }
 
             match self.sq.forward(seq, addr, le.size) {
-                ForwardResult::UnknownAddr(_) | ForwardResult::Partial(_) => continue,
+                ForwardResult::UnknownAddr(s) | ForwardResult::Partial(s) => {
+                    // Re-check only when that store resolves or drains;
+                    // until then the scan result cannot change.
+                    self.lq.at_mut(li).blocked_on = Some(s);
+                    continue;
+                }
                 ForwardResult::Forward(v) => {
                     if self.rob.get(seq).is_some_and(|e| e.inst.op == Op::Ll) {
                         // Reservation is placed when the value is read, so
                         // any later remote store makes the SC fail.
                         mem.ll_reserve(self.id, addr, seq);
                     }
-                    let le = self.lq.get_mut(seq).expect("present");
+                    let le = self.lq.at_mut(li);
                     le.value = v;
                     le.state = LoadState::Done;
                     le.done_at = now + 1;
                     le.forwarded = true;
                     le.filled_locally = true;
+                    self.lq_ready -= 1;
                     self.stats.load_forwards += 1;
                     self.tick_progress = true;
                     self.events.push(Reverse((now + 1, seq, EV_LOAD, u64::MAX)));
@@ -788,7 +1076,8 @@ impl Core {
                 ForwardResult::NoMatch => {
                     self.tick_progress = true;
                     let speculative = self.older_unresolved_branch(seq);
-                    let e = self.rob.get(seq).expect("live load");
+                    let ri = self.rob.find(seq).expect("live load");
+                    let e = self.rob.at(ri);
                     if e.inst.op == Op::Ll {
                         mem.ll_reserve(self.id, addr, seq);
                     }
@@ -809,19 +1098,18 @@ impl Core {
                             filled_locally,
                         } => {
                             let value = mem.read_value(addr, le.size);
-                            let le = self.lq.get_mut(seq).expect("present");
+                            let le = self.lq.at_mut(li);
                             le.state = LoadState::InFlight { ticket };
                             le.value = value;
                             le.filled_locally = filled_locally;
-                            if let Some(e) = self.rob.get_mut(seq) {
-                                e.issued_speculatively = speculative;
-                            }
+                            self.lq_ready -= 1;
+                            self.rob.at_mut(ri).issued_speculatively = speculative;
                             self.events
                                 .push(Reverse((at.max(now + 1), seq, EV_LOAD, ticket)));
                             sent += 1;
                         }
                         LoadResp::Retry { at } => {
-                            let le = self.lq.get_mut(seq).expect("present");
+                            let le = self.lq.at_mut(li);
                             le.retry_at = at.max(now + 1);
                             self.stats.load_retries += 1;
                             sent += 1;
@@ -891,11 +1179,24 @@ impl Core {
                 self.sq
                     .push(seq, f.inst.op.mem_size().expect("store").bytes());
             }
-            self.iq.push(IqEntry {
-                seq,
-                srcs,
-                class: f.inst.op.fu_class(),
-            });
+            let class = f.inst.op.fu_class();
+            self.iq.push(IqEntry { seq, srcs, class });
+            // Wakeup bookkeeping: wait on every in-flight source; go
+            // straight to the ready set when there is none. Dispatch is
+            // in seq order, so a plain push keeps both lists sorted.
+            let mut waiting = false;
+            for &p in srcs.iter().flatten() {
+                if !self.regs.is_ready(p) {
+                    self.wakeup.watch(p, seq);
+                    waiting = true;
+                }
+            }
+            if !waiting {
+                self.ready_seqs.push(seq);
+            }
+            if matches!(class, FuClass::IntDiv | FuClass::FpDiv | FuClass::FpSqrt) {
+                self.nonpipe_seqs.push(seq);
+            }
         }
     }
 

@@ -31,10 +31,11 @@ mod lsq;
 mod mem_if;
 mod regfile;
 mod rob;
+mod wakeup;
 
 pub use bpred::{BpredConfig, BranchUpdate, Prediction, TournamentPredictor};
 pub use config::{CoreConfig, TaintMode};
-pub use engine::{Core, CoreStats};
+pub use engine::{Core, CoreStats, IssueMode};
 pub use fu::FuPool;
 pub use lsq::{LoadQueue, StoreQueue};
 pub use mem_if::{AccessKind, LoadResp, MemReq, MemoryBackend, Ticket};

@@ -185,6 +185,13 @@ pub struct LoadEntry {
     pub forwarded: bool,
     /// STT: whether the address operands were tainted at AGU time.
     pub addr_tainted: bool,
+    /// Store this load's forward check stopped at (unresolved address or
+    /// partial overlap). The result cannot change until that store
+    /// resolves or drains — the engine clears this then — so the LSQ
+    /// skips the candidate instead of re-running the forward scan every
+    /// cycle. Always an *older* store, so a squash that keeps the load
+    /// keeps the blocker.
+    pub blocked_on: Option<u64>,
 }
 
 /// The load queue.
@@ -227,7 +234,19 @@ impl LoadQueue {
             filled_locally: false,
             forwarded: false,
             addr_tainted: false,
+            blocked_on: None,
         });
+    }
+
+    /// Clears the store-blocked marker of every load waiting on store
+    /// `seq` (called when that store resolves its address or drains at
+    /// commit); the loads become forward-check candidates again.
+    pub fn unblock_store(&mut self, seq: u64) {
+        for e in self.entries.iter_mut() {
+            if e.blocked_on == Some(seq) {
+                e.blocked_on = None;
+            }
+        }
     }
 
     /// Index of the entry with sequence `seq`. The queue is ordered by
@@ -245,6 +264,24 @@ impl LoadQueue {
     /// Mutable lookup by seq.
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut LoadEntry> {
         self.index_of(seq).map(move |i| &mut self.entries[i])
+    }
+
+    /// Position of the load with sequence `seq`, for repeated O(1)
+    /// access through [`LoadQueue::at`]/[`LoadQueue::at_mut`]. Positions
+    /// are stable until the queue's membership changes (push, pop,
+    /// squash).
+    pub fn find(&self, seq: u64) -> Option<usize> {
+        self.index_of(seq)
+    }
+
+    /// The load at position `i` (see [`LoadQueue::find`]).
+    pub fn at(&self, i: usize) -> &LoadEntry {
+        &self.entries[i]
+    }
+
+    /// Mutable load at position `i` (see [`LoadQueue::find`]).
+    pub fn at_mut(&mut self, i: usize) -> &mut LoadEntry {
+        &mut self.entries[i]
     }
 
     /// Iterates over loads, oldest first.

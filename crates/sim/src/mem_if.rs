@@ -114,6 +114,16 @@ pub trait MemoryBackend {
     /// steals, §4.5). The core replays those loads.
     fn take_cancellations(&mut self, core: usize) -> Vec<Ticket>;
 
+    /// Whether `core` may have cancellations waiting — the one channel
+    /// through which the backend pushes events *at* a core. A quiescent
+    /// core re-ticks early only when this returns `true`, so backends
+    /// that can answer cheaply should override it; the conservative
+    /// default keeps unoptimised backends correct (the core simply
+    /// re-runs its stages every cycle, as it always did).
+    fn cancellations_pending(&self, _core: usize) -> bool {
+        true
+    }
+
     /// Functional read with no timing side effects (used for load values
     /// and by test oracles).
     fn read_value(&self, addr: u64, size: u64) -> u64;

@@ -191,6 +191,41 @@ impl Rob {
         self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
     }
 
+    /// Position of the entry with sequence `seq`, for repeated O(1)
+    /// access through [`Rob::at`]/[`Rob::at_mut`] — one search where a
+    /// `get`/`get_mut` pair would do two. Positions are stable until the
+    /// buffer's membership changes (push, pop, squash of *older-or-equal*
+    /// entries; squashing strictly younger entries keeps `i` valid).
+    pub fn find(&self, seq: u64) -> Option<usize> {
+        self.index_of(seq)
+    }
+
+    /// The entry at position `i` (see [`Rob::find`]).
+    pub fn at(&self, i: usize) -> &RobEntry {
+        &self.entries[i]
+    }
+
+    /// Mutable entry at position `i` (see [`Rob::find`]).
+    pub fn at_mut(&mut self, i: usize) -> &mut RobEntry {
+        &mut self.entries[i]
+    }
+
+    /// [`Rob::set_done`] for an already-located entry: marks position
+    /// `i` done at `now` and releases it from the ordering watch lists
+    /// its op is actually on.
+    pub fn set_done_at(&mut self, i: usize, now: u64) {
+        let e = &mut self.entries[i];
+        e.status = RobStatus::Done;
+        e.done_at = now;
+        let (seq, op) = (e.seq, e.inst.op);
+        if op.is_ctrl() {
+            unwatch(&mut self.unresolved_ctrl, seq);
+        }
+        if op.is_mem() {
+            unwatch(&mut self.unresolved_mem, seq);
+        }
+    }
+
     /// The oldest entry.
     pub fn head(&self) -> Option<&RobEntry> {
         self.entries.front()
@@ -206,9 +241,15 @@ impl Rob {
         let head = self.entries.pop_front()?;
         // A committing entry is `Done`, so the ctrl/mem lists were
         // already pruned by `set_done`; fences stay watched until here.
-        unwatch(&mut self.unresolved_ctrl, head.seq);
-        unwatch(&mut self.unresolved_mem, head.seq);
-        unwatch(&mut self.fences, head.seq);
+        if head.inst.op.is_ctrl() {
+            unwatch(&mut self.unresolved_ctrl, head.seq);
+        }
+        if head.inst.op.is_mem() {
+            unwatch(&mut self.unresolved_mem, head.seq);
+        }
+        if head.inst.op == Op::Fence {
+            unwatch(&mut self.fences, head.seq);
+        }
         Some(head)
     }
 
@@ -218,12 +259,8 @@ impl Rob {
     /// `None` if it was squashed while in flight.
     pub fn set_done(&mut self, seq: u64, now: u64) -> Option<&mut RobEntry> {
         let i = self.index_of(seq)?;
-        unwatch(&mut self.unresolved_ctrl, seq);
-        unwatch(&mut self.unresolved_mem, seq);
-        let e = &mut self.entries[i];
-        e.status = RobStatus::Done;
-        e.done_at = now;
-        Some(e)
+        self.set_done_at(i, now);
+        Some(&mut self.entries[i])
     }
 
     /// Removes every entry with `seq > above`, youngest first, invoking

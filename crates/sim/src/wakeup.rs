@@ -1,0 +1,102 @@
+//! Per-physical-register wakeup lists for the event-driven issue stage.
+//!
+//! The issue queue used to be scanned linearly every cycle, re-checking
+//! every entry's source ready bits — cost proportional to IQ *occupancy*,
+//! which is worst exactly when the machine is stalled (a full IQ waiting
+//! on memory). With wakeup lists the dependency graph is walked instead:
+//! a dispatching instruction registers itself on each not-yet-ready
+//! source register, and the writeback that produces that register wakes
+//! precisely the instructions waiting on it. Issue cost becomes
+//! O(instructions woken + instructions issued).
+//!
+//! Coherence rules (the engine upholds these; see `Core`):
+//!
+//! * an entry is registered at dispatch on every source register whose
+//!   value is still in flight;
+//! * a register's list is drained when its value is written (the only
+//!   ready-bit `false → true` transition for a live consumer);
+//! * a squash clears the list of every unrenamed (freed) register —
+//!   any waiter on it was younger than the squashed producer and is
+//!   gone from the IQ; waiters squashed while their *surviving*
+//!   producer is still in flight are dropped lazily when that producer
+//!   writes back (the drained seq no longer resolves in the IQ).
+
+use crate::regfile::PhysReg;
+
+/// Per-physical-register lists of IQ entries (by sequence number)
+/// waiting for that register's value.
+#[derive(Clone, Debug)]
+pub struct WakeupTable {
+    waiters: Vec<Vec<u64>>,
+}
+
+impl WakeupTable {
+    /// A table covering `phys_regs` physical registers, all lists empty.
+    pub fn new(phys_regs: usize) -> Self {
+        Self {
+            waiters: vec![Vec::new(); phys_regs],
+        }
+    }
+
+    /// Registers `seq` as waiting on `p`.
+    pub fn watch(&mut self, p: PhysReg, seq: u64) {
+        self.waiters[p.0 as usize].push(seq);
+    }
+
+    /// Whether no entry is waiting on `p`.
+    pub fn is_empty(&self, p: PhysReg) -> bool {
+        self.waiters[p.0 as usize].is_empty()
+    }
+
+    /// Moves `p`'s waiters into `into` (appending), leaving the list
+    /// empty but with its capacity retained for reuse.
+    pub fn drain_into(&mut self, p: PhysReg, into: &mut Vec<u64>) {
+        into.append(&mut self.waiters[p.0 as usize]);
+    }
+
+    /// Drops every waiter of `p` (squash recovery: the register was
+    /// unrenamed, so all of its waiters were squashed with it).
+    pub fn clear(&mut self, p: PhysReg) {
+        self.waiters[p.0 as usize].clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watch_drain_roundtrip() {
+        let mut w = WakeupTable::new(4);
+        let p = PhysReg(2);
+        assert!(w.is_empty(p));
+        w.watch(p, 10);
+        w.watch(p, 12);
+        assert!(!w.is_empty(p));
+        let mut out = Vec::new();
+        w.drain_into(p, &mut out);
+        assert_eq!(out, vec![10, 12]);
+        assert!(w.is_empty(p));
+    }
+
+    #[test]
+    fn clear_drops_waiters() {
+        let mut w = WakeupTable::new(4);
+        w.watch(PhysReg(1), 7);
+        w.clear(PhysReg(1));
+        assert!(w.is_empty(PhysReg(1)));
+        // Other registers are untouched.
+        w.watch(PhysReg(3), 9);
+        w.clear(PhysReg(1));
+        assert!(!w.is_empty(PhysReg(3)));
+    }
+
+    #[test]
+    fn drain_appends_to_existing_scratch() {
+        let mut w = WakeupTable::new(2);
+        w.watch(PhysReg(0), 1);
+        let mut out = vec![99];
+        w.drain_into(PhysReg(0), &mut out);
+        assert_eq!(out, vec![99, 1]);
+    }
+}

@@ -1,13 +1,122 @@
-//! Named event counters.
+//! Named event counters, interned for O(1) bumps.
+//!
+//! Counter names are interned process-wide into dense [`CounterId`]s so
+//! the hot path — a simulator component bumping a counter millions of
+//! times per job — is a single `Vec` index instead of a
+//! `BTreeMap<String, u64>` walk doing a string comparison per level.
+//! Call sites resolve their name once (see [`counter_ids!`]); the
+//! name-ordered view every report and JSON record relies on is
+//! reconstructed only at render/merge time, so all output stays
+//! byte-identical to the string-keyed implementation.
 
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// A process-wide interned counter name.
+///
+/// Ids are dense (0, 1, 2, …) in interning order and never freed: the
+/// registry leaks one small string per *distinct* counter name, which is
+/// bounded by the simulator's fixed event vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+struct Registry {
+    /// Sorted by name for binary-search lookup (interning is cold: once
+    /// per call site, or per distinct name when parsing stored records).
+    by_name: Vec<(&'static str, u32)>,
+    names: Vec<&'static str>,
+}
+
+fn registry() -> &'static RwLock<Registry> {
+    static REGISTRY: OnceLock<RwLock<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        RwLock::new(Registry {
+            by_name: Vec::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl CounterId {
+    /// Interns `name`, returning its stable id. The first interning of a
+    /// name allocates; later calls (and [`CounterId::name`]) are lookups.
+    pub fn intern(name: &str) -> CounterId {
+        let reg = registry();
+        {
+            let r = reg.read().expect("counter registry poisoned");
+            if let Ok(i) = r.by_name.binary_search_by_key(&name, |&(n, _)| n) {
+                return CounterId(r.by_name[i].1);
+            }
+        }
+        let mut r = reg.write().expect("counter registry poisoned");
+        // Double-check under the write lock: another thread may have
+        // interned the name between our read unlock and write lock.
+        match r.by_name.binary_search_by_key(&name, |&(n, _)| n) {
+            Ok(i) => CounterId(r.by_name[i].1),
+            Err(slot) => {
+                let id = r.names.len() as u32;
+                let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+                r.names.push(leaked);
+                r.by_name.insert(slot, (leaked, id));
+                CounterId(id)
+            }
+        }
+    }
+
+    /// The id of an already-interned name, without interning it.
+    pub fn lookup(name: &str) -> Option<CounterId> {
+        let r = registry().read().expect("counter registry poisoned");
+        r.by_name
+            .binary_search_by_key(&name, |&(n, _)| n)
+            .ok()
+            .map(|i| CounterId(r.by_name[i].1))
+    }
+
+    /// The interned name.
+    pub fn name(self) -> &'static str {
+        registry().read().expect("counter registry poisoned").names[self.0 as usize]
+    }
+
+    /// Dense index for flat-array storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Resolves each counter name to its [`CounterId`] once, caching it in a
+/// per-call-site `OnceLock`:
+///
+/// ```
+/// mod id {
+///     gm_stats::counter_ids! {
+///         loads => "loads",
+///         l1d_hits => "l1d_hits",
+///     }
+/// }
+/// let mut c = gm_stats::Counters::new();
+/// c.bump(id::loads());
+/// assert_eq!(c.get("loads"), 1);
+/// ```
+#[macro_export]
+macro_rules! counter_ids {
+    ($($name:ident => $text:expr),+ $(,)?) => {
+        $(
+            #[inline]
+            pub(crate) fn $name() -> $crate::CounterId {
+                static ID: ::std::sync::OnceLock<$crate::CounterId> =
+                    ::std::sync::OnceLock::new();
+                *ID.get_or_init(|| $crate::CounterId::intern($text))
+            }
+        )+
+    };
+}
 
 /// A set of named, monotonically increasing event counters.
 ///
 /// Counters are created lazily on first increment, so simulator components
-/// can record events without pre-registration. `BTreeMap` keeps iteration
-/// deterministic, which the tests and report output rely on.
+/// can record events without pre-registration. Storage is a flat vector
+/// indexed by [`CounterId`]; iteration and rendering are name-ordered,
+/// which the tests and report output rely on.
 ///
 /// # Examples
 ///
@@ -18,9 +127,13 @@ use std::fmt;
 /// assert_eq!(c.get("loads"), 4);
 /// assert_eq!(c.get("never-touched"), 0);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Counters {
-    values: BTreeMap<String, u64>,
+    /// `values[id] = Some(count)` once the counter was touched. `None`
+    /// slots are ids interned by *other* counter sets; a counter touched
+    /// with amount 0 still exists (and renders), exactly as the
+    /// string-keyed map behaved.
+    values: Vec<Option<u64>>,
 }
 
 impl Counters {
@@ -29,27 +142,46 @@ impl Counters {
         Self::default()
     }
 
-    /// Increments `name` by one.
+    /// Increments `id` by one. The O(1) hot path.
+    #[inline]
+    pub fn bump(&mut self, id: CounterId) {
+        self.add_id(id, 1);
+    }
+
+    /// Increments `id` by `amount`. The O(1) hot path.
+    #[inline]
+    pub fn add_id(&mut self, id: CounterId, amount: u64) {
+        let i = id.index();
+        if i >= self.values.len() {
+            self.values.resize(i + 1, None);
+        }
+        match &mut self.values[i] {
+            Some(v) => *v += amount,
+            slot => *slot = Some(amount),
+        }
+    }
+
+    /// Increments `name` by one, interning it (cold path; hot call sites
+    /// should resolve a [`CounterId`] once via [`counter_ids!`]).
     pub fn inc(&mut self, name: &str) {
         self.add(name, 1);
     }
 
-    /// Increments `name` by `amount`.
+    /// Increments `name` by `amount`, interning it (cold path).
     pub fn add(&mut self, name: &str, amount: u64) {
-        // Hot path: counters are bumped millions of times per simulated
-        // job. `entry` would allocate an owned key on every call; only
-        // the first increment of a name needs one.
-        match self.values.get_mut(name) {
-            Some(v) => *v += amount,
-            None => {
-                self.values.insert(name.to_owned(), amount);
-            }
-        }
+        self.add_id(CounterId::intern(name), amount);
+    }
+
+    /// Returns the value of `id`, or zero if it was never incremented.
+    pub fn get_id(&self, id: CounterId) -> u64 {
+        self.values.get(id.index()).copied().flatten().unwrap_or(0)
     }
 
     /// Returns the value of `name`, or zero if it was never incremented.
     pub fn get(&self, name: &str) -> u64 {
-        self.values.get(name).copied().unwrap_or(0)
+        // A name nobody ever interned cannot have been touched here;
+        // don't pollute the registry with it.
+        CounterId::lookup(name).map_or(0, |id| self.get_id(id))
     }
 
     /// Returns `get(num) / get(den)` as a fraction, or zero when the
@@ -65,24 +197,33 @@ impl Counters {
 
     /// Merges `other` into `self`, summing counters with the same name.
     pub fn merge(&mut self, other: &Counters) {
-        for (k, v) in &other.values {
-            self.add(k, *v);
+        for (i, v) in other.values.iter().enumerate() {
+            if let Some(v) = v {
+                self.add_id(CounterId(i as u32), *v);
+            }
         }
     }
 
     /// Iterates over `(name, value)` pairs in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        let mut pairs: Vec<(&'static str, u64)> = self
+            .values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (CounterId(i as u32).name(), v)))
+            .collect();
+        pairs.sort_unstable_by_key(|&(name, _)| name);
+        pairs.into_iter()
     }
 
     /// Number of distinct counter names.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.values.iter().flatten().count()
     }
 
     /// Returns `true` when no counter has been touched.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.values.iter().all(Option::is_none)
     }
 
     /// Removes all counters.
@@ -91,9 +232,23 @@ impl Counters {
     }
 }
 
+impl PartialEq for Counters {
+    /// Logical equality: the same set of touched counters with the same
+    /// values, regardless of how many trailing ids either set's vector
+    /// happens to cover.
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.values.len().max(other.values.len());
+        (0..n).all(|i| {
+            self.values.get(i).copied().flatten() == other.values.get(i).copied().flatten()
+        })
+    }
+}
+
+impl Eq for Counters {}
+
 impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in &self.values {
+        for (k, v) in self.iter() {
             writeln!(f, "{k}: {v}")?;
         }
         Ok(())
@@ -121,6 +276,45 @@ mod tests {
         assert_eq!(c.get("a"), 10);
         assert_eq!(c.get("b"), 1);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn id_and_string_paths_hit_the_same_counter() {
+        let mut c = Counters::new();
+        let id = CounterId::intern("interned-path");
+        c.bump(id);
+        c.add_id(id, 4);
+        c.add("interned-path", 2);
+        assert_eq!(c.get("interned-path"), 7);
+        assert_eq!(c.get_id(id), 7);
+        assert_eq!(id.name(), "interned-path");
+        assert_eq!(CounterId::intern("interned-path"), id, "ids are stable");
+        assert_eq!(CounterId::lookup("interned-path"), Some(id));
+    }
+
+    #[test]
+    fn counter_ids_macro_resolves_once() {
+        mod id {
+            crate::counter_ids! {
+                macro_test_events => "macro-test-events",
+            }
+        }
+        assert_eq!(id::macro_test_events(), id::macro_test_events());
+        let mut c = Counters::new();
+        c.bump(id::macro_test_events());
+        assert_eq!(c.get("macro-test-events"), 1);
+    }
+
+    #[test]
+    fn touched_with_zero_still_exists() {
+        // The string-keyed map created an entry on `add(name, 0)`; the
+        // interned representation must preserve that (records round-trip
+        // zero-valued counters).
+        let mut c = Counters::new();
+        c.add("zeroed", 0);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.iter().find(|&(n, _)| n == "zeroed"), Some(("zeroed", 0)));
     }
 
     #[test]
@@ -166,5 +360,21 @@ mod tests {
         c.inc("a");
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_trailing_unrelated_ids() {
+        // Interning ids for *other* counter sets grows this one's vector
+        // on the next touch; logical equality must not see that.
+        let mut a = Counters::new();
+        a.add("eq-x", 1);
+        let _unrelated = CounterId::intern("eq-unrelated-padding");
+        let mut b = Counters::new();
+        b.add("eq-unrelated-padding", 0);
+        b.clear();
+        b.add("eq-x", 1);
+        assert_eq!(a, b);
+        b.inc("eq-x");
+        assert_ne!(a, b);
     }
 }

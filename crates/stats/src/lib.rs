@@ -10,7 +10,7 @@ mod json;
 mod summary;
 mod table;
 
-pub use counters::Counters;
+pub use counters::{CounterId, Counters};
 pub use json::Json;
 pub use summary::{geomean, mean, normalize, Ratio};
 pub use table::{Align, Table};

@@ -1,0 +1,159 @@
+//! Model test for the interned counters: under arbitrary event streams,
+//! a [`gm_stats::Counters`] must be observationally identical — render,
+//! iteration order, lengths, lookups, merges — to the string-keyed
+//! `BTreeMap<String, u64>` it replaced. This is what guarantees every
+//! report, JSON record, and fingerprint stays byte-identical after the
+//! O(1) interning rewrite.
+
+use gm_stats::Counters;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The pre-interning implementation, kept as the specification: lazy
+/// creation on first touch (including zero-amount touches), name-ordered
+/// iteration, merge by summation.
+#[derive(Default)]
+struct ModelCounters {
+    values: BTreeMap<String, u64>,
+}
+
+impl ModelCounters {
+    fn add(&mut self, name: &str, amount: u64) {
+        match self.values.get_mut(name) {
+            Some(v) => *v += amount,
+            None => {
+                self.values.insert(name.to_owned(), amount);
+            }
+        }
+    }
+
+    fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    fn merge(&mut self, other: &ModelCounters) {
+        for (k, v) in &other.values {
+            self.add(k, *v);
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.values {
+            out.push_str(&format!("{k}: {v}\n"));
+        }
+        out
+    }
+}
+
+/// One step of an event stream, decoded from a sampled `u64`. Names come
+/// from a small pool so streams collide on counters (the interesting
+/// case); amounts include 0 (a zero-amount touch still creates the
+/// counter — records round-trip zero-valued counters).
+#[derive(Clone, Debug)]
+enum Op {
+    Add { name: usize, amount: u64 },
+    Inc { name: usize },
+    MergeScratch,
+    ClearScratch,
+}
+
+impl Op {
+    fn decode(x: u64) -> Op {
+        let name = ((x >> 8) % 12) as usize;
+        let amount = (x >> 16) % 1000;
+        match x % 11 {
+            0..=5 => Op::Add { name, amount },
+            6..=8 => Op::Inc { name },
+            9 => Op::MergeScratch,
+            _ => Op::ClearScratch,
+        }
+    }
+}
+
+/// The name pool deliberately includes prefix pairs and names that sort
+/// differently from their interning order.
+fn name(i: usize) -> String {
+    [
+        "loads",
+        "load_forwards",
+        "zeta",
+        "alpha",
+        "l1d_hits",
+        "l1d",
+        "energy_l1d_reads",
+        "a",
+        "aa",
+        "z",
+        "model-only-☃",
+        "stores",
+    ][i]
+        .to_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satellite requirement: interned `Counters` render and merge
+    /// byte-identically to the string-keyed reference model under random
+    /// event streams.
+    #[test]
+    fn interned_counters_match_string_keyed_model(
+        raw_ops in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let ops: Vec<Op> = raw_ops.iter().map(|&x| Op::decode(x)).collect();
+        let mut real = Counters::new();
+        let mut model = ModelCounters::default();
+        // A second stream merged in periodically, so `merge` is exercised
+        // against sets with overlapping and disjoint names.
+        let mut real_scratch = Counters::new();
+        let mut model_scratch = ModelCounters::default();
+
+        for op in &ops {
+            match op {
+                Op::Add { name: n, amount } => {
+                    real.add(&name(*n), *amount);
+                    model.add(&name(*n), *amount);
+                    real_scratch.add(&name(11 - *n), *amount + 1);
+                    model_scratch.add(&name(11 - *n), *amount + 1);
+                }
+                Op::Inc { name: n } => {
+                    real.inc(&name(*n));
+                    model.add(&name(*n), 1);
+                }
+                Op::MergeScratch => {
+                    real.merge(&real_scratch);
+                    model.merge(&model_scratch);
+                }
+                Op::ClearScratch => {
+                    real_scratch.clear();
+                    model_scratch = ModelCounters::default();
+                }
+            }
+            // Every observation matches after every step, not just at
+            // the end.
+            prop_assert_eq!(real.to_string(), model.render());
+            prop_assert_eq!(real.len(), model.values.len());
+            prop_assert_eq!(real.is_empty(), model.values.is_empty());
+        }
+
+        // Point lookups agree for touched and untouched names.
+        for i in 0..12 {
+            prop_assert_eq!(real.get(&name(i)), model.get(&name(i)));
+        }
+        prop_assert_eq!(real.get("never-touched-anywhere"), 0);
+
+        // Iteration is name-ordered with the model's exact pairs.
+        let real_pairs: Vec<(String, u64)> =
+            real.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        let model_pairs: Vec<(String, u64)> =
+            model.values.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(real_pairs, model_pairs);
+
+        // A merge of the final state into a fresh set reproduces it.
+        let mut fresh = Counters::new();
+        fresh.merge(&real);
+        prop_assert_eq!(fresh.to_string(), model.render());
+        prop_assert_eq!(&fresh, &real);
+    }
+}
