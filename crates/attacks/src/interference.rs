@@ -47,7 +47,7 @@ fn program(secret_bit: u8) -> gm_isa::Program {
     bits[SECRET_OFF as usize] = secret_bit;
     a.data(DataSegment {
         base: BITS,
-        bytes: bits,
+        bytes: bits.into(),
     });
     a.data(DataSegment::words(PTR_ADDR, &[TARGET]));
 

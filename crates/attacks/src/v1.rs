@@ -56,7 +56,7 @@ fn attack_program(secret: u8, salt: u64) -> gm_isa::Program {
     arr1[SECRET_OFF as usize] = secret;
     a.data(DataSegment {
         base: ARRAY1,
-        bytes: arr1,
+        bytes: arr1.into(),
     });
     a.data(DataSegment::words(PROBE_ORD, &probe_order(salt)));
 

@@ -446,6 +446,75 @@ fn bench_usage() -> String {
 /// before `gm-run bench --check` fails.
 const BENCH_REGRESSION_FRACTION: f64 = 0.25;
 
+/// Working-set words of the calibration kernel (8 MiB — larger than any
+/// LLC slice CI runners have, so DRAM speed is part of the score, as it
+/// is for the simulator's own footprints).
+const CALIB_WORDS: usize = 1 << 20;
+/// Passes over the working set per probe (~100 ms on a laptop-class core).
+const CALIB_PASSES: usize = 24;
+
+/// One run of the fixed host-speed probe: a data-dependent
+/// multiply-mix walk over an 8 MiB buffer. The mix of cache-missing
+/// loads, dependent arithmetic, and unpredictable addresses tracks the
+/// same machine resources the simulator is bound by, so frequency
+/// scaling, thermal throttling, and runner-class differences move this
+/// score and the engine's Mcycles/s together. The kernel is **frozen**:
+/// it must never share code with (or be tuned alongside) the simulator,
+/// or engine regressions would divide themselves out of the
+/// [normalised check](bench_check).
+///
+/// Returns the score in Mops (walk steps per microsecond).
+fn calibration_probe() -> f64 {
+    use std::hint::black_box;
+    let mut buf: Vec<u64> = (0..CALIB_WORDS as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let mask = (CALIB_WORDS - 1) as u64;
+    let mut idx = 0u64;
+    let mut acc = 0u64;
+    let start = std::time::Instant::now();
+    for pass in 0..CALIB_PASSES as u64 {
+        for i in 0..CALIB_WORDS as u64 {
+            let v = buf[(idx & mask) as usize];
+            acc = acc
+                .wrapping_add(v ^ i)
+                .rotate_left(7)
+                .wrapping_mul(0x2545_f491_4f6c_dd1d);
+            // The next address depends on the loaded value: the walk is
+            // unprefetchable, like a simulator chasing queue entries.
+            idx = v.wrapping_add(acc).wrapping_add(pass);
+            buf[(i & mask) as usize] = acc;
+        }
+    }
+    let us = start.elapsed().as_micros().max(1) as f64;
+    black_box(acc);
+    black_box(&buf);
+    (CALIB_WORDS * CALIB_PASSES) as f64 / us
+}
+
+/// The calibration score attached to a bench snapshot: the mean of one
+/// probe before and one after the sweep, so a machine that throttles
+/// *during* the minutes-long run is scored at roughly the speed the
+/// sweep actually saw.
+fn calibration_entry(before_mops: f64, after_mops: f64) -> Json {
+    let mut j = Json::object();
+    j.set("kernel", "mixwalk-8MiB-v1")
+        .set("before_mops", format!("{before_mops:.2}"))
+        .set("after_mops", format!("{after_mops:.2}"))
+        .set("mops", format!("{:.2}", (before_mops + after_mops) / 2.0));
+    j
+}
+
+/// A snapshot's calibration score in Mops, if it carries one (snapshots
+/// from before the calibration loop existed do not).
+fn bench_calibration(doc: &Json) -> Option<f64> {
+    doc.get("calibration")?
+        .get("mops")
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|m| *m > 0.0)
+}
+
 /// Outcome of comparing a fresh bench snapshot against a baseline.
 struct BenchCheck {
     /// One human-readable comparison line per checked experiment.
@@ -488,11 +557,33 @@ fn bench_rates(doc: &Json, label: &str) -> Result<Vec<(String, f64)>, String> {
 /// baseline experiment also present in the fresh run (a `--filter`ed
 /// check legitimately covers a subset) must hold at least
 /// `1 - BENCH_REGRESSION_FRACTION` of its baseline throughput.
+///
+/// When both snapshots carry a [calibration score](calibration_probe),
+/// throughputs are compared *normalised* (Mcycles per calibration Mop
+/// rather than per wall-second): a slower CI runner class, a thermally
+/// throttled machine, or a shared-tenancy neighbour slows the fresh
+/// run's sweep and its probes alike, so the ratio cancels the machine
+/// and keeps only the engine. Engine changes cannot hide there — the
+/// probe is frozen and independent of simulator code. Old baselines
+/// without a score fall back to the raw comparison.
 fn bench_check(fresh: &Json, baseline: &Json) -> Result<BenchCheck, String> {
     let fresh_rates = bench_rates(fresh, "fresh run")?;
     let base_rates = bench_rates(baseline, "baseline")?;
+    // normalised_ratio = (now/fresh_mops) / (base/base_mops)
+    //                  = (now/base) * machine_factor
+    let machine_factor = match (bench_calibration(fresh), bench_calibration(baseline)) {
+        (Some(f), Some(b)) => Some(b / f),
+        _ => None,
+    };
     let mut report = Vec::new();
     let mut regressions = Vec::new();
+    let mut matched = 0usize;
+    if let Some(mf) = machine_factor {
+        report.push(format!(
+            "calibration: baseline/fresh machine speed {mf:.2}x \
+             (throughput ratios are calibration-normalised)"
+        ));
+    }
     // A filtered run's total only covers the selected experiments and is
     // not comparable to the full baseline total.
     let all_present = base_rates
@@ -507,18 +598,24 @@ fn bench_check(fresh: &Json, baseline: &Json) -> Result<BenchCheck, String> {
             continue; // not selected in this run
         };
         let ratio = if *base > 0.0 {
-            now / base
+            now / base * machine_factor.unwrap_or(1.0)
         } else {
             f64::INFINITY
         };
-        let mut line = format!("{name}: {base:.1} -> {now:.1} Mcycles/s ({ratio:.2}x)");
+        let norm = if machine_factor.is_some() {
+            " normalised"
+        } else {
+            ""
+        };
+        let mut line = format!("{name}: {base:.1} -> {now:.1} Mcycles/s ({ratio:.2}x{norm})");
         if ratio < 1.0 - BENCH_REGRESSION_FRACTION {
             line.push_str(" REGRESSION");
             regressions.push(line.clone());
         }
         report.push(line);
+        matched += 1;
     }
-    if report.is_empty() {
+    if matched == 0 {
         return Err("no baseline experiment matches the fresh run".into());
     }
     Ok(BenchCheck {
@@ -608,6 +705,8 @@ fn bench_main(args: &[String]) {
         fail(program, "no sweep experiment selected (try --filter fig6)");
     }
     let runner = Runner::new(opts.jobs);
+    let calib_before = calibration_probe();
+    eprintln!("{program}: calibration {calib_before:.2} Mops");
     let mut table = gm_stats::Table::new(vec![
         "experiment".into(),
         "jobs".into(),
@@ -657,9 +756,12 @@ fn bench_main(args: &[String]) {
             "mcycles_per_s",
             format!("{:.1}", mcycles_per_s(total_cycles, total_wall)),
         );
+    let calib_after = calibration_probe();
+    eprintln!("{program}: calibration {calib_after:.2} Mops after sweep");
     doc.set("generator", "gm-run bench")
         .set("scale", opts.scale.name())
         .set("jobs", runner.jobs() as u64)
+        .set("calibration", calibration_entry(calib_before, calib_after))
         .set("experiments", Json::Array(entries))
         .set("total", total);
     write_json(program, Some(&snapshot_path), &doc);
@@ -1106,6 +1208,71 @@ mod tests {
         assert!(bench_check(&Json::object(), &baseline).is_err());
         let disjoint = bench_doc(&[("fig9", 1.0)], 1.0);
         assert!(bench_check(&disjoint, &baseline).is_err());
+    }
+
+    fn with_calibration(mut doc: Json, mops: f64) -> Json {
+        doc.set("calibration", calibration_entry(mops, mops));
+        doc
+    }
+
+    #[test]
+    fn bench_check_normalises_away_machine_speed() {
+        // Baseline from a fast runner (100 Mops); fresh run from a
+        // machine exactly half as fast, where the engine — unchanged —
+        // also measures half the raw throughput. Raw ratios (0.50x)
+        // would fail; normalised they are 1.00x.
+        let baseline = with_calibration(bench_doc(&[("fig6", 2.0), ("fig7", 0.8)], 1.6), 100.0);
+        let fresh = with_calibration(bench_doc(&[("fig6", 1.0), ("fig7", 0.4)], 0.8), 50.0);
+        let out = bench_check(&fresh, &baseline).unwrap();
+        assert!(out.regressions.is_empty(), "{:?}", out.regressions);
+        // One calibration header + two experiments + total.
+        assert_eq!(out.report.len(), 4);
+        assert!(out.report[0].contains("2.00x"), "{}", out.report[0]);
+        assert!(
+            out.report[1].contains("1.00x normalised"),
+            "{}",
+            out.report[1]
+        );
+    }
+
+    #[test]
+    fn bench_check_normalisation_cannot_hide_engine_regressions() {
+        // Same 2x-slower machine, but the engine itself also lost 40%:
+        // raw 0.30x, normalised 0.60x — still a regression. A machine
+        // factor can explain away the host, never the engine.
+        let baseline = with_calibration(bench_doc(&[("fig6", 2.0)], 2.0), 100.0);
+        let fresh = with_calibration(bench_doc(&[("fig6", 0.6)], 0.6), 50.0);
+        let out = bench_check(&fresh, &baseline).unwrap();
+        assert_eq!(out.regressions.len(), 2, "{:?}", out.regressions);
+        assert!(out.regressions[0].contains("0.60x normalised"));
+    }
+
+    #[test]
+    fn bench_check_falls_back_to_raw_without_a_baseline_score() {
+        // Old baselines predate the calibration loop; the comparison
+        // must stay raw (and say nothing about normalisation).
+        let baseline = bench_doc(&[("fig6", 2.0)], 2.0);
+        let fresh = with_calibration(bench_doc(&[("fig6", 1.8)], 1.8), 50.0);
+        let out = bench_check(&fresh, &baseline).unwrap();
+        assert!(out.regressions.is_empty(), "{:?}", out.regressions);
+        assert_eq!(out.report.len(), 2, "no calibration header");
+        assert!(out.report.iter().all(|l| !l.contains("normalised")));
+    }
+
+    #[test]
+    fn calibration_entry_averages_the_probes() {
+        let e = calibration_entry(120.0, 80.0);
+        assert_eq!(
+            e.get("kernel").and_then(Json::as_str),
+            Some("mixwalk-8MiB-v1")
+        );
+        let mut doc = Json::object();
+        doc.set("calibration", e);
+        assert_eq!(bench_calibration(&doc), Some(100.0));
+        // Snapshots without a score (or with a zero score) yield None.
+        assert_eq!(bench_calibration(&Json::object()), None);
+        let zeroed = with_calibration(Json::object(), 0.0);
+        assert_eq!(bench_calibration(&zeroed), None);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! The subsystem is layered:
 //!
 //! * [`experiment`] — each paper figure/table as *data*: an
-//!   [`Experiment`](experiment::Experiment) names a workload suite, a
+//!   [`experiment::Experiment`] names a workload suite, a
 //!   scheme lineup, a machine configuration and a report rule, and the
 //!   [`experiment::registry`] holds all ten of them;
 //! * [`runner`] — expands a sweep into independent (workload × scheme)

@@ -72,7 +72,7 @@ impl Shard {
     }
 
     /// Ownership of every job in a flat list, given each job's predicted
-    /// cost (see [`predicted_costs`]; `None` when nothing predicts the
+    /// cost (see `predicted_costs`; `None` when nothing predicts the
     /// job).
     ///
     /// With no cost information this is exactly the historical
@@ -246,7 +246,7 @@ impl Runner {
     ///
     /// Sharded runs partition cost-aware when the store holds
     /// *historical* records predicting job costs (see
-    /// [`predicted_costs`] and [`Shard::partition`]); otherwise the
+    /// `predicted_costs` and [`Shard::partition`]); otherwise the
     /// split is the historical round-robin.
     ///
     /// `experiment` names the store file. A store whose record fails to

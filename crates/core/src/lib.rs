@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! **GhostMinion**: a strictness-ordered cache system for Spectre
 //! mitigation — a from-scratch Rust reproduction of the MICRO 2021 paper
 //! by Sam Ainsworth.

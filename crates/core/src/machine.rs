@@ -4,18 +4,103 @@ use crate::memsys::{HierarchyConfig, MemStats, MemorySystem};
 use crate::scheme::Scheme;
 use gm_isa::Program;
 use gm_mem::CacheConfig;
-use gm_sim::{Core, CoreConfig, CoreStats, IssueMode};
+use gm_sim::{Core, CoreConfig, CoreStats, IssueMode, MemoryBackend};
 use gm_stats::Json;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Wake-ordered schedule over the machine's cores: a min-heap keyed on
+/// each core's `next_wake`, with lazy invalidation (reschedules push a
+/// fresh entry; stale entries are discarded when they surface). The
+/// authoritative wake cycle lives in `wake`, so a popped entry is valid
+/// exactly when it still matches.
+///
+/// The heap sees only *sleeping* cores. A core due at the very next
+/// cycle — the steady state of a core making progress — is tracked by a
+/// bare counter (`due_next`) instead, so consecutive busy cycles cost
+/// zero heap traffic; heap pushes happen only when a core goes
+/// quiescent, which is exactly when they pay for themselves.
+struct WakeSchedule {
+    /// Authoritative next-wake cycle per core (`u64::MAX` = halted).
+    wake: Vec<u64>,
+    /// (wake, core) min-heap of sleeping cores; may hold stale entries
+    /// for cores woken early (cancellations) or re-slept since.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Number of live cores scheduled for exactly the next cycle (and
+    /// deliberately *not* in the heap).
+    due_next: usize,
+}
+
+impl WakeSchedule {
+    fn new(n: usize, start: u64) -> Self {
+        Self {
+            wake: vec![start; n],
+            heap: (0..n).map(|i| Reverse((start, i))).collect(),
+            due_next: 0,
+        }
+    }
+
+    /// The cycle core `i` is scheduled to wake at.
+    fn wake(&self, i: usize) -> u64 {
+        self.wake[i]
+    }
+
+    /// Reschedules core `i` to wake at `at`, where `next` is the cycle
+    /// after the one being processed.
+    fn set(&mut self, i: usize, at: u64, next: u64) {
+        self.wake[i] = at;
+        if at == next {
+            self.due_next += 1;
+        } else {
+            self.heap.push(Reverse((at, i)));
+        }
+    }
+
+    /// Removes core `i` from the schedule (halted).
+    fn halt(&mut self, i: usize) {
+        self.wake[i] = u64::MAX;
+    }
+
+    /// Moves core `i`'s wake to `next` if currently later (the
+    /// cancellation push channel never delays a core). The stale heap
+    /// entry is discarded when it surfaces.
+    fn pull_to_next(&mut self, i: usize, next: u64) {
+        if next < self.wake[i] {
+            self.wake[i] = next;
+            self.due_next += 1;
+        }
+    }
+
+    /// The next cycle to process: the next cycle itself if any core is
+    /// due then, otherwise the earliest sleeper in the heap (discarding
+    /// stale entries along the way). `None` only when no core is
+    /// scheduled at all.
+    fn next_cycle(&mut self, next: u64) -> Option<u64> {
+        if self.due_next > 0 {
+            self.due_next = 0;
+            return Some(next);
+        }
+        while let Some(&Reverse((at, i))) = self.heap.peek() {
+            if self.wake[i] == at {
+                return Some(at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
 
 /// Complete system configuration (Table 1 by default).
 #[derive(Clone, Copy, Debug)]
 pub struct SystemConfig {
+    /// Per-core pipeline configuration.
     pub core: CoreConfig,
+    /// Memory hierarchy configuration.
     pub hierarchy: HierarchyConfig,
     /// Simulation deadline: a run that has not halted within this many
     /// cycles is treated as deadlocked. This is the single knob every
     /// harness reads; [`Machine::run`] receives it via
-    /// [`crate::run_single`] and the bench runner.
+    /// `gm_bench::run_single` and the bench runner.
     pub max_cycles: u64,
 }
 
@@ -320,45 +405,102 @@ impl Machine {
 
     /// Runs until all cores halt (or `max_cycles`), returning the result.
     ///
-    /// Cycle-skipping: when a whole cycle passes in which *no* core
-    /// changes any state (every pipeline is stalled on memory or a
-    /// long-latency unit), the clock jumps straight to the earliest
-    /// cycle at which any core can act again, after replaying the
-    /// per-cycle stall counters for the elided cycles. The memory system
-    /// is purely reactive (every latency is computed when a request
-    /// arrives, cancellations are queued by requests), so a cycle in
-    /// which no core acts cannot change backend state either — results
-    /// are bit-identical to [`Machine::run_lockstep`].
+    /// The loop is wake-ordered: a min-heap keyed on each core's
+    /// `next_wake` picks the earliest cycle at which *any* core can act,
+    /// and only the cores due at that cycle are ticked — a core stalled
+    /// on memory for a thousand cycles costs zero `tick` calls while the
+    /// other cores keep running. Per-cycle stall counters of the elided
+    /// cycles are replayed just before a slept core's next real tick, so
+    /// skipping is invisible in the statistics. Cores are always ticked
+    /// in index order within a cycle, exactly like the per-cycle loop.
+    ///
+    /// The one way the memory system pushes an event *at* a core is a
+    /// leapfrog cancellation (§4.5): when any are queued after a cycle,
+    /// the affected sleeping cores are re-scheduled for the very next
+    /// cycle (and a core later in index order is caught the same cycle),
+    /// which is precisely when the per-cycle engine's quiescence memo
+    /// would have noticed the cancellation. The memory system is
+    /// otherwise purely reactive (every latency is computed when a
+    /// request arrives), so a cycle in which no core acts cannot change
+    /// backend state either — results are bit-identical to
+    /// [`Machine::run_lockstep`].
     ///
     /// # Panics
     ///
     /// Panics if any core fails to halt within `max_cycles` — a workload
     /// that does not terminate is a harness bug.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ghostminion::{Machine, Scheme, SystemConfig};
+    /// use gm_isa::{Asm, Reg};
+    ///
+    /// let mut a = Asm::new("answer");
+    /// a.li(Reg::x(1), 42);
+    /// a.halt();
+    /// let cfg = SystemConfig::tiny();
+    /// let mut m = Machine::new(Scheme::ghost_minion(), cfg, vec![a.assemble()]);
+    /// let result = m.run(cfg.max_cycles);
+    /// assert!(result.cycles > 0);
+    /// assert_eq!(m.core(0).reg(Reg::x(1)), 42);
+    /// ```
     pub fn run(&mut self, max_cycles: u64) -> MachineResult {
-        while !self.halted() && self.cycle < max_cycles {
-            let mut progress = false;
-            let mut wake = u64::MAX;
-            for core in &mut self.cores {
-                if core.halted() {
+        let n = self.cores.len();
+        let mut sched = WakeSchedule::new(n, self.cycle);
+        // Cycle of each core's last real tick, for idle-counter replay.
+        let mut last_tick = vec![self.cycle; n];
+        let mut live = 0usize;
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.halted() {
+                sched.halt(i);
+            } else {
+                live += 1;
+            }
+        }
+        while live > 0 {
+            let Some(now) = sched.next_cycle(self.cycle) else {
+                break;
+            };
+            if now >= max_cycles {
+                self.cycle = max_cycles;
+                break;
+            }
+            debug_assert!(now >= self.cycle, "scheduler must move forward");
+            let next = now + 1;
+            for (i, last) in last_tick.iter_mut().enumerate() {
+                if self.cores[i].halted() {
                     continue;
                 }
-                let outcome = core.tick(&mut self.mem, self.cycle);
-                progress |= outcome.progress;
-                wake = wake.min(outcome.next_wake);
-            }
-            self.cycle += 1;
-            if !progress && wake > self.cycle {
-                let target = wake.min(max_cycles);
-                if target > self.cycle {
-                    let skipped = target - self.cycle;
-                    for core in &mut self.cores {
-                        if !core.halted() {
-                            core.account_idle_cycles(skipped);
-                        }
-                    }
-                    self.cycle = target;
+                if sched.wake(i) > now && !self.mem.cancellations_pending(i) {
+                    // Not due, and no cancellation (possibly pushed by an
+                    // earlier core *this* cycle) redirects it here.
+                    continue;
+                }
+                if now > *last + 1 {
+                    self.cores[i].account_idle_cycles(now - *last - 1);
+                }
+                let outcome = self.cores[i].tick(&mut self.mem, now);
+                *last = now;
+                if self.cores[i].halted() {
+                    live -= 1;
+                    sched.halt(i);
+                } else {
+                    sched.set(i, outcome.next_wake.max(next), next);
                 }
             }
+            if self.mem.any_cancellations_pending() {
+                // Push channel: a cancellation queued this cycle for a
+                // core at or before its issuer's index is seen at the
+                // next cycle — the same moment the per-cycle engine's
+                // memo check would see it.
+                for i in 0..n {
+                    if !self.cores[i].halted() && self.mem.cancellations_pending(i) {
+                        sched.pull_to_next(i, next);
+                    }
+                }
+            }
+            self.cycle = next;
         }
         assert!(
             self.halted(),

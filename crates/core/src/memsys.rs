@@ -57,15 +57,23 @@ const SQUASHED_TS: u64 = u64::MAX;
 /// Hierarchy geometry; defaults are the paper's Table 1.
 #[derive(Clone, Copy, Debug)]
 pub struct HierarchyConfig {
+    /// Per-core L1 instruction cache geometry.
     pub l1i: CacheConfig,
+    /// Per-core L1 data cache geometry.
     pub l1d: CacheConfig,
+    /// MSHRs per L1 cache.
     pub l1_mshrs: usize,
+    /// Shared L2 geometry.
     pub l2: CacheConfig,
+    /// MSHRs at the L2.
     pub l2_mshrs: usize,
+    /// DRAM timing model.
     pub dram: DramConfig,
+    /// L2 stride prefetcher geometry.
     pub prefetcher: StridePrefetcherConfig,
     /// MuonTrap L0 filter cache geometry.
     pub l0_bytes: u64,
+    /// MuonTrap L0 filter cache associativity.
     pub l0_ways: usize,
     /// Extra latency charged for a commit-time coherence replay (§4.6) or
     /// InvisiSpec validation that hits the L2.
@@ -248,6 +256,13 @@ impl MemorySystem {
             auditor: None,
             cfg,
         }
+    }
+
+    /// Whether *any* core has a leapfrog cancellation queued (§4.5) —
+    /// the O(1) probe the wake-ordered scheduler checks once per
+    /// processed cycle before running the per-core cancellation routing.
+    pub fn any_cancellations_pending(&self) -> bool {
+        !self.pending_cancels.is_empty()
     }
 
     /// The active scheme.
@@ -1191,6 +1206,14 @@ impl MemoryBackend for MemorySystem {
 
     fn write_value(&mut self, addr: u64, value: u64, size: u64) {
         self.mem.write(addr, value, size);
+    }
+
+    fn write_bytes(&mut self, base: u64, bytes: &[u8]) {
+        self.mem.write_bytes(base, bytes);
+    }
+
+    fn write_bytes_shared(&mut self, base: u64, bytes: &std::sync::Arc<[u8]>) {
+        self.mem.write_bytes_shared(base, bytes);
     }
 
     fn ll_reserve(&mut self, core: usize, addr: u64, ts: u64) {

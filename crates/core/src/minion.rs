@@ -23,7 +23,10 @@ use gm_mem::{Cache, CacheConfig, MesiState};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MinionRead {
     /// Line present and visible: hit, with the line's stamp.
-    Hit { stamp: u64 },
+    Hit {
+        /// Temporal-Order timestamp the line is stamped with.
+        stamp: u64,
+    },
     /// Line present but stamped newer than the reader: behaves as a miss
     /// (§6.3 counts these as "TimeGuards").
     TimeGuarded,

@@ -38,6 +38,7 @@ pub fn strictness_allows(x_committed: bool, y_committed: bool) -> bool {
 /// instructions, which the auditor models with `src_committed`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Flow {
+    /// Core on which both instructions executed.
     pub core: usize,
     /// Timestamp of the influencing instruction.
     pub src_ts: u64,
@@ -64,6 +65,7 @@ pub enum FlowKind {
 /// timing of a committed one it did not temporally precede.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OrderViolation {
+    /// The offending influence.
     pub flow: Flow,
 }
 

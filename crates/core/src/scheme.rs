@@ -58,21 +58,33 @@ pub enum SchemeKind {
     /// MuonTrap: an L0 filter cache for speculative fills, accessed
     /// serially before the L1. `flush` selects MuonTrap-Flush, which
     /// clears the filter cache on misspeculation.
-    MuonTrap { flush: bool },
+    MuonTrap {
+        /// Clear the filter cache on misspeculation (MuonTrap-Flush).
+        flush: bool,
+    },
     /// InvisiSpec: speculative loads are invisible (no fill anywhere);
     /// the data becomes visible via a commit-time exposure/validation.
     /// `future` selects InvisiSpec-Future (blocking validation at
     /// commit); otherwise InvisiSpec-Spectre (non-blocking exposure).
-    InvisiSpec { future: bool },
+    InvisiSpec {
+        /// Block commit on validation (InvisiSpec-Future) instead of
+        /// issuing a non-blocking exposure (InvisiSpec-Spectre).
+        future: bool,
+    },
     /// Speculative Taint Tracking: loads whose address depends on a
     /// speculatively loaded value are delayed until their visibility
     /// point. `future` selects STT-Future.
-    Stt { future: bool },
+    Stt {
+        /// Delay tainted loads until commit (STT-Future) instead of
+        /// until all older branches resolve (STT-Spectre).
+        future: bool,
+    },
 }
 
 /// A complete scheme: the kind plus core-side knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Scheme {
+    /// Which mitigation mechanism this scheme models.
     pub kind: SchemeKind,
     /// §4.9 strictness-ordered scheduling of non-pipelined functional
     /// units. Off by default even for GhostMinion, mirroring the paper's

@@ -2,14 +2,24 @@
 
 use crate::{Inst, Reg};
 use std::fmt;
+use std::sync::Arc;
 
 /// A contiguous block of initial memory contents.
+///
+/// The bytes are reference-counted: workload images run to multiple
+/// MiB and every (scheme × experiment) job starts from the same one,
+/// so cloning a program — which the bench runner does per job — shares
+/// the image instead of copying it. The functional memory keeps the
+/// sharing end-to-end ([`SparseMem::write_bytes_shared`] installs the
+/// same `Arc` as a copy-on-write extent).
+///
+/// [`SparseMem::write_bytes_shared`]: ../gm_mem/struct.SparseMem.html
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DataSegment {
     /// Byte address of the first byte.
     pub base: u64,
     /// The bytes to place there before execution.
-    pub bytes: Vec<u8>,
+    pub bytes: Arc<[u8]>,
 }
 
 impl DataSegment {
@@ -19,7 +29,10 @@ impl DataSegment {
         for w in words {
             bytes.extend_from_slice(&w.to_le_bytes());
         }
-        Self { base, bytes }
+        Self {
+            base,
+            bytes: bytes.into(),
+        }
     }
 
     /// Exclusive end address of the segment.

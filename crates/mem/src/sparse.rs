@@ -1,21 +1,103 @@
 //! Sparse functional memory.
 //!
 //! The timing hierarchy models *when* data arrives; this models *what* the
-//! data is. It backs the whole simulated physical address space with a
-//! line-granular hash map, so multi-MiB workload footprints cost only what
-//! they touch.
+//! data is. It backs the whole simulated physical address space with
+//! dense line-aligned extents (for bulk-installed program images) plus a
+//! line-granular hash map (for everything touched piecemeal), so
+//! multi-MiB workload footprints cost only what they touch.
 
 use crate::{line_addr, within_line, FxHashMap, LINE_BYTES};
+use std::sync::Arc;
+
+/// Backing store of one [`Extent`].
+#[derive(Clone, Debug)]
+enum ExtentData {
+    /// Private copy, writable in place.
+    Owned(Vec<u8>),
+    /// A program image shared by reference with every other machine
+    /// running the same workload (and with the workload itself).
+    /// `lead` zero bytes pad an unaligned image base out to the
+    /// extent's line-aligned start; the tail pads implicitly. The
+    /// first write anywhere in the extent copies it out to `Owned`.
+    Shared { bytes: Arc<[u8]>, lead: usize },
+}
+
+/// A dense, line-aligned region of memory installed in one piece.
+///
+/// `base` is line-aligned and `len` is a multiple of the line size, so
+/// any access that stays within one line is either entirely inside or
+/// entirely outside an extent — the single-line fast paths never
+/// straddle a representation boundary.
+#[derive(Clone, Debug)]
+struct Extent {
+    base: u64,
+    len: usize,
+    data: ExtentData,
+}
+
+impl Extent {
+    fn end(&self) -> u64 {
+        self.base + self.len as u64
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// Copies `size` bytes at extent offset `off` into `dst`.
+    fn read_at(&self, off: usize, dst: &mut [u8]) {
+        match &self.data {
+            ExtentData::Owned(d) => dst.copy_from_slice(&d[off..off + dst.len()]),
+            ExtentData::Shared { bytes, lead } => {
+                // Interior fast path; the pad edges go byte-wise.
+                if off >= *lead && off + dst.len() <= lead + bytes.len() {
+                    dst.copy_from_slice(&bytes[off - lead..off - lead + dst.len()]);
+                } else {
+                    for (i, b) in dst.iter_mut().enumerate() {
+                        let o = off + i;
+                        *b = if o >= *lead && o - lead < bytes.len() {
+                            bytes[o - lead]
+                        } else {
+                            0
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// The private copy, materialising a shared image on first write.
+    fn owned(&mut self) -> &mut Vec<u8> {
+        if let ExtentData::Shared { bytes, lead } = &self.data {
+            let mut d = vec![0u8; self.len];
+            d[*lead..lead + bytes.len()].copy_from_slice(bytes);
+            self.data = ExtentData::Owned(d);
+        }
+        match &mut self.data {
+            ExtentData::Owned(d) => d,
+            ExtentData::Shared { .. } => unreachable!(),
+        }
+    }
+}
 
 /// Byte-addressable sparse memory; unwritten bytes read as zero.
 ///
-/// Lookups use the in-repo [`crate::FxHasher`] (line addresses are
-/// simulator-internal, so SipHash's DoS resistance is pure overhead),
-/// and accesses that stay within one line — every aligned access, which
-/// is the overwhelming majority — locate that line once instead of once
-/// per byte.
+/// Two representations, one invariant: every resident line lives in
+/// exactly one place. Program images land in dense extents —
+/// [`SparseMem::write_bytes_shared`] installs the image's `Arc`
+/// directly (zero copies until the program stores into it),
+/// [`SparseMem::write_bytes`] copies once — and every later access to
+/// an image is an offset computation instead of a hash probe. Lines
+/// outside any extent go to a hash map keyed by line address, using
+/// the in-repo [`crate::FxHasher`] (line addresses are
+/// simulator-internal, so SipHash's DoS resistance is pure overhead).
+/// Accesses that stay within one line — every aligned access, which is
+/// the overwhelming majority — locate their backing store once instead
+/// of once per byte.
 #[derive(Clone, Debug, Default)]
 pub struct SparseMem {
+    /// Sorted by `base`, non-overlapping, line-aligned.
+    extents: Vec<Extent>,
     lines: FxHashMap<u64, [u8; LINE_BYTES as usize]>,
 }
 
@@ -23,6 +105,13 @@ impl SparseMem {
     /// Creates an empty (all-zero) memory.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The extent holding `addr`, if any.
+    fn extent_index(&self, addr: u64) -> Option<usize> {
+        let i = self.extents.partition_point(|e| e.base <= addr);
+        let i = i.checked_sub(1)?;
+        self.extents[i].contains(addr).then_some(i)
     }
 
     /// Reads `size` bytes (1–8) at `addr`, little-endian, zero-extended.
@@ -33,12 +122,14 @@ impl SparseMem {
     pub fn read(&self, addr: u64, size: u64) -> u64 {
         assert!((1..=8).contains(&size), "read size must be 1..=8");
         if within_line(addr, size) {
-            let Some(line) = self.lines.get(&line_addr(addr)) else {
-                return 0;
-            };
-            let off = (addr % LINE_BYTES) as usize;
             let mut bytes = [0u8; 8];
-            bytes[..size as usize].copy_from_slice(&line[off..off + size as usize]);
+            if let Some(i) = self.extent_index(addr) {
+                let e = &self.extents[i];
+                e.read_at((addr - e.base) as usize, &mut bytes[..size as usize]);
+            } else if let Some(line) = self.lines.get(&line_addr(addr)) {
+                let off = (addr % LINE_BYTES) as usize;
+                bytes[..size as usize].copy_from_slice(&line[off..off + size as usize]);
+            }
             return u64::from_le_bytes(bytes);
         }
         let mut val = 0u64;
@@ -56,12 +147,19 @@ impl SparseMem {
     pub fn write(&mut self, addr: u64, value: u64, size: u64) {
         assert!((1..=8).contains(&size), "write size must be 1..=8");
         if within_line(addr, size) {
-            let line = self
-                .lines
-                .entry(line_addr(addr))
-                .or_insert([0; LINE_BYTES as usize]);
-            let off = (addr % LINE_BYTES) as usize;
-            line[off..off + size as usize].copy_from_slice(&value.to_le_bytes()[..size as usize]);
+            let src = value.to_le_bytes();
+            if let Some(i) = self.extent_index(addr) {
+                let e = &mut self.extents[i];
+                let off = (addr - e.base) as usize;
+                e.owned()[off..off + size as usize].copy_from_slice(&src[..size as usize]);
+            } else {
+                let line = self
+                    .lines
+                    .entry(line_addr(addr))
+                    .or_insert([0; LINE_BYTES as usize]);
+                let off = (addr % LINE_BYTES) as usize;
+                line[off..off + size as usize].copy_from_slice(&src[..size as usize]);
+            }
             return;
         }
         for i in 0..size {
@@ -70,12 +168,24 @@ impl SparseMem {
     }
 
     fn read_byte(&self, addr: u64) -> u8 {
+        if let Some(i) = self.extent_index(addr) {
+            let e = &self.extents[i];
+            let mut b = [0u8; 1];
+            e.read_at((addr - e.base) as usize, &mut b);
+            return b[0];
+        }
         self.lines
             .get(&line_addr(addr))
             .map_or(0, |l| l[(addr % LINE_BYTES) as usize])
     }
 
     fn write_byte(&mut self, addr: u64, b: u8) {
+        if let Some(i) = self.extent_index(addr) {
+            let e = &mut self.extents[i];
+            let off = (addr - e.base) as usize;
+            e.owned()[off] = b;
+            return;
+        }
         let line = self
             .lines
             .entry(line_addr(addr))
@@ -83,16 +193,119 @@ impl SparseMem {
         line[(addr % LINE_BYTES) as usize] = b;
     }
 
-    /// Copies a byte slice into memory at `base`.
-    pub fn write_bytes(&mut self, base: u64, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_byte(base + i as u64, *b);
-        }
+    /// Checks whether a new extent can cover the aligned span
+    /// `[start, end)`: no existing extent may overlap it. Returns
+    /// `false` if the caller must fall back to per-word writes.
+    fn span_free(&self, start: u64, end: u64) -> bool {
+        !self.extents.iter().any(|e| e.base < end && start < e.end())
     }
 
-    /// Number of distinct lines ever written.
+    /// Whether any piecemeal hash-map line lies inside `[start, end)`.
+    fn has_resident_lines(&self, start: u64, end: u64) -> bool {
+        !self.lines.is_empty() && self.lines.keys().any(|&la| la >= start && la < end)
+    }
+
+    /// Removes and returns any piecemeal hash-map lines inside
+    /// `[start, end)`, as `(offset from start, line)` pairs.
+    fn take_resident_lines(&mut self, start: u64, end: u64) -> Vec<(usize, [u8; 64])> {
+        if self.lines.is_empty() {
+            return Vec::new();
+        }
+        let in_range: Vec<u64> = self
+            .lines
+            .keys()
+            .copied()
+            .filter(|&la| la >= start && la < end)
+            .collect();
+        in_range
+            .into_iter()
+            .map(|la| ((la - start) as usize, self.lines.remove(&la).unwrap()))
+            .collect()
+    }
+
+    fn insert_extent(&mut self, e: Extent) {
+        let at = self.extents.partition_point(|x| x.base < e.base);
+        self.extents.insert(at, e);
+    }
+
+    /// Copies a byte slice into memory at `base`.
+    ///
+    /// The bulk path for program-image installation: the line-aligned
+    /// span around `[base, base + bytes.len())` becomes one dense
+    /// `Extent` — a single allocation and `memcpy` — after absorbing
+    /// any hash-map lines already resident in that span. Installing a
+    /// multi-MiB data segment word by word used to cost more than
+    /// simulating the program that reads it. If the span overlaps an
+    /// existing extent the copy falls back to per-word writes, which
+    /// land in that extent; content is identical either way.
+    pub fn write_bytes(&mut self, base: u64, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let start = line_addr(base);
+        let end = line_addr(base + bytes.len() as u64 - 1) + LINE_BYTES;
+        if !self.span_free(start, end) {
+            let mut addr = base;
+            for chunk in bytes.chunks(8) {
+                let mut v = 0u64;
+                for (i, b) in chunk.iter().enumerate() {
+                    v |= (*b as u64) << (8 * i);
+                }
+                self.write(addr, v, chunk.len() as u64);
+                addr += chunk.len() as u64;
+            }
+            return;
+        }
+        let mut data = vec![0u8; (end - start) as usize];
+        for (off, line) in self.take_resident_lines(start, end) {
+            data[off..off + LINE_BYTES as usize].copy_from_slice(&line);
+        }
+        let off = (base - start) as usize;
+        data[off..off + bytes.len()].copy_from_slice(bytes);
+        self.insert_extent(Extent {
+            base: start,
+            len: data.len(),
+            data: ExtentData::Owned(data),
+        });
+    }
+
+    /// Installs a shared byte image at `base` without copying it: the
+    /// extent holds the `Arc` itself and materialises a private copy
+    /// only if the program ever stores into the span (reads — the
+    /// common case for workload data — stay zero-copy for the whole
+    /// run). Falls back to [`SparseMem::write_bytes`] when the span
+    /// already holds data; contents are identical either way.
+    pub fn write_bytes_shared(&mut self, base: u64, bytes: &Arc<[u8]>) {
+        if bytes.is_empty() {
+            return;
+        }
+        let start = line_addr(base);
+        let end = line_addr(base + bytes.len() as u64 - 1) + LINE_BYTES;
+        if !self.span_free(start, end) || self.has_resident_lines(start, end) {
+            // Rare install over live data: take the copying path, which
+            // absorbs resident lines and writes through extents.
+            self.write_bytes(base, bytes);
+            return;
+        }
+        self.insert_extent(Extent {
+            base: start,
+            len: (end - start) as usize,
+            data: ExtentData::Shared {
+                bytes: Arc::clone(bytes),
+                lead: (base - start) as usize,
+            },
+        });
+    }
+
+    /// Number of distinct resident lines (hash-map lines plus extent
+    /// lines, including an extent's line-alignment padding).
     pub fn resident_lines(&self) -> usize {
-        self.lines.len()
+        let extent_lines: usize = self
+            .extents
+            .iter()
+            .map(|e| e.len / LINE_BYTES as usize)
+            .sum();
+        self.lines.len() + extent_lines
     }
 }
 
@@ -129,7 +342,7 @@ mod tests {
     #[test]
     fn cross_line_access_works() {
         let mut m = SparseMem::new();
-        m.write(60, 0xaabb_ccdd_eeff_1122, 8); // straddles lines 0 and 64
+        m.write(60, 0xaabb_ccdd_eeff_1122, 8); // straddles lines 0 and 1
         assert_eq!(m.read(60, 8), 0xaabb_ccdd_eeff_1122);
         assert_eq!(m.resident_lines(), 2);
     }
@@ -139,6 +352,77 @@ mod tests {
         let mut m = SparseMem::new();
         m.write_bytes(0x200, &[1, 2, 3, 4]);
         assert_eq!(m.read(0x200, 4), 0x0403_0201);
+    }
+
+    #[test]
+    fn bulk_install_is_readable_and_writable() {
+        let mut m = SparseMem::new();
+        let img: Vec<u8> = (0..1024u32).map(|i| i as u8).collect();
+        m.write_bytes(0x1_0030, &img); // unaligned base: padded extent
+        for i in 0..1024u64 {
+            assert_eq!(m.read(0x1_0030 + i, 1), (i as u8) as u64, "byte {i}");
+        }
+        // Zero padding around the image, inside the aligned extent.
+        assert_eq!(m.read(0x1_0000, 8), 0);
+        // In-place update of extent-backed memory.
+        m.write(0x1_0030, 0xdead_beef, 4);
+        assert_eq!(m.read(0x1_0030, 4), 0xdead_beef);
+    }
+
+    #[test]
+    fn bulk_install_absorbs_prior_piecemeal_lines() {
+        let mut m = SparseMem::new();
+        m.write(0x2_0000, 0x55, 1); // line that the extent will cover
+        m.write(0x2_1000, 0x77, 1); // line outside the extent
+        m.write_bytes(0x2_0040, &[9, 9]);
+        assert_eq!(m.read(0x2_0000, 1), 0x55, "absorbed line keeps its data");
+        assert_eq!(m.read(0x2_0040, 2), 0x0909);
+        assert_eq!(m.read(0x2_1000, 1), 0x77);
+    }
+
+    #[test]
+    fn overlapping_bulk_installs_land_in_place() {
+        let mut m = SparseMem::new();
+        m.write_bytes(0x3_0000, &[1u8; 256]);
+        m.write_bytes(0x3_0080, &[2u8; 256]); // overlaps the first extent
+        assert_eq!(m.read(0x3_0000, 1), 1);
+        assert_eq!(m.read(0x3_0080, 1), 2);
+        assert_eq!(m.read(0x3_017f, 1), 2);
+    }
+
+    #[test]
+    fn shared_install_reads_through_and_cows_on_write() {
+        let img: Arc<[u8]> = (0..=255u8).collect::<Vec<u8>>().into();
+        let mut m = SparseMem::new();
+        m.write_bytes_shared(0x4_0010, &img); // unaligned: lead padding
+        assert_eq!(Arc::strong_count(&img), 2, "install must not copy");
+        assert_eq!(m.read(0x4_0000, 8), 0, "lead pad reads zero");
+        for i in 0..256u64 {
+            assert_eq!(m.read(0x4_0010 + i, 1), i, "byte {i}");
+        }
+        // Reads spanning the pad/image edge inside one line.
+        assert_eq!(m.read(0x4_000c, 8), 0x0302_0100_0000_0000);
+        // First store materialises a private copy; the source Arc and a
+        // sibling memory sharing the image are unaffected.
+        let sibling = m.clone();
+        m.write(0x4_0010, 0xff, 1);
+        assert_eq!(m.read(0x4_0010, 1), 0xff);
+        assert_eq!(m.read(0x4_0011, 1), 1, "neighbour byte survives CoW");
+        assert_eq!(sibling.read(0x4_0010, 1), 0, "sibling sees original");
+    }
+
+    #[test]
+    fn shared_install_over_resident_data_falls_back() {
+        let img: Arc<[u8]> = vec![7u8; 8].into();
+        let mut m = SparseMem::new();
+        m.write(0x5_0000, 0x9, 1); // same line as the image, before it
+        m.write_bytes_shared(0x5_0008, &img);
+        assert_eq!(m.read(0x5_0008, 1), 7);
+        assert_eq!(
+            m.read(0x5_0000, 1),
+            9,
+            "resident byte is absorbed, not lost"
+        );
     }
 
     #[test]

@@ -33,13 +33,17 @@ pub const FORMAT_VERSION: u64 = 1;
 /// image, and initial register state. The program's display name is
 /// excluded — renaming a kernel does not change what it simulates.
 pub fn program_sha(p: &Program) -> String {
+    use std::fmt::Write as _;
     let mut h = Sha256::new();
     h.update(&(p.insts.len() as u64).to_le_bytes());
+    let mut buf = String::new();
     for inst in &p.insts {
         // Inst has no public byte encoding; its derived Debug form is a
         // deterministic, field-complete rendering, so it hashes the full
         // instruction content.
-        h.update(format!("{inst:?}").as_bytes());
+        buf.clear();
+        write!(buf, "{inst:?}").expect("fmt to String");
+        h.update(buf.as_bytes());
         h.update(b"\n");
     }
     h.update(&(p.data.len() as u64).to_le_bytes());
@@ -71,10 +75,15 @@ pub fn job_descriptor(
         .set("threads", unit.threads())
         .set(
             "programs",
+            // The per-unit memo: programs are immutable after a unit is
+            // built (clones reset the slot), and one unit is
+            // fingerprinted once per scheme column, so the multi-MiB
+            // image hash is computed once, not once per job.
             Json::Array(
-                unit.programs
+                unit.program_shas
+                    .get_or_init(|| unit.programs.iter().map(program_sha).collect())
                     .iter()
-                    .map(|p| program_sha(p).into())
+                    .map(|s| s.clone().into())
                     .collect(),
             ),
         )
@@ -86,6 +95,23 @@ pub fn job_descriptor(
 
 /// The fingerprint: 64 lowercase hex characters addressing one job's
 /// result in the store.
+///
+/// ```
+/// use ghostminion::{Scheme, SystemConfig};
+/// use gm_results::job_fingerprint;
+/// use gm_workloads::{Scale, Suite, WorkloadSet};
+///
+/// let mut set = WorkloadSet::new(Suite::Spec2006, Scale::Test);
+/// set.retain_names(&["gamess"]);
+/// let unit = &set.units[0];
+/// let cfg = SystemConfig::micro2021();
+///
+/// let fp = job_fingerprint(unit, &Scheme::ghost_minion(), Scale::Test, &cfg);
+/// assert_eq!(fp.len(), 64);
+/// // Same job, same address; any axis change misses the cache.
+/// assert_eq!(fp, job_fingerprint(unit, &Scheme::ghost_minion(), Scale::Test, &cfg));
+/// assert_ne!(fp, job_fingerprint(unit, &Scheme::unsafe_baseline(), Scale::Test, &cfg));
+/// ```
 pub fn job_fingerprint(
     unit: &WorkloadUnit,
     scheme: &Scheme,

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Persistent, shardable experiment results for the GhostMinion
 //! reproduction.
 //!

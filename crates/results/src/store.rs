@@ -69,6 +69,25 @@ pub struct GcStats {
 }
 
 /// A directory of per-experiment JSON-lines result files.
+///
+/// ```
+/// use gm_results::ResultStore;
+/// use gm_stats::Json;
+///
+/// let dir = std::env::temp_dir().join(format!("gm-store-doc-{}", std::process::id()));
+/// let store = ResultStore::open(&dir)?;
+///
+/// let mut record = Json::object();
+/// record.set("fingerprint", "a".repeat(64)).set("cycles", 42u64);
+/// store.append("fig6", &record)?;
+///
+/// // Later (or concurrently-crashed) runs resume from what survived.
+/// let shard = store.load("fig6")?;
+/// assert_eq!(shard.records.len(), 1);
+/// assert!(!shard.needs_compaction());
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
 #[derive(Debug)]
 pub struct ResultStore {
     dir: PathBuf,

@@ -13,10 +13,15 @@
 /// Predictor geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BpredConfig {
+    /// Entries in the local (per-PC) history predictor table.
     pub local_entries: usize,
+    /// Entries in the global-history predictor table.
     pub global_entries: usize,
+    /// Entries in the tournament choice (meta) predictor table.
     pub choice_entries: usize,
+    /// Branch target buffer entries.
     pub btb_entries: usize,
+    /// Return address stack depth.
     pub ras_entries: usize,
 }
 
@@ -36,6 +41,7 @@ impl Default for BpredConfig {
 /// A direction prediction plus the state needed to repair and train later.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Prediction {
+    /// Predicted direction.
     pub taken: bool,
     /// Global history register value *before* this prediction was shifted
     /// in; restored on squash.
@@ -45,7 +51,9 @@ pub struct Prediction {
 /// Everything the predictor needs to learn from a resolved branch.
 #[derive(Clone, Copy, Debug)]
 pub struct BranchUpdate {
+    /// Program counter of the resolved branch.
     pub pc: u64,
+    /// Actual direction the branch took.
     pub taken: bool,
     /// Global history the branch was predicted under.
     pub ghist_before: u64,

@@ -100,13 +100,21 @@ pub struct TickOutcome {
 /// Aggregate per-core statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoreStats {
+    /// Cycles this core has ticked (including replayed quiescent ones).
     pub cycles: u64,
+    /// Instructions committed.
     pub committed: u64,
+    /// Instructions fetched (including later-squashed wrong path).
     pub fetched: u64,
+    /// Instructions squashed by misprediction recovery.
     pub squashed: u64,
+    /// Branch mispredictions taken.
     pub mispredicts: u64,
+    /// Loads committed.
     pub loads_committed: u64,
+    /// Stores committed.
     pub stores_committed: u64,
+    /// Loads satisfied by store-queue forwarding.
     pub load_forwards: u64,
     /// Loads delayed by the STT taint gate.
     pub stt_delays: u64,
@@ -174,8 +182,6 @@ pub struct Core {
     scratch_visit: Vec<u64>,
     /// Reusable list of seqs issued this cycle (no per-cycle allocation).
     scratch_issued: Vec<u64>,
-    /// Reusable LSQ candidate buffer (no per-cycle allocation).
-    scratch_candidates: Vec<u64>,
     /// Loads currently in [`LoadState::Ready`] — the LSQ send stage and
     /// `next_wake` scan the LQ only when this is non-zero, so a queue
     /// full of in-flight loads costs nothing per cycle. Maintained at
@@ -196,10 +202,14 @@ pub struct Core {
     /// lockstep reference loops so the oracle really re-runs every
     /// stage every cycle.
     tick_memo: bool,
-    /// STT-gated loads counted this tick; replayed per skipped cycle.
-    idle_stt_delays: u64,
     /// Strictness-blocked non-pipelined ops counted this tick.
     idle_strict_fu_delays: u64,
+    /// Seqs of STT-parked loads (see [`LoadEntry::parked`]), sorted
+    /// ascending. Because visibility is monotone in age — an older load
+    /// has a subset of a younger load's possible blockers — the visible
+    /// parked loads are always a prefix, so the unpark check is O(1) per
+    /// stage run until something actually unparks.
+    parked_seqs: Vec<u64>,
 }
 
 impl Core {
@@ -248,13 +258,12 @@ impl Core {
             scratch_woken: Vec::new(),
             scratch_visit: Vec::with_capacity(cfg.iq_entries),
             scratch_issued: Vec::with_capacity(cfg.issue_width),
-            scratch_candidates: Vec::new(),
             lq_ready: 0,
             tick_progress: false,
             quiet_until: 0,
             tick_memo: true,
-            idle_stt_delays: 0,
             idle_strict_fu_delays: 0,
+            parked_seqs: Vec::new(),
             cfg,
             id,
             program,
@@ -265,15 +274,7 @@ impl Core {
     /// functional memory. Call once before the first tick.
     pub fn install_program_data(&self, mem: &mut dyn MemoryBackend) {
         for seg in &self.program.data {
-            let mut addr = seg.base;
-            for chunk in seg.bytes.chunks(8) {
-                let mut v = 0u64;
-                for (i, b) in chunk.iter().enumerate() {
-                    v |= (*b as u64) << (8 * i);
-                }
-                mem.write_value(addr, v, chunk.len() as u64);
-                addr += chunk.len() as u64;
-            }
+            mem.write_bytes_shared(seg.base, &seg.bytes);
         }
     }
 
@@ -356,7 +357,6 @@ impl Core {
             // stall counters (exactly what re-running the stages would
             // count) and return the cached outcome.
             self.stats.cycles = now + 1;
-            self.stats.stt_delays += self.idle_stt_delays;
             self.stats.strict_fu_delays += self.idle_strict_fu_delays;
             return TickOutcome {
                 progress: false,
@@ -365,7 +365,6 @@ impl Core {
         }
         self.quiet_until = 0;
         self.tick_progress = false;
-        self.idle_stt_delays = 0;
         self.idle_strict_fu_delays = 0;
         self.stats.cycles = now + 1;
         self.fu.new_cycle();
@@ -444,8 +443,10 @@ impl Core {
 
     /// Replays the per-cycle stall counters for `cycles` elided
     /// quiescent cycles, so skipping is invisible in the statistics.
+    /// (STT delays need no replay: parked loads settle their whole
+    /// waiting interval in one lazy addition — see
+    /// `LoadEntry::parked`.)
     pub fn account_idle_cycles(&mut self, cycles: u64) {
-        self.stats.stt_delays += self.idle_stt_delays * cycles;
         self.stats.strict_fu_delays += self.idle_strict_fu_delays * cycles;
     }
 
@@ -632,11 +633,22 @@ impl Core {
             .truncate(self.ready_seqs.partition_point(|&s| s <= seq));
         self.nonpipe_seqs
             .truncate(self.nonpipe_seqs.partition_point(|&s| s <= seq));
+        // Squashed parked loads settle their STT delay now: the per-cycle
+        // gate would have counted them every cycle up to (but excluding)
+        // this one — the squash removes them before this cycle's LSQ scan.
+        while let Some(&s) = self.parked_seqs.last() {
+            if s <= seq {
+                break;
+            }
+            self.parked_seqs.pop();
+            let le = self.lq.get(s).expect("parked load still queued");
+            self.stats.stt_delays += (now - le.parked_since) - le.park_deficit;
+        }
         self.lq.squash_above(seq);
         self.lq_ready = self
             .lq
             .iter()
-            .filter(|le| le.state == LoadState::Ready)
+            .filter(|le| le.state == LoadState::Ready && !le.parked)
             .count();
         self.sq.squash_above(seq);
         self.fetch_queue.clear();
@@ -759,10 +771,11 @@ impl Core {
                 self.last_committed_iline = fetch_line;
             }
 
-            let head = self.rob.pop_head().expect("present");
+            let head = self.rob.head().expect("present");
             if let (Some(rd), Some(old)) = (head.inst.dest(), head.old_phys_rd) {
                 self.regs.release(rd, old);
             }
+            self.rob.drop_head();
             self.stats.committed += 1;
             self.last_commit_cycle = now;
             if self.halted {
@@ -990,11 +1003,20 @@ impl Core {
     // ---- LSQ: send ready loads to memory ----
 
     fn lsq_tick(&mut self, mem: &mut dyn MemoryBackend, now: u64) {
+        // Unpark STT loads whose visibility point arrived. The event that
+        // makes a parked load visible (an older branch or memory access
+        // resolving) is always processed by this core's own writeback or
+        // commit stage earlier in this very tick, so checking here — after
+        // those stages, before the send scan — re-admits the load on
+        // exactly the cycle the per-cycle gate would have passed it.
+        if !self.parked_seqs.is_empty() {
+            self.unpark_visible(now);
+        }
         debug_assert_eq!(
             self.lq_ready,
             self.lq
                 .iter()
-                .filter(|le| le.state == LoadState::Ready)
+                .filter(|le| le.state == LoadState::Ready && !le.parked)
                 .count(),
             "lq_ready drifted from the queue"
         );
@@ -1002,37 +1024,39 @@ impl Core {
             return; // nothing to send; don't scan the queue
         }
         let mut sent = 0;
+        let mut last_send_seq = 0;
         let taint_mode = self.cfg.taint_mode;
 
-        // Collect candidate *positions* into the reusable scratch buffer
-        // (taken so the LQ borrow ends before the loop mutates `self`).
-        // The queue's membership cannot change inside this stage, so a
-        // position stays a direct O(1) handle — no per-candidate
-        // binary search, which blocked (STT-gated, store-blocked) loads
-        // used to pay every cycle.
-        let mut candidates = std::mem::take(&mut self.scratch_candidates);
-        candidates.clear();
-        candidates.extend(
-            self.lq
-                .iter()
-                .enumerate()
-                .filter(|(_, le)| {
-                    le.state == LoadState::Ready && le.retry_at <= now && le.blocked_on.is_none()
-                })
-                .map(|(i, _)| i as u64),
-        );
-
-        for &li in &candidates {
+        // One fused pass over the queue, oldest-first, stopping as soon
+        // as both memory ports are claimed. Processing a position only
+        // ever mutates *that* entry (a leapfrog cancellation triggered
+        // by `mem.load` is queued in the backend and drained next tick),
+        // so each entry's eligibility when visited is exactly what a
+        // collect-then-process pass would have seen — same visitation
+        // order, same port cutoff, bit-identical — without filling a
+        // candidate list the port limit would discard.
+        for li in 0..self.lq.len() {
             if sent >= MEM_PORTS {
                 break;
             }
-            let li = li as usize;
             let le = *self.lq.at(li);
+            if le.state != LoadState::Ready
+                || le.parked
+                || le.retry_at > now
+                || le.blocked_on.is_some()
+            {
+                continue;
+            }
             let seq = le.seq;
             let addr = le.addr.expect("Ready implies resolved address");
 
             // STT gate: tainted-address loads wait for their visibility
-            // point.
+            // point. An invisible load parks — it leaves the candidate set
+            // until `unpark_visible` re-admits it, and its delay counter
+            // is settled in one addition then. (Visibility is monotone:
+            // blockers of this load only ever resolve or squash — younger
+            // instructions can't be its blockers — so a load that passes
+            // the gate once passes it forever and parks at most once.)
             if let Some(mode) = taint_mode {
                 if le.addr_tainted {
                     let visible = match mode {
@@ -1042,8 +1066,13 @@ impl Core {
                         }
                     };
                     if !visible {
-                        self.stats.stt_delays += 1;
-                        self.idle_stt_delays += 1;
+                        let e = self.lq.at_mut(li);
+                        e.parked = true;
+                        e.parked_since = now;
+                        e.park_deficit = 0;
+                        self.lq_ready -= 1;
+                        let pos = self.parked_seqs.partition_point(|&s| s < seq);
+                        self.parked_seqs.insert(pos, seq);
                         continue;
                     }
                 }
@@ -1107,18 +1136,71 @@ impl Core {
                             self.events
                                 .push(Reverse((at.max(now + 1), seq, EV_LOAD, ticket)));
                             sent += 1;
+                            last_send_seq = seq;
                         }
                         LoadResp::Retry { at } => {
                             let le = self.lq.at_mut(li);
                             le.retry_at = at.max(now + 1);
                             self.stats.load_retries += 1;
                             sent += 1;
+                            last_send_seq = seq;
                         }
                     }
                 }
             }
         }
-        self.scratch_candidates = candidates;
+        // Port-pressure correction for the lazy STT accounting: when both
+        // memory ports were claimed, the per-cycle gate never reached any
+        // load younger than the last sender this cycle, so it would not
+        // have counted a delay for it. Parked loads in that shadow accrue
+        // a deficit that the settle subtracts. (A load that parked *this*
+        // cycle was necessarily visited before the final send, so its seq
+        // is older and it correctly takes no deficit.)
+        if sent >= MEM_PORTS && !self.parked_seqs.is_empty() {
+            let from = self.parked_seqs.partition_point(|&s| s <= last_send_seq);
+            for i in from..self.parked_seqs.len() {
+                let seq = self.parked_seqs[i];
+                self.lq
+                    .get_mut(seq)
+                    .expect("parked load is live")
+                    .park_deficit += 1;
+            }
+        }
+    }
+
+    /// Re-admits parked STT loads whose visibility point has arrived,
+    /// settling each one's delay statistic for the whole parked interval
+    /// in a single addition — bit-identical to counting one delay per
+    /// cycle the per-cycle gate would have counted. Because visibility is
+    /// monotone in age, the visible parked loads form a prefix of the
+    /// sorted list; the common no-unpark case is a single comparison.
+    fn unpark_visible(&mut self, now: u64) {
+        let mode = self
+            .cfg
+            .taint_mode
+            .expect("parked loads exist only under STT");
+        let mut unparked = 0;
+        for i in 0..self.parked_seqs.len() {
+            let seq = self.parked_seqs[i];
+            let visible = match mode {
+                TaintMode::Spectre => !self.older_unresolved_branch(seq),
+                TaintMode::Future => {
+                    !self.older_unresolved_branch(seq) && !self.older_pending_mem(seq)
+                }
+            };
+            if !visible {
+                break;
+            }
+            let le = self.lq.get_mut(seq).expect("parked load is live");
+            le.parked = false;
+            self.stats.stt_delays += (now - le.parked_since) - le.park_deficit;
+            le.park_deficit = 0;
+            self.lq_ready += 1;
+            unparked += 1;
+        }
+        if unparked > 0 {
+            self.parked_seqs.drain(..unparked);
+        }
     }
 
     // ---- rename/dispatch ----

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! A cycle-level out-of-order core model — the gem5 O3 stand-in the
 //! GhostMinion reproduction runs on.
 //!

@@ -192,6 +192,20 @@ pub struct LoadEntry {
     /// cycle. Always an *older* store, so a squash that keeps the load
     /// keeps the blocker.
     pub blocked_on: Option<u64>,
+    /// STT: the load failed its visibility check and is parked until the
+    /// last older unresolved branch (and, under `TaintMode::Future`,
+    /// memory access) resolves. Parked loads leave the LSQ send stage
+    /// entirely; the engine settles their delay statistics lazily when
+    /// they unpark (or are squashed), so nothing re-checks them per
+    /// cycle.
+    pub parked: bool,
+    /// Cycle at which the load parked (meaningful only while `parked`).
+    pub parked_since: u64,
+    /// Cycles within the parked interval that the per-cycle engine would
+    /// *not* have counted as an STT delay because both memory ports were
+    /// claimed by older loads before the scan reached this one. Subtracted
+    /// at settle time so the lazy accounting is bit-identical.
+    pub park_deficit: u64,
 }
 
 /// The load queue.
@@ -235,6 +249,9 @@ impl LoadQueue {
             forwarded: false,
             addr_tainted: false,
             blocked_on: None,
+            parked: false,
+            parked_since: 0,
+            park_deficit: 0,
         });
     }
 

@@ -49,6 +49,7 @@ pub struct MemReq {
     /// `true` while the instruction may still be squashed. Commit-time
     /// requests pass `false` and must never touch speculative structures.
     pub speculative: bool,
+    /// What kind of access this is.
     pub kind: AccessKind,
 }
 
@@ -61,13 +62,20 @@ pub enum LoadResp {
     /// core-local speculative structure (it may not be, e.g. a
     /// TimeGuarded GhostMinion fill that found no legal slot, §4.4).
     Done {
+        /// Cycle at which the data becomes usable.
         at: u64,
+        /// Handle for a later leapfrog cancellation.
         ticket: Ticket,
+        /// Whether the data was retained in a core-local speculative
+        /// structure.
         filled_locally: bool,
     },
     /// No resources (e.g. all MSHRs held by requests this one must not
     /// displace); retry no earlier than `at`.
-    Retry { at: u64 },
+    Retry {
+        /// Earliest cycle at which the core should retry.
+        at: u64,
+    },
 }
 
 impl LoadResp {
@@ -131,6 +139,35 @@ pub trait MemoryBackend {
     /// Functional write with no timing side effects (used to set up
     /// initial program data).
     fn write_value(&mut self, addr: u64, value: u64, size: u64);
+
+    /// Bulk functional write of a whole byte slice (program-image
+    /// installation). Semantically identical to a loop of
+    /// [`write_value`](Self::write_value) calls — the default *is* that
+    /// loop — but backends with a line-granular functional memory
+    /// should override it: installing a multi-MiB data segment word by
+    /// word through dynamic dispatch costs more than simulating the
+    /// program that uses it.
+    fn write_bytes(&mut self, base: u64, bytes: &[u8]) {
+        let mut addr = base;
+        for chunk in bytes.chunks(8) {
+            let mut v = 0u64;
+            for (i, b) in chunk.iter().enumerate() {
+                v |= (*b as u64) << (8 * i);
+            }
+            self.write_value(addr, v, chunk.len() as u64);
+            addr += chunk.len() as u64;
+        }
+    }
+
+    /// Like [`write_bytes`](Self::write_bytes), but the image arrives
+    /// as a shared reference-counted slice. Backends whose functional
+    /// memory can alias it (copy-on-write) should override this to
+    /// install the `Arc` itself — program images are the bulk of a
+    /// machine's construction cost, and most workloads never store
+    /// into them. The default copies.
+    fn write_bytes_shared(&mut self, base: u64, bytes: &std::sync::Arc<[u8]>) {
+        self.write_bytes(base, bytes);
+    }
 
     /// Sets a load-linked reservation for `core` on `addr`'s line,
     /// tagged with the LL's sequence number.

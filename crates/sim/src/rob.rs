@@ -28,7 +28,9 @@ pub struct RobEntry {
     pub seq: u64,
     /// Instruction index in the program.
     pub pc: u64,
+    /// The decoded instruction.
     pub inst: Inst,
+    /// Pipeline progress of this entry.
     pub status: RobStatus,
     /// New physical destination, if any.
     pub phys_rd: Option<PhysReg>,
@@ -108,6 +110,11 @@ impl RobEntry {
 #[derive(Clone, Debug)]
 pub struct Rob {
     entries: VecDeque<RobEntry>,
+    /// The entries' seqs, mirrored densely: `seqs[i] == entries[i].seq`.
+    /// Seq lookups binary-search this deque instead of `entries` — the
+    /// whole window is a handful of cache lines, versus one line per
+    /// probed ~200-byte entry.
+    seqs: VecDeque<u64>,
     capacity: usize,
     /// Seqs of control-flow entries whose status is not yet `Done`.
     unresolved_ctrl: Vec<u64>,
@@ -130,6 +137,7 @@ impl Rob {
         assert!(capacity > 0, "ROB needs at least one entry");
         Self {
             entries: VecDeque::with_capacity(capacity),
+            seqs: VecDeque::with_capacity(capacity),
             capacity,
             unresolved_ctrl: Vec::new(),
             unresolved_mem: Vec::new(),
@@ -172,6 +180,7 @@ impl Rob {
         if inst.op == Op::Fence {
             self.fences.push(seq);
         }
+        self.seqs.push_back(seq);
         self.entries
             .push_back(RobEntry::new(seq, pc, inst, fetch_line));
         self.entries.back_mut().expect("just pushed")
@@ -188,7 +197,18 @@ impl Rob {
     }
 
     fn index_of(&self, seq: u64) -> Option<usize> {
-        self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
+        // Seqs are allocated consecutively, so `seq - front` is the
+        // exact index unless a squash gap sits in between — check that
+        // guess first and fall back to binary search over the dense
+        // mirror only when a gap (or absence) disproves it.
+        let &front = self.seqs.front()?;
+        if let Some(guess) = seq.checked_sub(front) {
+            let guess = guess as usize;
+            if guess < self.seqs.len() && self.seqs[guess] == seq {
+                return Some(guess);
+            }
+        }
+        self.seqs.binary_search(&seq).ok()
     }
 
     /// Position of the entry with sequence `seq`, for repeated O(1)
@@ -238,19 +258,38 @@ impl Rob {
 
     /// Removes and returns the oldest entry (commit).
     pub fn pop_head(&mut self) -> Option<RobEntry> {
-        let head = self.entries.pop_front()?;
-        // A committing entry is `Done`, so the ctrl/mem lists were
-        // already pruned by `set_done`; fences stay watched until here.
-        if head.inst.op.is_ctrl() {
-            unwatch(&mut self.unresolved_ctrl, head.seq);
+        self.unwatch_head()?;
+        self.seqs.pop_front();
+        self.entries.pop_front()
+    }
+
+    /// Removes the oldest entry without moving it out — the cheap commit
+    /// path for callers that already read what they need from
+    /// [`Rob::head`] (a `RobEntry` is a couple of hundred bytes; the
+    /// copy [`Rob::pop_head`] returns is pure memcpy traffic when it is
+    /// immediately dropped).
+    pub fn drop_head(&mut self) {
+        self.unwatch_head().expect("drop_head on an empty ROB");
+        self.seqs.pop_front();
+        self.entries.pop_front();
+    }
+
+    /// Releases the head from the ordering watch lists it is still on.
+    /// A committing entry is `Done`, so the ctrl/mem lists were already
+    /// pruned by `set_done`; fences stay watched until here.
+    fn unwatch_head(&mut self) -> Option<()> {
+        let head = self.entries.front()?;
+        let (seq, op) = (head.seq, head.inst.op);
+        if op.is_ctrl() {
+            unwatch(&mut self.unresolved_ctrl, seq);
         }
-        if head.inst.op.is_mem() {
-            unwatch(&mut self.unresolved_mem, head.seq);
+        if op.is_mem() {
+            unwatch(&mut self.unresolved_mem, seq);
         }
-        if head.inst.op == Op::Fence {
-            unwatch(&mut self.fences, head.seq);
+        if op == Op::Fence {
+            unwatch(&mut self.fences, seq);
         }
-        Some(head)
+        Some(())
     }
 
     /// Marks `seq` as executed: sets its status to [`RobStatus::Done`]
@@ -279,6 +318,7 @@ impl Rob {
         let mut n = 0;
         while self.entries.back().is_some_and(|e| e.seq > above) {
             let e = self.entries.pop_back().expect("checked non-empty");
+            self.seqs.pop_back();
             on_squash(&e);
             n += 1;
         }

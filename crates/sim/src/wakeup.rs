@@ -20,44 +20,128 @@
 //!   gone from the IQ; waiters squashed while their *surviving*
 //!   producer is still in flight are dropped lazily when that producer
 //!   writes back (the drained seq no longer resolves in the IQ).
+//!
+//! # Storage: one arena, not one `Vec` per register
+//!
+//! The table used to be `Vec<Vec<u64>>` — 512 independent heap
+//! allocations per core (Table 1 has 256+256 physical registers), each
+//! with its own 24-byte header and allocator slack, multiplied by every
+//! core in a many-core sweep. It is now a single arena of singly-linked
+//! nodes shared by *all* registers of the core: a flat `heads`/`tails`
+//! index pair per register (8 bytes) plus one growable node pool with an
+//! intrusive free list. Watch/drain/clear are O(1)/O(waiters) exactly as
+//! before, nodes are recycled without ever returning memory to the
+//! allocator, and the whole table is two allocations regardless of
+//! register count — so wide sweeps stop paying per-register table
+//! memory.
 
 use crate::regfile::PhysReg;
 
+/// Sentinel index marking an empty list / the end of the free list.
+const NIL: u32 = u32::MAX;
+
+/// One waiter record in the arena: the waiting IQ entry's sequence
+/// number and the next record on the same register's list.
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    seq: u64,
+    next: u32,
+}
+
 /// Per-physical-register lists of IQ entries (by sequence number)
-/// waiting for that register's value.
+/// waiting for that register's value, backed by one shared node arena.
 #[derive(Clone, Debug)]
 pub struct WakeupTable {
-    waiters: Vec<Vec<u64>>,
+    /// First waiter node per register (`NIL` = no waiters).
+    heads: Vec<u32>,
+    /// Last waiter node per register, for O(1) FIFO append.
+    tails: Vec<u32>,
+    /// The shared node pool. Freed nodes are threaded onto `free` and
+    /// recycled; the pool grows only when more waiters are simultaneously
+    /// live than ever before (bounded by two source operands per IQ
+    /// entry plus lazily-dropped squashed waiters).
+    nodes: Vec<Node>,
+    /// Head of the free list inside `nodes` (`NIL` = pool exhausted).
+    free: u32,
 }
 
 impl WakeupTable {
     /// A table covering `phys_regs` physical registers, all lists empty.
     pub fn new(phys_regs: usize) -> Self {
         Self {
-            waiters: vec![Vec::new(); phys_regs],
+            heads: vec![NIL; phys_regs],
+            tails: vec![NIL; phys_regs],
+            nodes: Vec::new(),
+            free: NIL,
+        }
+    }
+
+    /// Takes a node off the free list, or grows the pool.
+    fn alloc(&mut self, seq: u64) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.nodes[idx as usize];
+            self.free = node.next;
+            node.seq = seq;
+            node.next = NIL;
+            idx
+        } else {
+            let idx = u32::try_from(self.nodes.len()).expect("wakeup arena index fits in u32");
+            self.nodes.push(Node { seq, next: NIL });
+            idx
         }
     }
 
     /// Registers `seq` as waiting on `p`.
     pub fn watch(&mut self, p: PhysReg, seq: u64) {
-        self.waiters[p.0 as usize].push(seq);
+        let idx = self.alloc(seq);
+        let r = p.0 as usize;
+        if self.heads[r] == NIL {
+            self.heads[r] = idx;
+        } else {
+            self.nodes[self.tails[r] as usize].next = idx;
+        }
+        self.tails[r] = idx;
     }
 
     /// Whether no entry is waiting on `p`.
     pub fn is_empty(&self, p: PhysReg) -> bool {
-        self.waiters[p.0 as usize].is_empty()
+        self.heads[p.0 as usize] == NIL
     }
 
-    /// Moves `p`'s waiters into `into` (appending), leaving the list
-    /// empty but with its capacity retained for reuse.
+    /// Detaches `p`'s list, returning its head (the register ends up
+    /// empty). The caller walks/frees the chain.
+    fn take(&mut self, p: PhysReg) -> u32 {
+        let r = p.0 as usize;
+        let head = self.heads[r];
+        self.heads[r] = NIL;
+        self.tails[r] = NIL;
+        head
+    }
+
+    /// Moves `p`'s waiters into `into` (appending, in watch order),
+    /// leaving the list empty and recycling the nodes.
     pub fn drain_into(&mut self, p: PhysReg, into: &mut Vec<u64>) {
-        into.append(&mut self.waiters[p.0 as usize]);
+        let mut cur = self.take(p);
+        while cur != NIL {
+            let node = self.nodes[cur as usize];
+            into.push(node.seq);
+            self.nodes[cur as usize].next = self.free;
+            self.free = cur;
+            cur = node.next;
+        }
     }
 
     /// Drops every waiter of `p` (squash recovery: the register was
     /// unrenamed, so all of its waiters were squashed with it).
     pub fn clear(&mut self, p: PhysReg) {
-        self.waiters[p.0 as usize].clear();
+        let mut cur = self.take(p);
+        while cur != NIL {
+            let next = self.nodes[cur as usize].next;
+            self.nodes[cur as usize].next = self.free;
+            self.free = cur;
+            cur = next;
+        }
     }
 }
 
@@ -98,5 +182,56 @@ mod tests {
         let mut out = vec![99];
         w.drain_into(PhysReg(0), &mut out);
         assert_eq!(out, vec![99, 1]);
+    }
+
+    #[test]
+    fn arena_recycles_nodes_instead_of_growing() {
+        let mut w = WakeupTable::new(8);
+        let mut out = Vec::new();
+        for round in 0..100u64 {
+            for r in 0..8u16 {
+                w.watch(PhysReg(r), round * 8 + u64::from(r));
+            }
+            for r in 0..8u16 {
+                out.clear();
+                w.drain_into(PhysReg(r), &mut out);
+                assert_eq!(out, vec![round * 8 + u64::from(r)]);
+            }
+        }
+        // 100 rounds of 8 concurrent waiters never need more than 8 nodes.
+        assert_eq!(w.nodes.len(), 8, "freed nodes must be recycled");
+    }
+
+    #[test]
+    fn interleaved_lists_stay_disjoint() {
+        let mut w = WakeupTable::new(4);
+        // Interleave watches across registers so the chains interleave in
+        // the arena, then check each register drains exactly its own.
+        for i in 0..12u64 {
+            w.watch(PhysReg((i % 4) as u16), i);
+        }
+        for r in 0..4u16 {
+            let mut out = Vec::new();
+            w.drain_into(PhysReg(r), &mut out);
+            let expect: Vec<u64> = (0..12).filter(|i| i % 4 == u64::from(r)).collect();
+            assert_eq!(out, expect, "register {r} drains its own watch order");
+        }
+    }
+
+    #[test]
+    fn clear_then_watch_reuses_freed_chain() {
+        let mut w = WakeupTable::new(2);
+        for i in 0..5 {
+            w.watch(PhysReg(0), i);
+        }
+        let grown = w.nodes.len();
+        w.clear(PhysReg(0));
+        for i in 10..15 {
+            w.watch(PhysReg(1), i);
+        }
+        assert_eq!(w.nodes.len(), grown, "cleared nodes feed later watches");
+        let mut out = Vec::new();
+        w.drain_into(PhysReg(1), &mut out);
+        assert_eq!(out, vec![10, 11, 12, 13, 14]);
     }
 }

@@ -112,10 +112,19 @@ impl Suite {
 /// This is the common shape behind single-threaded [`Workload`]s (one
 /// program) and 4-thread [`ParsecWorkload`]s (four programs), so a
 /// single sweep loop can run either.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct WorkloadUnit {
     pub name: &'static str,
     pub programs: Vec<Program>,
+    /// Memo slot for this unit's per-program content digests
+    /// (`gm-results` fills it on first fingerprint). One unit is
+    /// fingerprinted once per scheme column — seven and more times per
+    /// sweep — and its programs never change after construction, so
+    /// hashing a multi-MiB image once per *unit* instead of once per
+    /// *job* is pure saving. The manual [`Clone`] below resets the slot:
+    /// a clone's programs can be edited freely (tests do) and its first
+    /// fingerprint recomputes from its own content.
+    pub program_shas: std::sync::OnceLock<Vec<String>>,
 }
 
 impl WorkloadUnit {
@@ -125,11 +134,25 @@ impl WorkloadUnit {
     }
 }
 
+impl Clone for WorkloadUnit {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name,
+            programs: self.programs.clone(),
+            // Deliberately NOT cloned: stale digests on a subsequently
+            // mutated clone would silently alias two different jobs in
+            // the result store.
+            program_shas: std::sync::OnceLock::new(),
+        }
+    }
+}
+
 impl From<Workload> for WorkloadUnit {
     fn from(w: Workload) -> Self {
         Self {
             name: w.name,
             programs: vec![w.program],
+            program_shas: std::sync::OnceLock::new(),
         }
     }
 }
@@ -139,6 +162,7 @@ impl From<ParsecWorkload> for WorkloadUnit {
         Self {
             name: w.name,
             programs: w.thread_programs,
+            program_shas: std::sync::OnceLock::new(),
         }
     }
 }
