@@ -1,0 +1,29 @@
+//! Captures the compiler version and target triple at build time so
+//! `gm-run bench` can stamp them into snapshot JSON headers. A perf
+//! baseline is only comparable to a fresh run from the same compiler
+//! on the same machine; recording both lets `bench --check` warn when
+//! a comparison crosses that line instead of failing mysteriously.
+
+use std::env;
+use std::process::Command;
+
+fn main() {
+    // Cargo sets RUSTC to the exact compiler driving this build.
+    let rustc = env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=GM_RUSTC_VERSION={version}");
+
+    let target = env::var("TARGET").unwrap_or_else(|_| "unknown".into());
+    println!("cargo:rustc-env=GM_HOST_TRIPLE={target}");
+
+    // Re-run only when the toolchain changes, not on every source edit.
+    println!("cargo:rerun-if-env-changed=RUSTC");
+    println!("cargo:rerun-if-env-changed=TARGET");
+}

@@ -425,20 +425,28 @@ pub fn gm_run_main() {
 
 fn bench_usage() -> String {
     "usage: gm-run bench [--scale <test|bench|full>] [--jobs <N>] \
-     [--filter <SUBSTR>] [--json <PATH>] [--check <BASELINE.json>]\n\
+     [--filter <SUBSTR>] [--workloads <a,b,...>] [--json <PATH>] \
+     [--check <BASELINE.json>] [--profile]\n\
      \n\
      Runs every selected sweep experiment cold (no result store), measures\n\
      total simulation wall-clock and simulated-cycles-per-second engine\n\
      throughput, and writes the snapshot to --json (default:\n\
      BENCH_engine.json). Re-run after engine changes to extend the repo's\n\
-     perf trajectory; see README \"Performance\".\n\
+     perf trajectory; see README \"Performance\". The snapshot records the\n\
+     rustc version and host triple that produced it.\n\
      \n\
      --check compares the fresh run against a committed baseline snapshot\n\
      and exits non-zero if any experiment's (or the total) mcycles_per_s\n\
      dropped by more than 25% — the CI perf-regression gate. With --check\n\
      the snapshot defaults to BENCH_fresh.json (never the baseline path,\n\
      which --json may not name either). Compare runs from the same runner\n\
-     class; absolute throughput is machine-specific.\n"
+     class; absolute throughput is machine-specific, and a rustc/host\n\
+     mismatch against the baseline is reported as a warning.\n\
+     \n\
+     --profile (needs a build with --features stage-prof) prints a\n\
+     per-stage run/skip/wall-time table to stderr after each experiment\n\
+     and embeds it in the snapshot as stage_profile. Profiling builds\n\
+     pay for the counters — never record a baseline from one.\n"
         .to_owned()
 }
 
@@ -578,6 +586,23 @@ fn bench_check(fresh: &Json, baseline: &Json) -> Result<BenchCheck, String> {
     let mut report = Vec::new();
     let mut regressions = Vec::new();
     let mut matched = 0usize;
+    // Provenance check: throughput snapshots are only directly
+    // comparable when compiler and machine match. Calibration absorbs
+    // *speed* differences, not codegen differences, so mismatches warn
+    // (they don't fail — CI runners legitimately roll toolchains).
+    for key in ["rustc", "host"] {
+        let f = fresh.get(key).and_then(Json::as_str);
+        let b = baseline.get(key).and_then(Json::as_str);
+        if let (Some(f), Some(b)) = (f, b) {
+            if f != b {
+                report.push(format!(
+                    "warning: {key} differs (baseline {b:?}, fresh {f:?}); \
+                     the comparison crosses toolchains/machines and is only \
+                     indicative"
+                ));
+            }
+        }
+    }
     if let Some(mf) = machine_factor {
         report.push(format!(
             "calibration: baseline/fresh machine speed {mf:.2}x \
@@ -624,12 +649,60 @@ fn bench_check(fresh: &Json, baseline: &Json) -> Result<BenchCheck, String> {
     })
 }
 
+/// Renders the per-stage run/skip/wall-time counters accumulated during
+/// one experiment: a table on stderr (stdout stays byte-comparable) and
+/// a `stage_profile` array on the experiment's snapshot entry.
+#[cfg(feature = "stage-prof")]
+fn stage_profile_report(program: &str, exp_name: &str, entry: &mut Json) {
+    let snap = gm_sim::prof::snapshot();
+    let mut table = gm_stats::Table::new(vec![
+        "stage".into(),
+        "runs".into(),
+        "skips".into(),
+        "skip%".into(),
+        "wall_ms".into(),
+    ]);
+    let mut rows = Vec::new();
+    let (mut runs, mut skips) = (0u64, 0u64);
+    for c in &snap {
+        let gated = c.runs + c.skips;
+        let skip_pct = if gated > 0 {
+            c.skips as f64 / gated as f64 * 100.0
+        } else {
+            0.0
+        };
+        table.row(vec![
+            c.stage.name().to_owned(),
+            c.runs.to_string(),
+            c.skips.to_string(),
+            format!("{skip_pct:.1}"),
+            format!("{:.2}", c.nanos as f64 / 1e6),
+        ]);
+        let mut j = Json::object();
+        j.set("stage", c.stage.name())
+            .set("runs", c.runs)
+            .set("skips", c.skips)
+            .set("wall_ns", c.nanos);
+        rows.push(j);
+        runs += c.runs;
+        skips += c.skips;
+    }
+    eprintln!("{program}: stage profile for {exp_name}:");
+    eprint!("{}", table.render());
+    // One greppable summary line per experiment (the CI smoke step
+    // asserts the gating fires, i.e. skips > 0).
+    eprintln!("{program}: stage profile {exp_name}: {runs} runs, {skips} skips");
+    entry.set("stage_profile", Json::Array(rows));
+}
+
 /// `gm-run bench`: cold perf snapshot of the simulation engine, with an
 /// optional `--check` regression gate against a committed baseline.
 fn bench_main(args: &[String]) {
     let program = "gm-run bench";
-    // `--check` is bench-only; strip it before the shared parser.
+    // `--check` and `--profile` are bench-only; strip them before the
+    // shared parser.
     let mut check: Option<String> = None;
+    let mut profile = false;
     let mut rest: Vec<String> = Vec::new();
     let mut args_it = args.iter();
     while let Some(arg) = args_it.next() {
@@ -641,9 +714,19 @@ fn bench_main(args: &[String]) {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--profile" {
+            profile = true;
         } else {
             rest.push(arg.clone());
         }
+    }
+    if profile && !cfg!(feature = "stage-prof") {
+        eprint!(
+            "{program}: --profile needs the profiling build; rebuild with \
+             --features stage-prof\n\n{}",
+            bench_usage()
+        );
+        std::process::exit(2);
     }
     let args = rest.as_slice();
     let opts = match parse(args, true) {
@@ -694,7 +777,7 @@ fn bench_main(args: &[String]) {
         Json::parse(&text)
             .unwrap_or_else(|e| fail(program, &format!("cannot parse baseline {path:?}: {e}")))
     });
-    let selected: Vec<Experiment> = match &opts.filter {
+    let mut selected: Vec<Experiment> = match &opts.filter {
         Some(pattern) => experiment::matching(pattern),
         None => experiment::registry(),
     }
@@ -703,6 +786,12 @@ fn bench_main(args: &[String]) {
     .collect();
     if selected.is_empty() {
         fail(program, "no sweep experiment selected (try --filter fig6)");
+    }
+    if let Some(names) = &opts.workloads {
+        if let Err(e) = apply_workload_filter(&mut selected, names) {
+            eprint!("{program}: {e}\n\n{}", bench_usage());
+            std::process::exit(2);
+        }
     }
     let runner = Runner::new(opts.jobs);
     let calib_before = calibration_probe();
@@ -716,6 +805,10 @@ fn bench_main(args: &[String]) {
     let mut entries = Vec::new();
     let (mut total_jobs, mut total_cycles, mut total_wall) = (0u64, 0u64, 0u64);
     for exp in &selected {
+        #[cfg(feature = "stage-prof")]
+        if profile {
+            gm_sim::prof::reset();
+        }
         let out = run_experiment(&runner, exp, opts.scale, None)
             .unwrap_or_else(|e| fail(program, &format!("{}: {e}", exp.name)));
         let jobs = (out.cache.hits + out.cache.misses) as u64;
@@ -737,6 +830,10 @@ fn bench_main(args: &[String]) {
                 "mcycles_per_s",
                 format!("{:.1}", mcycles_per_s(out.sim_cycles, out.sim_wall_us)),
             );
+        #[cfg(feature = "stage-prof")]
+        if profile {
+            stage_profile_report(program, exp.name, &mut j);
+        }
         entries.push(j);
     }
     table.row(vec![
@@ -761,6 +858,10 @@ fn bench_main(args: &[String]) {
     doc.set("generator", "gm-run bench")
         .set("scale", opts.scale.name())
         .set("jobs", runner.jobs() as u64)
+        // Toolchain/machine provenance: --check warns when a baseline
+        // from a different compiler or host is compared.
+        .set("rustc", env!("GM_RUSTC_VERSION"))
+        .set("host", env!("GM_HOST_TRIPLE"))
         .set("calibration", calibration_entry(calib_before, calib_after))
         .set("experiments", Json::Array(entries))
         .set("total", total);
@@ -1257,6 +1358,59 @@ mod tests {
         assert!(out.regressions.is_empty(), "{:?}", out.regressions);
         assert_eq!(out.report.len(), 2, "no calibration header");
         assert!(out.report.iter().all(|l| !l.contains("normalised")));
+    }
+
+    fn with_provenance(mut doc: Json, rustc: &str, host: &str) -> Json {
+        doc.set("rustc", rustc).set("host", host);
+        doc
+    }
+
+    #[test]
+    fn bench_check_warns_on_toolchain_or_host_mismatch() {
+        let baseline = with_provenance(
+            bench_doc(&[("fig6", 2.0)], 2.0),
+            "rustc 1.75.0",
+            "x86_64-unknown-linux-gnu",
+        );
+        let fresh = with_provenance(
+            bench_doc(&[("fig6", 1.9)], 1.9),
+            "rustc 1.80.0",
+            "aarch64-apple-darwin",
+        );
+        let out = bench_check(&fresh, &baseline).unwrap();
+        // Warnings, not regressions: a toolchain roll must not fail CI.
+        assert!(out.regressions.is_empty(), "{:?}", out.regressions);
+        let warnings: Vec<&String> = out
+            .report
+            .iter()
+            .filter(|l| l.starts_with("warning:"))
+            .collect();
+        assert_eq!(warnings.len(), 2, "{:?}", out.report);
+        assert!(warnings[0].contains("rustc differs"), "{}", warnings[0]);
+        assert!(warnings[1].contains("host differs"), "{}", warnings[1]);
+    }
+
+    #[test]
+    fn bench_check_is_silent_on_matching_or_absent_provenance() {
+        // Same toolchain and host: no warning.
+        let tag = ("rustc 1.75.0", "x86_64-unknown-linux-gnu");
+        let baseline = with_provenance(bench_doc(&[("fig6", 2.0)], 2.0), tag.0, tag.1);
+        let fresh = with_provenance(bench_doc(&[("fig6", 2.0)], 2.0), tag.0, tag.1);
+        let out = bench_check(&fresh, &baseline).unwrap();
+        assert!(out.report.iter().all(|l| !l.starts_with("warning:")));
+        // Baselines from before the metadata existed: also no warning.
+        let old = bench_doc(&[("fig6", 2.0)], 2.0);
+        let fresh = with_provenance(bench_doc(&[("fig6", 2.0)], 2.0), tag.0, tag.1);
+        let out = bench_check(&fresh, &old).unwrap();
+        assert!(out.report.iter().all(|l| !l.starts_with("warning:")));
+    }
+
+    #[test]
+    fn bench_usage_mentions_the_bench_only_flags() {
+        let u = bench_usage();
+        for flag in ["--check", "--profile", "--workloads", "stage-prof"] {
+            assert!(u.contains(flag), "{flag} missing from bench usage");
+        }
     }
 
     #[test]

@@ -510,13 +510,24 @@ impl Machine {
         self.result()
     }
 
+    /// Disables the busy-path stage gating on every core, so each tick
+    /// dispatches every stage body unconditionally. The equivalence
+    /// tests use this to pit a gated run against an ungated oracle.
+    /// Call before the first tick.
+    pub fn disable_stage_gating(&mut self) {
+        for core in &mut self.cores {
+            core.disable_stage_gating();
+        }
+    }
+
     /// Reference run loop ticking every core on every cycle, kept as the
     /// oracle for the cycle-skipping equivalence tests. Disables the
-    /// cores' quiescent-tick memo so the oracle re-runs every stage on
-    /// every cycle.
+    /// cores' quiescent-tick memo and their stage gating so the oracle
+    /// re-runs every stage on every cycle.
     pub fn run_lockstep(&mut self, max_cycles: u64) -> MachineResult {
         for core in &mut self.cores {
             core.disable_tick_memo();
+            core.disable_stage_gating();
         }
         while !self.halted() && self.cycle < max_cycles {
             self.tick();

@@ -58,6 +58,29 @@ struct IqEntry {
 const EV_EXEC: u64 = 0;
 const EV_LOAD: u64 = 1;
 
+/// Dispatches one pipeline stage behind its pending-work predicate,
+/// recording run/skip counts and stage wall-time when the `stage-prof`
+/// feature is enabled (and compiling down to a bare `if` when it is
+/// not).
+macro_rules! gated_stage {
+    ($stage:ident, $pred:expr, $body:block) => {
+        #[cfg(feature = "stage-prof")]
+        {
+            if $pred {
+                let __stage_start = std::time::Instant::now();
+                $body
+                crate::prof::record_run(crate::prof::Stage::$stage, __stage_start.elapsed());
+            } else {
+                crate::prof::record_skip(crate::prof::Stage::$stage);
+            }
+        }
+        #[cfg(not(feature = "stage-prof"))]
+        {
+            if $pred $body
+        }
+    };
+}
+
 /// Which issue-stage implementation a core runs.
 ///
 /// Both are bit-identical; the linear scan is kept as the oracle the
@@ -210,6 +233,19 @@ pub struct Core {
     /// parked loads are always a prefix, so the unpark check is O(1) per
     /// stage run until something actually unparks.
     parked_seqs: Vec<u64>,
+    /// Whether the busy path dispatches only stages whose pending-work
+    /// predicate holds (see [`Core::tick`]). Disabled by the lockstep
+    /// oracles so every stage body really runs every cycle.
+    stage_gating: bool,
+    /// Earliest future `retry_at` among [`LoadState::Ready`] loads —
+    /// `u64::MAX` when none is backing off. Never later than the true
+    /// minimum (a too-early wake only re-runs a quiescent tick; a
+    /// too-late one would miss the retry): a scheduled retry lowers it
+    /// immediately, and it is recomputed exactly whenever the LSQ send
+    /// pass scans the whole queue — which every quiescent tick with
+    /// `lq_ready > 0` does, so `next_wake` always reads an exact value
+    /// without the O(lq) rescan it used to perform.
+    lq_retry_min: u64,
 }
 
 impl Core {
@@ -264,6 +300,8 @@ impl Core {
             tick_memo: true,
             idle_strict_fu_delays: 0,
             parked_seqs: Vec::new(),
+            stage_gating: true,
+            lq_retry_min: u64::MAX,
             cfg,
             id,
             program,
@@ -343,8 +381,81 @@ impl Core {
         self.regs.read(self.regs.lookup(r))
     }
 
+    /// Whether the writeback stage has an event due at `now`.
+    #[inline]
+    fn writeback_pending(&self, now: u64) -> bool {
+        matches!(self.events.peek(), Some(&Reverse((t, _, _, _))) if t <= now)
+    }
+
+    /// Whether the commit stage can retire anything at `now`: the head
+    /// is `Done` with its result available (cached in the ROB) and no
+    /// commit-time stall is in force. Exactly the first-iteration break
+    /// conditions of [`Core::commit`].
+    #[inline]
+    fn commit_pending(&self, now: u64) -> bool {
+        self.stall_commit_until <= now && self.rob.head_ready(now)
+    }
+
+    /// Whether the issue stage can have any observable effect this
+    /// cycle. In event mode that is the maintained ready set (plus,
+    /// under §4.9 strict ordering, waiting non-pipelined entries, whose
+    /// mere presence counts delay statistics) — the same condition
+    /// [`Core::issue_event`] early-returns on. The scan oracle visits
+    /// every IQ entry by definition, so it is gated only on IQ
+    /// occupancy.
+    #[inline]
+    fn issue_pending(&self) -> bool {
+        match self.issue_mode {
+            IssueMode::Event => {
+                !self.ready_seqs.is_empty()
+                    || (self.cfg.strict_fu_order && !self.nonpipe_seqs.is_empty())
+            }
+            IssueMode::Scan => !self.iq.is_empty(),
+        }
+    }
+
+    /// Whether the LSQ stage has candidates: a `Ready` unparked load
+    /// (sendable, retrying, or waiting on a store — `lq_ready` counts
+    /// all three; a forward-blocked load released by a store drain this
+    /// cycle is still counted) or a parked STT load whose visibility
+    /// must be re-checked.
+    #[inline]
+    fn lsq_pending(&self) -> bool {
+        self.lq_ready > 0 || !self.parked_seqs.is_empty()
+    }
+
+    /// Whether rename can dispatch at least one instruction: an
+    /// available fetch-queue head and ROB/IQ space. Exactly the
+    /// first-iteration break conditions of [`Core::rename`] (per-op
+    /// LQ/SQ/free-register checks stay in the body).
+    #[inline]
+    fn rename_pending(&self, now: u64) -> bool {
+        self.fetch_queue.front().is_some_and(|f| f.avail_at <= now)
+            && self.rob.free() > 0
+            && self.iq.len() < self.cfg.iq_entries
+    }
+
+    /// Whether fetch may run: no fetch stall in force and buffer space
+    /// available. Exactly the entry checks of [`Core::fetch`].
+    #[inline]
+    fn fetch_pending(&self, now: u64) -> bool {
+        self.fetch_stall_until <= now && self.fetch_queue.len() < self.cfg.fetch_buffer
+    }
+
     /// Advances one cycle against `mem`, reporting whether the cycle
     /// changed state and when the next one can.
+    ///
+    /// The busy path is *stage-gated*: each stage has a cheap
+    /// pending-work predicate maintained by the structures it reads
+    /// (`writeback_pending` … `fetch_pending` above), and only stages
+    /// whose predicate holds are dispatched. Every predicate is exactly
+    /// the stage body's own entry condition — a skipped stage would
+    /// have returned without touching state — so gating is
+    /// bit-identical to running everything (asserted against
+    /// [`Core::disable_stage_gating`]d oracles by
+    /// `tests/cycle_skipping.rs`). `Core::next_wake` is built from
+    /// the same predicates, so gating and wake computation share one
+    /// source of truth.
     pub fn tick(&mut self, mem: &mut dyn MemoryBackend, now: u64) -> TickOutcome {
         if self.halted {
             return TickOutcome {
@@ -369,12 +480,23 @@ impl Core {
         self.stats.cycles = now + 1;
         self.fu.new_cycle();
         self.drain_cancellations(mem, now);
-        self.writeback(mem, now);
-        self.commit(mem, now);
-        self.issue(now);
-        self.lsq_tick(mem, now);
-        self.rename(now);
-        self.fetch(mem, now);
+        let gate = self.stage_gating;
+        gated_stage!(Writeback, !gate || self.writeback_pending(now), {
+            self.writeback(mem, now)
+        });
+        gated_stage!(Commit, !gate || self.commit_pending(now), {
+            self.commit(mem, now)
+        });
+        gated_stage!(Issue, !gate || self.issue_pending(), { self.issue(now) });
+        gated_stage!(Lsq, !gate || self.lsq_pending(), {
+            self.lsq_tick(mem, now)
+        });
+        gated_stage!(Rename, !gate || self.rename_pending(now), {
+            self.rename(now)
+        });
+        gated_stage!(Fetch, !gate || self.fetch_pending(now), {
+            self.fetch(mem, now)
+        });
         if now.saturating_sub(self.last_commit_cycle) > DEADLOCK_CYCLES {
             panic!(
                 "core {} deadlocked: no commit since cycle {} (now {now}); \
@@ -398,12 +520,14 @@ impl Core {
     }
 
     /// Earliest cycle after a quiescent tick at `now` at which any stage
-    /// predicate can flip. Every `now`-comparison in the tick is listed:
-    /// the writeback event heap, fetch/commit stalls, a done-but-future
-    /// ROB head, the frontend delay of the next rename candidate, load
-    /// retry backoffs, and the non-pipelined FU busy times. The deadlock
-    /// deadline bounds the result so a wedged core still panics exactly
-    /// where the per-cycle engine does.
+    /// predicate can flip — the wake times of exactly the quantities the
+    /// stage gates in [`Core::tick`] test: the writeback event heap,
+    /// fetch/commit stalls, a done-but-future ROB head (the same cached
+    /// timestamp [`Core::commit_pending`] reads), the frontend delay of
+    /// the next rename candidate, the maintained minimum load-retry
+    /// backoff (O(1), no queue scan), and the non-pipelined FU busy
+    /// times. The deadlock deadline bounds the result so a wedged core
+    /// still panics exactly where the per-cycle engine does.
     fn next_wake(&self, now: u64) -> u64 {
         let mut wake = self.last_commit_cycle + DEADLOCK_CYCLES + 1;
         if let Some(&Reverse((t, _, _, _))) = self.events.peek() {
@@ -415,22 +539,22 @@ impl Core {
         if self.stall_commit_until > now {
             wake = wake.min(self.stall_commit_until);
         }
-        if let Some(h) = self.rob.head() {
-            if h.status == RobStatus::Done && h.done_at > now {
-                wake = wake.min(h.done_at);
-            }
+        let head_done_at = self.rob.head_done_at();
+        if head_done_at != u64::MAX && head_done_at > now {
+            wake = wake.min(head_done_at);
         }
         if let Some(f) = self.fetch_queue.front() {
             if f.avail_at > now {
                 wake = wake.min(f.avail_at);
             }
         }
-        if self.lq_ready > 0 {
-            for le in self.lq.iter() {
-                if le.state == LoadState::Ready && le.retry_at > now {
-                    wake = wake.min(le.retry_at);
-                }
-            }
+        // A quiescent tick with lq_ready > 0 always completed a full LSQ
+        // scan (no send means no port cutoff), which recomputed
+        // lq_retry_min exactly; parked loads never carry future retries
+        // (the retry check precedes the park gate), so nothing is lost
+        // against the old whole-queue scan.
+        if self.lq_ready > 0 && self.lq_retry_min > now {
+            wake = wake.min(self.lq_retry_min);
         }
         if !self.iq.is_empty() {
             let free = self.fu.muldiv_next_free();
@@ -484,10 +608,20 @@ impl Core {
         self.quiet_until = 0;
     }
 
+    /// Disables the busy-path stage gating so every `tick` dispatches
+    /// every stage body unconditionally. The lockstep oracles use this
+    /// (alongside [`Core::disable_tick_memo`]) so the stage-gating
+    /// equivalence tests compare against a loop with no shortcut at
+    /// all.
+    pub fn disable_stage_gating(&mut self) {
+        self.stage_gating = false;
+    }
+
     /// Reference run loop that ticks every cycle (no skipping). Kept as
     /// the oracle for the cycle-skipping equivalence tests.
     pub fn run_lockstep(&mut self, mem: &mut dyn MemoryBackend, max_cycles: u64) -> u64 {
         self.disable_tick_memo();
+        self.disable_stage_gating();
         self.install_program_data(mem);
         let mut now = 0;
         while !self.halted && now < max_cycles {
@@ -645,11 +779,11 @@ impl Core {
             self.stats.stt_delays += (now - le.parked_since) - le.park_deficit;
         }
         self.lq.squash_above(seq);
-        self.lq_ready = self
-            .lq
-            .iter()
-            .filter(|le| le.state == LoadState::Ready && !le.parked)
-            .count();
+        // Membership changed: rebuild both the ready census and the
+        // retry horizon from the surviving loads in one pass.
+        let (lq_ready, lq_retry_min) = self.lq.ready_stats(now);
+        self.lq_ready = lq_ready;
+        self.lq_retry_min = lq_retry_min;
         self.sq.squash_above(seq);
         self.fetch_queue.clear();
         self.cur_fetch_line = None;
@@ -665,10 +799,12 @@ impl Core {
             if self.stall_commit_until > now {
                 break;
             }
-            let Some(head) = self.rob.head() else { break };
-            if head.status != RobStatus::Done || head.done_at > now {
+            // One cached comparison covers "empty", "not done", and
+            // "done in the future" at once (see [`Rob::head_ready`]).
+            if !self.rob.head_ready(now) {
                 break;
             }
+            let head = self.rob.head().expect("ready head exists");
             let seq = head.seq;
             let inst = head.inst;
             let fetch_line = head.fetch_line;
@@ -1026,6 +1162,14 @@ impl Core {
         let mut sent = 0;
         let mut last_send_seq = 0;
         let taint_mode = self.cfg.taint_mode;
+        // Future retry backoffs seen (or scheduled) this pass. A pass
+        // that covers the whole queue recomputes `lq_retry_min` exactly;
+        // a pass cut short by the port limit only lowers it (raising it
+        // on partial information could make `next_wake` miss a retry —
+        // but a cutoff implies a send, i.e. progress, so `next_wake` is
+        // not consulted this tick anyway).
+        let mut retry_min = u64::MAX;
+        let mut scanned_all = true;
 
         // One fused pass over the queue, oldest-first, stopping as soon
         // as both memory ports are claimed. Processing a position only
@@ -1037,6 +1181,7 @@ impl Core {
         // candidate list the port limit would discard.
         for li in 0..self.lq.len() {
             if sent >= MEM_PORTS {
+                scanned_all = false;
                 break;
             }
             let le = *self.lq.at(li);
@@ -1045,6 +1190,9 @@ impl Core {
                 || le.retry_at > now
                 || le.blocked_on.is_some()
             {
+                if le.state == LoadState::Ready && !le.parked && le.retry_at > now {
+                    retry_min = retry_min.min(le.retry_at);
+                }
                 continue;
             }
             let seq = le.seq;
@@ -1141,6 +1289,7 @@ impl Core {
                         LoadResp::Retry { at } => {
                             let le = self.lq.at_mut(li);
                             le.retry_at = at.max(now + 1);
+                            retry_min = retry_min.min(le.retry_at);
                             self.stats.load_retries += 1;
                             sent += 1;
                             last_send_seq = seq;
@@ -1149,6 +1298,11 @@ impl Core {
                 }
             }
         }
+        self.lq_retry_min = if scanned_all {
+            retry_min
+        } else {
+            self.lq_retry_min.min(retry_min)
+        };
         // Port-pressure correction for the lazy STT accounting: when both
         // memory ports were claimed, the per-cycle gate never reached any
         // load younger than the last sender this cycle, so it would not

@@ -31,6 +31,8 @@ mod engine;
 mod fu;
 mod lsq;
 mod mem_if;
+#[cfg(feature = "stage-prof")]
+pub mod prof;
 mod regfile;
 mod rob;
 mod wakeup;

@@ -311,6 +311,25 @@ impl LoadQueue {
         self.entries.iter_mut()
     }
 
+    /// One-pass census of the sendable set: how many loads are
+    /// `LoadState::Ready` and unparked, and the earliest future
+    /// `retry_at` among them (`u64::MAX` when none is backing off past
+    /// `now`). Used to rebuild the engine's `lq_ready`/`lq_retry_min`
+    /// counters after a squash changes queue membership.
+    pub fn ready_stats(&self, now: u64) -> (usize, u64) {
+        let mut ready = 0;
+        let mut retry_min = u64::MAX;
+        for e in &self.entries {
+            if e.state == LoadState::Ready && !e.parked {
+                ready += 1;
+                if e.retry_at > now {
+                    retry_min = retry_min.min(e.retry_at);
+                }
+            }
+        }
+        (ready, retry_min)
+    }
+
     /// Removes the oldest load (commit).
     ///
     /// # Panics

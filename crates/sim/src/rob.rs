@@ -122,6 +122,12 @@ pub struct Rob {
     unresolved_mem: Vec<u64>,
     /// Seqs of in-flight fences (watched until commit, not completion).
     fences: Vec<u64>,
+    /// `done_at` of the head entry when its status is [`RobStatus::Done`],
+    /// else `u64::MAX` (including when the buffer is empty). Maintained by
+    /// [`Rob::set_done_at`] and every operation that changes which entry
+    /// is at the front, so commit gating ([`Rob::head_ready`]) and wake
+    /// computation ([`Rob::head_done_at`]) never re-probe `entries.front()`.
+    head_done_at: u64,
 }
 
 /// Removes `seq` from a sorted watch list, if present.
@@ -142,6 +148,7 @@ impl Rob {
             unresolved_ctrl: Vec::new(),
             unresolved_mem: Vec::new(),
             fences: Vec::new(),
+            head_done_at: u64::MAX,
         }
     }
 
@@ -192,6 +199,11 @@ impl Rob {
     }
 
     /// Mutable lookup by sequence number.
+    ///
+    /// Callers must not set `status` to [`RobStatus::Done`] through this
+    /// handle — that is [`Rob::set_done`]/[`Rob::set_done_at`]'s job, and
+    /// going around them would leave the watch lists and the cached
+    /// [`Rob::head_done_at`] stale.
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
         self.index_of(seq).map(move |i| &mut self.entries[i])
     }
@@ -226,6 +238,9 @@ impl Rob {
     }
 
     /// Mutable entry at position `i` (see [`Rob::find`]).
+    ///
+    /// The same caveat as [`Rob::get_mut`] applies: never set `status` to
+    /// [`RobStatus::Done`] through this handle.
     pub fn at_mut(&mut self, i: usize) -> &mut RobEntry {
         &mut self.entries[i]
     }
@@ -237,6 +252,10 @@ impl Rob {
         let e = &mut self.entries[i];
         e.status = RobStatus::Done;
         e.done_at = now;
+        if i == 0 {
+            self.head_done_at = now;
+        }
+        let e = &self.entries[i];
         let (seq, op) = (e.seq, e.inst.op);
         if op.is_ctrl() {
             unwatch(&mut self.unresolved_ctrl, seq);
@@ -251,16 +270,47 @@ impl Rob {
         self.entries.front()
     }
 
-    /// Mutable oldest entry.
-    pub fn head_mut(&mut self) -> Option<&mut RobEntry> {
-        self.entries.front_mut()
+    /// Whether the head entry has a result ready to commit at `now`:
+    /// its status is [`RobStatus::Done`] and `done_at <= now`. O(1) —
+    /// reads the maintained cache instead of probing `entries.front()`.
+    /// `now` must be below `u64::MAX` (the not-done sentinel); cycle
+    /// counts are bounded by `max_cycles` in practice.
+    pub fn head_ready(&self, now: u64) -> bool {
+        debug_assert_eq!(
+            self.head_done_at,
+            match self.entries.front() {
+                Some(e) if e.status == RobStatus::Done => e.done_at,
+                _ => u64::MAX,
+            },
+            "head_done_at cache out of sync"
+        );
+        self.head_done_at <= now
+    }
+
+    /// The head entry's `done_at` when it is [`RobStatus::Done`], else
+    /// `u64::MAX` (also when empty). O(1) companion to
+    /// [`Rob::head_ready`] for wake computation.
+    pub fn head_done_at(&self) -> u64 {
+        self.head_done_at
+    }
+
+    /// Recomputes the cached head-done timestamp from the current front
+    /// entry. Called whenever a different entry (or none) becomes the
+    /// head.
+    fn refresh_head_done(&mut self) {
+        self.head_done_at = match self.entries.front() {
+            Some(e) if e.status == RobStatus::Done => e.done_at,
+            _ => u64::MAX,
+        };
     }
 
     /// Removes and returns the oldest entry (commit).
     pub fn pop_head(&mut self) -> Option<RobEntry> {
         self.unwatch_head()?;
         self.seqs.pop_front();
-        self.entries.pop_front()
+        let head = self.entries.pop_front();
+        self.refresh_head_done();
+        head
     }
 
     /// Removes the oldest entry without moving it out — the cheap commit
@@ -272,6 +322,7 @@ impl Rob {
         self.unwatch_head().expect("drop_head on an empty ROB");
         self.seqs.pop_front();
         self.entries.pop_front();
+        self.refresh_head_done();
     }
 
     /// Releases the head from the ordering watch lists it is still on.
@@ -322,6 +373,11 @@ impl Rob {
             on_squash(&e);
             n += 1;
         }
+        // Squash removes from the tail, so the head (and its cached
+        // done-at) only changes when the whole window is emptied.
+        if self.entries.is_empty() {
+            self.head_done_at = u64::MAX;
+        }
         n
     }
 
@@ -358,6 +414,10 @@ impl Rob {
 mod tests {
     use super::*;
     use gm_isa::Inst;
+
+    /// A finite "any time" for readiness probes — `u64::MAX` is the
+    /// cache's not-done sentinel and not a valid `now`.
+    const FOREVER: u64 = u64::MAX - 1;
 
     fn rob3() -> Rob {
         let mut r = Rob::new(8);
@@ -426,7 +486,7 @@ mod tests {
     #[test]
     fn any_older_scans_strictly_older() {
         let mut r = rob3();
-        r.get_mut(10).unwrap().status = RobStatus::Done;
+        r.set_done(10, 0);
         assert!(!r.any_older(11, |e| e.status != RobStatus::Done));
         assert!(r.any_older(12, |e| e.status != RobStatus::Done)); // 11 waiting
         assert!(!r.any_older(10, |_| true), "head has nothing older");
@@ -477,6 +537,47 @@ mod tests {
         assert!(!r.older_fence(u64::MAX));
         // set_done on a squashed seq reports the miss.
         assert!(r.set_done(12, 9).is_none());
+    }
+
+    #[test]
+    fn head_ready_tracks_head_completion() {
+        let mut r = rob3();
+        assert!(!r.head_ready(FOREVER), "waiting head is never ready");
+        assert_eq!(r.head_done_at(), u64::MAX);
+
+        // A non-head completion leaves the head cache untouched...
+        r.set_done(11, 3);
+        assert!(!r.head_ready(FOREVER));
+        // ...while a head completion publishes its done-at.
+        r.set_done(10, 5);
+        assert_eq!(r.head_done_at(), 5);
+        assert!(!r.head_ready(4), "result not available yet");
+        assert!(r.head_ready(5));
+
+        // Commit promotes the already-done successor into the cache.
+        r.pop_head();
+        assert_eq!(r.head_done_at(), 3);
+        assert!(r.head_ready(3));
+        r.drop_head();
+        assert!(!r.head_ready(FOREVER), "12 is still waiting");
+        r.set_done(12, 9);
+        r.pop_head();
+        assert_eq!(r.head_done_at(), u64::MAX, "empty ROB is never ready");
+    }
+
+    #[test]
+    fn head_ready_survives_squash() {
+        let mut r = rob3();
+        r.set_done(10, 2);
+        r.squash_above(10, |_| {});
+        assert!(r.head_ready(2), "tail squash keeps the done head");
+        r.squash_above(0, |_| {});
+        assert_eq!(r.head_done_at(), u64::MAX, "full squash clears the cache");
+        // Refill after the squash: the fresh head starts un-done.
+        r.push(20, 0, Inst::nop(), 0);
+        assert!(!r.head_ready(FOREVER));
+        r.set_done(20, 7);
+        assert_eq!(r.head_done_at(), 7);
     }
 
     #[test]

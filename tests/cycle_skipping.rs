@@ -79,6 +79,97 @@ fn multicore_parsec_matches_lockstep() {
     );
 }
 
+// ---- stage gating ----
+//
+// `Core::tick` dispatches a pipeline stage only when its pending-work
+// predicate holds. The predicates must equal each stage body's own
+// first-iteration entry conditions, so gating can never change
+// behaviour — asserted here by running the same programs three ways:
+// the default machine (gating on), the production loop with gating
+// force-disabled, and the lockstep oracle (no memo, no gating, no
+// cycle skipping).
+
+/// The production wake-ordered loop with every stage dispatched
+/// unconditionally — isolates the gating predicates as the only
+/// difference from the default machine.
+fn run_ungated(scheme: Scheme, cfg: SystemConfig, programs: Vec<Program>) -> MachineResult {
+    let mut m = Machine::new(scheme, cfg, programs);
+    m.disable_stage_gating();
+    m.run(cfg.max_cycles)
+}
+
+fn assert_gating_equivalent(
+    scheme: Scheme,
+    cfg: SystemConfig,
+    programs: Vec<Program>,
+    label: &str,
+) {
+    let gated = Machine::new(scheme, cfg, programs.clone()).run(cfg.max_cycles);
+    let ungated = run_ungated(scheme, cfg, programs.clone());
+    let lockstep = Machine::new(scheme, cfg, programs).run_lockstep(cfg.max_cycles);
+    for (name, other) in [("ungated", &ungated), ("lockstep", &lockstep)] {
+        assert_eq!(
+            gated.cycles, other.cycles,
+            "{label}: cycle counts diverge from the {name} oracle"
+        );
+        assert_eq!(
+            gated.core_stats, other.core_stats,
+            "{label}: per-core stats diverge from the {name} oracle"
+        );
+        assert_eq!(
+            gated.mem_stats, other.mem_stats,
+            "{label}: memory counters diverge from the {name} oracle"
+        );
+    }
+}
+
+/// Stage gating on real workloads across the five scheme families whose
+/// stall behaviour differs most (see
+/// [`real_workloads_match_lockstep_on_micro2021`]).
+#[test]
+fn stage_gating_matches_ungated_and_lockstep_on_real_workloads() {
+    let mut strict = Scheme::ghost_minion();
+    strict.strict_fu_order = true;
+    let schemes = [
+        Scheme::unsafe_baseline(),
+        Scheme::ghost_minion(),
+        Scheme::invisispec_future(),
+        Scheme::stt_spectre(),
+        strict,
+    ];
+    let set = WorkloadSet::new(Suite::Spec2006, Scale::Test);
+    let unit = set
+        .units
+        .iter()
+        .find(|u| u.name == "bzip2")
+        .expect("bzip2 analog exists");
+    for scheme in schemes {
+        assert_gating_equivalent(
+            scheme,
+            SystemConfig::micro2021(),
+            unit.programs.clone(),
+            &format!("bzip2/{}", scheme.name()),
+        );
+    }
+}
+
+/// Stage gating under the multicore wake-ordered scheduler: per-core
+/// predicates must not desynchronise cores that share a memory system.
+#[test]
+fn multicore_stage_gating_matches_oracles() {
+    let set = WorkloadSet::new(Suite::Parsec, Scale::Test);
+    let unit = &set.units[0];
+    assert!(unit.programs.len() > 1, "parsec units are multi-threaded");
+    for scheme in [Scheme::ghost_minion(), Scheme::stt_spectre()] {
+        assert_gating_equivalent(
+            scheme,
+            SystemConfig::micro2021(),
+            unit.programs.clone(),
+            &format!("{}/{}", unit.name, scheme.name()),
+        );
+    }
+}
+
 /// Same generator as the functional-equivalence suite: bounded loads and
 /// stores, data-dependent branches, divides (non-pipelined FU occupancy),
 /// and a final counted loop.
@@ -161,6 +252,36 @@ proptest! {
             prop_assert_eq!(skip.cycles, lock.cycles, "cycles diverge under {}", scheme.name());
             prop_assert_eq!(skip.core_stats, lock.core_stats, "stats diverge under {}", scheme.name());
             prop_assert_eq!(skip.mem_stats, lock.mem_stats, "mem counters diverge under {}", scheme.name());
+        }
+    }
+
+    /// Property: for any program, disabling stage gating (alone, with
+    /// the production loop otherwise unchanged) is unobservable in
+    /// every result field, under every scheme family. Together with
+    /// `random_programs_match_lockstep` this pins the gated machine to
+    /// the no-shortcut oracle through an intermediate that isolates
+    /// the predicates themselves.
+    #[test]
+    fn random_programs_gating_is_unobservable(
+        ops in proptest::collection::vec(any::<u8>(), 10..80),
+        seeds in proptest::collection::vec(1u64..u64::MAX, 8),
+    ) {
+        let prog = random_program(&ops, &seeds);
+        let mut strict = Scheme::ghost_minion();
+        strict.strict_fu_order = true;
+        for scheme in [
+            Scheme::unsafe_baseline(),
+            Scheme::ghost_minion(),
+            Scheme::invisispec_future(),
+            Scheme::stt_spectre(),
+            strict,
+        ] {
+            let cfg = SystemConfig::tiny();
+            let gated = Machine::new(scheme, cfg, vec![prog.clone()]).run(cfg.max_cycles);
+            let ungated = run_ungated(scheme, cfg, vec![prog.clone()]);
+            prop_assert_eq!(gated.cycles, ungated.cycles, "cycles diverge under {}", scheme.name());
+            prop_assert_eq!(gated.core_stats, ungated.core_stats, "stats diverge under {}", scheme.name());
+            prop_assert_eq!(gated.mem_stats, ungated.mem_stats, "mem counters diverge under {}", scheme.name());
         }
     }
 }
