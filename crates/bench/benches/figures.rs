@@ -37,7 +37,7 @@ fn bench_registry(c: &mut Criterion) {
                 let runner = Runner::new(1);
                 g.bench_function("run_experiment", |b| {
                     b.iter(|| {
-                        run_experiment(&runner, &exp, Scale::Test, None)
+                        run_experiment(&runner, &exp, Scale::Test, None, None)
                             .expect("storeless runs cannot fail")
                             .table
                             .len()

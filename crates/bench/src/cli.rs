@@ -14,6 +14,7 @@ use crate::experiment::{self, apply_workload_filter, Experiment, ExperimentKind}
 use crate::merge;
 use crate::report::{experiment_json, report_text, run_experiment};
 use crate::runner::{Runner, Shard};
+use crate::telemetry::{self, Telemetry};
 use gm_results::ResultStore;
 use gm_stats::Json;
 use gm_workloads::Scale;
@@ -35,6 +36,9 @@ pub struct Options {
     pub expect_cached: bool,
     /// Run only this partition of the job list (gm-run only).
     pub shard: Option<Shard>,
+    /// Append JSON-lines span telemetry to this path (see
+    /// [`crate::telemetry`]).
+    pub telemetry: Option<String>,
     /// List registered experiments instead of running.
     pub list: bool,
     /// Substring filter selecting experiments to run (gm-run only).
@@ -52,6 +56,7 @@ impl Default for Options {
             store: None,
             expect_cached: false,
             shard: None,
+            telemetry: None,
             list: false,
             filter: None,
             help: false,
@@ -67,7 +72,9 @@ pub fn usage(program: &str, selection: bool) -> String {
             "       gm-run merge <SHARD.json>... [--json <PATH>] [--jobs <N>]\n\
              \x20      gm-run bench [--scale <S>] [--jobs <N>] [--filter <SUBSTR>] [--json <PATH>]\n\
              \x20                   [--check <BASELINE.json>]\n\
-             \x20      gm-run store <DIR> [--compact] [--gc]\n",
+             \x20      gm-run store <DIR> [--compact] [--gc]\n\
+             \x20      gm-run trace <EXPERIMENT> [--workload <NAME>] [--scheme <LABEL>]\n\
+             \x20                   [--scale <S>] [--out <FILE>] [--summary]\n",
         );
     }
     u.push_str(
@@ -81,6 +88,7 @@ pub fn usage(program: &str, selection: bool) -> String {
          \x20 --workloads <a,b,...>      restrict sweeps to the named workloads\n\
          \x20 --store <DIR>              result store: reuse cached job results, append new ones\n\
          \x20 --expect-cached            with --store: fail if any job had to be simulated\n\
+         \x20 --telemetry <FILE>         append JSON-lines run/experiment/job span events to FILE\n\
          \x20 --help                     show this help\n",
     );
     if selection {
@@ -135,6 +143,7 @@ pub fn parse(args: &[String], selection: bool) -> Result<Options, String> {
             }
             "--store" => opts.store = Some(value("--store", &mut it)?),
             "--expect-cached" => opts.expect_cached = true,
+            "--telemetry" => opts.telemetry = Some(value("--telemetry", &mut it)?),
             "--shard" if selection => {
                 opts.shard = Some(Shard::parse(&value("--shard", &mut it)?)?);
             }
@@ -149,6 +158,16 @@ pub fn parse(args: &[String], selection: bool) -> Result<Options, String> {
     }
     if opts.shard.is_some() && opts.json.is_none() && !opts.list && !opts.help {
         return Err("--shard requires --json (the shard document is the run's output)".into());
+    }
+    // Mirrors the bench `--check`/`--json` collision guard: the
+    // telemetry stream appending over the results document would corrupt
+    // both outputs.
+    if opts.telemetry.is_some() && opts.telemetry == opts.json {
+        return Err(format!(
+            "--telemetry and --json name the same file ({}); the telemetry \
+             stream would clobber the results document",
+            opts.telemetry.as_deref().unwrap_or("")
+        ));
     }
     Ok(opts)
 }
@@ -240,15 +259,52 @@ fn mcycles_per_s(sim_cycles: u64, sim_wall_us: u64) -> f64 {
     }
 }
 
+/// Opens the telemetry stream named by `--telemetry` (if any) and
+/// emits its `run_start` event.
+fn open_telemetry(program: &str, opts: &Options, shard: Option<Shard>) -> Option<Telemetry> {
+    opts.telemetry.as_ref().map(|path| {
+        let tel = Telemetry::create(path).unwrap_or_else(|e| fail(program, &e));
+        tel.emit("run_start", |j| {
+            j.set("program", program).set("scale", opts.scale.name());
+            if let Some(shard) = shard {
+                j.set("shard", shard.to_string());
+            }
+        });
+        tel
+    })
+}
+
+/// Emits `run_end`, flushes the telemetry stream, and confirms the
+/// write on stderr (stdout stays byte-comparable).
+fn close_telemetry(
+    program: &str,
+    opts: &Options,
+    telemetry: Option<Telemetry>,
+    experiments: usize,
+) {
+    let Some(tel) = telemetry else { return };
+    tel.emit("run_end", |j| {
+        j.set("experiments", experiments);
+    });
+    if let Err(e) = tel.finish() {
+        fail(program, &e);
+    }
+    eprintln!(
+        "{program}: wrote telemetry to {}",
+        opts.telemetry.as_deref().unwrap_or("")
+    );
+}
+
 /// Runs `experiments` unsharded, printing each report and writing the
 /// combined JSON if requested.
 fn run_and_emit(program: &str, experiments: &[Experiment], opts: &Options) {
     let store = open_store(program, opts);
+    let telemetry = open_telemetry(program, opts, None);
     let runner = Runner::new(opts.jobs);
     let mut emitted = Vec::new();
     let mut misses = 0usize;
     for exp in experiments {
-        let out = run_experiment(&runner, exp, opts.scale, store.as_ref())
+        let out = run_experiment(&runner, exp, opts.scale, store.as_ref(), telemetry.as_ref())
             .unwrap_or_else(|e| fail(program, &format!("{}: {e}", exp.name)));
         print!("{}", report_text(exp.title, &out));
         if matches!(exp.kind, ExperimentKind::Sweep(_)) {
@@ -281,6 +337,7 @@ fn run_and_emit(program: &str, experiments: &[Experiment], opts: &Options) {
         .set("scale", opts.scale.name())
         .set("experiments", Json::Array(emitted));
     write_json(program, opts.json.as_ref(), &doc);
+    close_telemetry(program, opts, telemetry, experiments.len());
     if let Some(store) = &store {
         compact_store(program, store, experiments);
     }
@@ -292,15 +349,39 @@ fn run_and_emit(program: &str, experiments: &[Experiment], opts: &Options) {
 /// telemetry. Non-sweep experiments run on shard 1 only.
 fn run_shard_and_emit(program: &str, experiments: &[Experiment], opts: &Options, shard: Shard) {
     let store = open_store(program, opts);
+    let telemetry = open_telemetry(program, opts, Some(shard));
     let runner = Runner::new(opts.jobs);
     let mut entries = Vec::new();
     let mut misses = 0usize;
+    let mut ran = 0usize;
     for exp in experiments {
         match &exp.kind {
             ExperimentKind::Sweep(sweep) => {
+                if let Some(tel) = &telemetry {
+                    tel.emit("experiment_start", |j| {
+                        j.set("experiment", exp.name);
+                    });
+                }
                 let run = runner
-                    .run_sweep_shard(sweep, opts.scale, exp.name, store.as_ref(), shard)
+                    .run_sweep_shard(
+                        sweep,
+                        opts.scale,
+                        exp.name,
+                        store.as_ref(),
+                        shard,
+                        telemetry.as_ref(),
+                    )
                     .unwrap_or_else(|e| fail(program, &format!("{}: {e}", exp.name)));
+                if let Some(tel) = &telemetry {
+                    tel.emit("experiment_end", |j| {
+                        j.set("experiment", exp.name)
+                            .set("jobs", run.owned_jobs())
+                            .set("hits", run.cache.hits)
+                            .set("misses", run.cache.misses)
+                            .set("sim_wall_us", run.sim_wall_us());
+                    });
+                }
+                ran += 1;
                 eprintln!(
                     "{program}: shard {shard}: {}: {}/{} job(s), {} cached, {} simulated in {:.2}s at {:.1} Mcycles/s",
                     exp.name,
@@ -322,14 +403,16 @@ fn run_shard_and_emit(program: &str, experiments: &[Experiment], opts: &Options,
                     );
                     continue;
                 }
-                let out = run_experiment(&runner, exp, opts.scale, None)
+                let out = run_experiment(&runner, exp, opts.scale, None, telemetry.as_ref())
                     .unwrap_or_else(|e| fail(program, &format!("{}: {e}", exp.name)));
+                ran += 1;
                 entries.push(merge::shard_nonsweep_entry(exp, opts.scale, &out));
             }
         }
     }
     let doc = merge::shard_doc(program, opts.scale, shard, entries);
     write_json(program, opts.json.as_ref(), &doc);
+    close_telemetry(program, opts, telemetry, ran);
     if let Some(store) = &store {
         compact_store(program, store, experiments);
     }
@@ -396,6 +479,20 @@ pub fn gm_run_main() {
             store_main(&args[1..]);
             return;
         }
+        Some("trace") => {
+            trace_main(&args[1..]);
+            return;
+        }
+        // Anything positional that is not a known subcommand is a typo
+        // (`gm-run benhc`): usage to stderr and exit 2, consistent with
+        // the strict flag parsing below.
+        Some(cmd) if !cmd.starts_with('-') => {
+            eprint!(
+                "gm-run: unknown subcommand {cmd:?}\n\n{}",
+                usage("gm-run", true)
+            );
+            std::process::exit(2);
+        }
         _ => {}
     }
     let opts = parse_or_exit("gm-run", &args, true);
@@ -421,6 +518,215 @@ pub fn gm_run_main() {
         std::process::exit(1);
     }
     run_selected("gm-run", selected, &opts, true);
+}
+
+fn trace_usage() -> String {
+    "usage: gm-run trace <EXPERIMENT> [--workload <NAME>] [--scheme <LABEL>]\n\
+     \x20                  [--scale <test|bench|full>] [--out <FILE>] [--summary]\n\
+     \x20      gm-run trace --validate <TRACE.txt>\n\
+     \x20      gm-run trace --validate-telemetry <EVENTS.jsonl>\n\
+     \n\
+     Runs ONE (workload \u{d7} scheme) job of a sweep experiment with\n\
+     per-instruction pipeline tracing attached. --out streams a gem5\n\
+     O3PipeView-format text trace (loadable in the Konata viewer);\n\
+     --summary prints a guest-cycle attribution table to stdout — per\n\
+     functional-unit class, the cycles lost to FU waits, STT taint\n\
+     parking, store-forward blocking, and squashed work. With neither\n\
+     flag, --summary is the default; both may be combined (the run is\n\
+     traced once and the stream teed).\n\
+     \n\
+     --workload defaults to the experiment's first workload unit and\n\
+     --scheme (matched against the column label or scheme name) to its\n\
+     first lineup column. Tracing never perturbs the simulation: a\n\
+     traced run's cycle count and fingerprint are identical to an\n\
+     untraced one (tested by tests/trace_neutrality.rs).\n\
+     \n\
+     --validate / --validate-telemetry parse a previously written trace\n\
+     or telemetry stream with the strict in-repo checkers and exit\n\
+     non-zero on any malformation — the CI smoke gate.\n"
+        .to_owned()
+}
+
+/// `gm-run trace`: one traced (workload × scheme) job, or validation of
+/// previously emitted trace/telemetry files.
+fn trace_main(args: &[String]) {
+    use gm_sim::TraceSink;
+    use gm_trace::{validate_o3, O3PipeViewSink, SummarySink, Tee};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let program = "gm-run trace";
+    let mut experiment_name: Option<String> = None;
+    let mut workload: Option<String> = None;
+    let mut scheme_label: Option<String> = None;
+    let mut scale = Scale::Test;
+    let mut out: Option<String> = None;
+    let mut summary = false;
+    let mut validate_trace: Option<String> = None;
+    let mut validate_telemetry: Option<String> = None;
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| -> String {
+        it.next().cloned().unwrap_or_else(|| {
+            eprint!("{program}: {flag} requires a value\n\n{}", trace_usage());
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workload" => workload = Some(value("--workload", &mut it)),
+            "--scheme" => scheme_label = Some(value("--scheme", &mut it)),
+            "--scale" => {
+                let v = value("--scale", &mut it);
+                scale = Scale::from_name(&v).unwrap_or_else(|| {
+                    eprint!(
+                        "{program}: invalid --scale {v:?} (expected test|bench|full)\n\n{}",
+                        trace_usage()
+                    );
+                    std::process::exit(2);
+                });
+            }
+            "--out" => out = Some(value("--out", &mut it)),
+            "--summary" => summary = true,
+            "--validate" => validate_trace = Some(value("--validate", &mut it)),
+            "--validate-telemetry" => {
+                validate_telemetry = Some(value("--validate-telemetry", &mut it));
+            }
+            "--help" | "-h" => {
+                print!("{}", trace_usage());
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => {
+                eprint!("{program}: unknown argument {flag:?}\n\n{}", trace_usage());
+                std::process::exit(2);
+            }
+            name if experiment_name.is_none() => experiment_name = Some(name.to_owned()),
+            extra => {
+                eprint!(
+                    "{program}: unexpected argument {extra:?}\n\n{}",
+                    trace_usage()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // Validation modes stand alone: they read files, they run nothing.
+    if validate_trace.is_some() || validate_telemetry.is_some() {
+        if experiment_name.is_some() || out.is_some() || summary {
+            eprint!(
+                "{program}: --validate modes take only a file argument\n\n{}",
+                trace_usage()
+            );
+            std::process::exit(2);
+        }
+        if let Some(path) = &validate_trace {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(program, &format!("cannot read {path:?}: {e}")));
+            let r = validate_o3(&text)
+                .unwrap_or_else(|e| fail(program, &format!("{path}: invalid trace: {e}")));
+            eprintln!(
+                "{program}: {path}: valid O3PipeView trace: {} instruction(s), \
+                 {} retired, {} squashed",
+                r.instructions, r.retired, r.squashed
+            );
+        }
+        if let Some(path) = &validate_telemetry {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(program, &format!("cannot read {path:?}: {e}")));
+            let s = telemetry::validate(&text)
+                .unwrap_or_else(|e| fail(program, &format!("{path}: invalid telemetry: {e}")));
+            eprintln!(
+                "{program}: {path}: valid telemetry stream: {} event(s), \
+                 {} experiment(s), {} job(s)",
+                s.events, s.experiments, s.jobs
+            );
+        }
+        return;
+    }
+    let Some(exp_name) = experiment_name else {
+        eprint!("{program}: trace needs an experiment\n\n{}", trace_usage());
+        std::process::exit(2);
+    };
+    let exp = experiment::find(&exp_name).unwrap_or_else(|| {
+        fail(
+            program,
+            &format!("unknown experiment {exp_name:?} (try gm-run --list)"),
+        )
+    });
+    let ExperimentKind::Sweep(sweep) = &exp.kind else {
+        fail(program, &format!("{exp_name} is not a sweep experiment"));
+    };
+    let set = sweep.workload_set(scale);
+    let unit = match &workload {
+        Some(name) => set
+            .units
+            .iter()
+            .find(|u| u.name == name)
+            .unwrap_or_else(|| {
+                let names: Vec<&str> = set.units.iter().map(|u| u.name).collect();
+                fail(
+                    program,
+                    &format!("{exp_name} has no workload {name:?} (choose from {names:?})"),
+                )
+            }),
+        None => &set.units[0],
+    };
+    let col = match &scheme_label {
+        Some(label) => sweep
+            .schemes
+            .iter()
+            .find(|c| &c.label == label || c.scheme.name() == label)
+            .unwrap_or_else(|| {
+                let labels: Vec<&str> = sweep.schemes.iter().map(|c| c.label.as_str()).collect();
+                fail(
+                    program,
+                    &format!("{exp_name} has no scheme {label:?} (choose from {labels:?})"),
+                )
+            }),
+        None => &sweep.schemes[0],
+    };
+    // With no --out, the summary is the only output worth running for.
+    let summary = summary || out.is_none();
+    let o3 = out.as_ref().map(|path| {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(program, &format!("cannot create {path:?}: {e}")));
+        Rc::new(RefCell::new(O3PipeViewSink::new(std::io::BufWriter::new(
+            file,
+        ))))
+    });
+    let sum = summary.then(|| Rc::new(RefCell::new(SummarySink::new())));
+    let mut fan: Vec<Rc<RefCell<dyn TraceSink>>> = Vec::new();
+    if let Some(s) = &o3 {
+        fan.push(s.clone() as Rc<RefCell<dyn TraceSink>>);
+    }
+    if let Some(s) = &sum {
+        fan.push(s.clone() as Rc<RefCell<dyn TraceSink>>);
+    }
+    let sink: Rc<RefCell<dyn TraceSink>> = if fan.len() == 1 {
+        fan.pop().expect("one sink")
+    } else {
+        Rc::new(RefCell::new(Tee::new(fan)))
+    };
+    let mut machine = ghostminion::Machine::new(col.scheme, sweep.config, unit.programs.clone());
+    machine.set_trace(sink);
+    let result = machine.run(sweep.config.max_cycles);
+    let committed: u64 = result.core_stats.iter().map(|c| c.committed).sum();
+    eprintln!(
+        "{program}: {exp_name} {}/{} at {} scale: {} cycles, {} committed instruction(s)",
+        unit.name,
+        col.label,
+        scale.name(),
+        result.cycles,
+        committed
+    );
+    if let Some(o3) = &o3 {
+        if let Err(e) = o3.borrow_mut().finish() {
+            fail(program, &format!("cannot write trace: {e}"));
+        }
+        eprintln!("{program}: wrote {}", out.as_deref().unwrap_or(""));
+    }
+    if let Some(sum) = &sum {
+        print!("{}", sum.borrow().render(result.cycles));
+    }
 }
 
 fn bench_usage() -> String {
@@ -742,6 +1048,14 @@ fn bench_main(args: &[String]) {
                 );
                 std::process::exit(2);
             }
+            if opts.telemetry.is_some() {
+                eprint!(
+                    "{program}: --telemetry would perturb the timing snapshot; \
+                     use a plain sweep run instead\n\n{}",
+                    bench_usage()
+                );
+                std::process::exit(2);
+            }
             opts
         }
         Err(e) => {
@@ -809,7 +1123,7 @@ fn bench_main(args: &[String]) {
         if profile {
             gm_sim::prof::reset();
         }
-        let out = run_experiment(&runner, exp, opts.scale, None)
+        let out = run_experiment(&runner, exp, opts.scale, None, None)
             .unwrap_or_else(|e| fail(program, &format!("{}: {e}", exp.name)));
         let jobs = (out.cache.hits + out.cache.misses) as u64;
         total_jobs += jobs;
@@ -1229,6 +1543,26 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_must_not_collide_with_the_json_output() {
+        let o = parse(&args(&["--telemetry", "events.jsonl"]), false).unwrap();
+        assert_eq!(o.telemetry.as_deref(), Some("events.jsonl"));
+        assert!(parse(&args(&["--telemetry"]), false).is_err());
+        // Same path for the span stream and the results document would
+        // corrupt both (mirrors the bench --check/--json guard).
+        let e = parse(
+            &args(&["--telemetry", "out.json", "--json", "out.json"]),
+            false,
+        )
+        .unwrap_err();
+        assert!(e.contains("same file"), "{e}");
+        assert!(parse(
+            &args(&["--telemetry", "t.jsonl", "--json", "out.json"]),
+            false
+        )
+        .is_ok());
+    }
+
+    #[test]
     fn usage_mentions_every_flag() {
         let u = usage("gm-run", true);
         for flag in [
@@ -1241,9 +1575,11 @@ mod tests {
             "--list",
             "--filter",
             "--shard",
+            "--telemetry",
             "merge",
             "bench",
             "store",
+            "trace",
             "--check",
             "--gc",
         ] {
@@ -1410,6 +1746,23 @@ mod tests {
         let u = bench_usage();
         for flag in ["--check", "--profile", "--workloads", "stage-prof"] {
             assert!(u.contains(flag), "{flag} missing from bench usage");
+        }
+    }
+
+    #[test]
+    fn trace_usage_mentions_the_trace_only_flags() {
+        let u = trace_usage();
+        for flag in [
+            "--workload",
+            "--scheme",
+            "--scale",
+            "--out",
+            "--summary",
+            "--validate",
+            "--validate-telemetry",
+            "Konata",
+        ] {
+            assert!(u.contains(flag), "{flag} missing from trace usage");
         }
     }
 

@@ -16,6 +16,9 @@
 //!   and structured JSON (per-job [`gm_results::record`] objects);
 //! * [`merge`] — shard documents and the `gm-run merge` recombination,
 //!   bit-identical to an unsharded run;
+//! * [`telemetry`] — append-only JSON-lines span events (`--telemetry`)
+//!   for the run, each experiment, and each job, plus the strict
+//!   validator CI runs over emitted streams;
 //! * [`cli`] — argument parsing plus the `main` bodies of the thin
 //!   figure binaries and the `gm-run` driver.
 //!
@@ -27,9 +30,11 @@ pub mod experiment;
 pub mod merge;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 
 pub use experiment::{Experiment, ExperimentKind, Report, SchemeCol, Sweep};
 pub use runner::{CacheStats, Job, Runner, Shard, SweepRun};
+pub use telemetry::Telemetry;
 
 use ghostminion::{Machine, MachineResult, Scheme, SystemConfig};
 use gm_workloads::WorkloadUnit;

@@ -210,7 +210,7 @@ pub fn merge_docs(docs: &[Json], runner: &Runner) -> Result<Merged, String> {
             // Deterministic and simulation-free (or nearly so): re-run
             // locally rather than persisting table renderings in shards.
             ExperimentKind::Security | ExperimentKind::Table1 => {
-                let out = run_experiment(runner, &exp, scale, None)?;
+                let out = run_experiment(runner, &exp, scale, None, None)?;
                 outputs.push((exp, out));
             }
         }

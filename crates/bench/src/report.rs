@@ -3,6 +3,7 @@
 
 use crate::experiment::{Experiment, ExperimentKind, Report, Sweep};
 use crate::runner::{CacheStats, Runner, Shard, SweepResults, SweepRun};
+use crate::telemetry::Telemetry;
 use ghostminion::{Scheme, SystemConfig};
 use gm_attacks::{run_all, spectre_rewind, spectre_v1_string};
 use gm_results::{job_record, ResultStore};
@@ -51,16 +52,25 @@ impl ExperimentOutput {
 }
 
 /// Executes one registered experiment end to end, consulting (and
-/// feeding) `store` for sweep jobs.
+/// feeding) `store` for sweep jobs. With `telemetry`, the experiment
+/// is bracketed by an `experiment_start`/`experiment_end` span and
+/// sweep jobs emit their own spans (see [`crate::telemetry`]).
 pub fn run_experiment(
     runner: &Runner,
     exp: &Experiment,
     scale: Scale,
     store: Option<&ResultStore>,
+    telemetry: Option<&Telemetry>,
 ) -> Result<ExperimentOutput, String> {
-    match &exp.kind {
+    if let Some(tel) = telemetry {
+        tel.emit("experiment_start", |j| {
+            j.set("experiment", exp.name);
+        });
+    }
+    let out = match &exp.kind {
         ExperimentKind::Sweep(sweep) => {
-            let run = runner.run_sweep_shard(sweep, scale, exp.name, store, Shard::full())?;
+            let run =
+                runner.run_sweep_shard(sweep, scale, exp.name, store, Shard::full(), telemetry)?;
             let results = run.to_results();
             let (preamble, table, postamble) = render_sweep(sweep, &results);
             Ok(ExperimentOutput {
@@ -81,7 +91,17 @@ pub fn run_experiment(
             Vec::new(),
             Json::Array(Vec::new()),
         )),
+    };
+    if let (Some(tel), Ok(out)) = (telemetry, &out) {
+        tel.emit("experiment_end", |j| {
+            j.set("experiment", exp.name)
+                .set("jobs", out.cache.hits + out.cache.misses)
+                .set("hits", out.cache.hits)
+                .set("misses", out.cache.misses)
+                .set("sim_wall_us", out.sim_wall_us);
+        });
     }
+    out
 }
 
 /// The exact stdout of one experiment: preamble lines, the table in

@@ -22,6 +22,7 @@
 
 use crate::experiment::Sweep;
 use crate::run_unit;
+use crate::telemetry::Telemetry;
 use ghostminion::MachineResult;
 use gm_results::{job_fingerprint, job_record, record_wall_us, result_from_record, ResultStore};
 use gm_workloads::{Scale, WorkloadSet};
@@ -253,6 +254,11 @@ impl Runner {
     /// reconstruct (corrupt line, old format version) degrades to a
     /// cache miss and re-simulates; the subsequent append supersedes the
     /// bad record, so the store heals itself.
+    ///
+    /// With `telemetry`, each job emits a `job_start`/`job_end` span
+    /// (fingerprint, cache outcome, wall-clock) as it runs; spans from
+    /// parallel workers may interleave, but every field is independent
+    /// of the worker count (see [`crate::telemetry`]).
     pub fn run_sweep_shard(
         &self,
         sweep: &Sweep,
@@ -260,6 +266,7 @@ impl Runner {
         experiment: &str,
         store: Option<&ResultStore>,
         shard: Shard,
+        telemetry: Option<&Telemetry>,
     ) -> Result<SweepRun, String> {
         let set = sweep.workload_set(scale);
         let nschemes = sweep.schemes.len();
@@ -306,43 +313,58 @@ impl Runner {
         let jobs = self.map(&owned, |&(flat, u, s)| {
             let unit = &set.units[u];
             let scheme = sweep.schemes[s].scheme;
+            let label = sweep.schemes[s].label.as_str();
             let fingerprint = fingerprints[flat]
                 .clone()
                 .unwrap_or_else(|| job_fingerprint(unit, &scheme, scale, &sweep.config));
-            if let Some(record) = cached.get(&fingerprint) {
-                let reconstructed = result_from_record(record, unit.name, scheme.name())
-                    .and_then(|result| Ok((result, record_wall_us(record)?)));
-                if let Ok((result, wall_us)) = reconstructed {
-                    return Job {
-                        result,
-                        wall_us,
-                        fingerprint,
-                        cached: true,
-                    };
-                }
+            if let Some(tel) = telemetry {
+                tel.emit("job_start", |j| {
+                    j.set("experiment", experiment)
+                        .set("workload", unit.name)
+                        .set("scheme", label);
+                });
             }
-            let started = Instant::now();
-            let result = run_unit(scheme, unit, sweep.config);
-            let wall_us = started.elapsed().as_micros() as u64;
-            if let Some(st) = store {
-                let record = job_record(
-                    unit.name,
-                    &sweep.schemes[s].label,
-                    &result,
+            let job = (|| {
+                if let Some(record) = cached.get(&fingerprint) {
+                    let reconstructed = result_from_record(record, unit.name, scheme.name())
+                        .and_then(|result| Ok((result, record_wall_us(record)?)));
+                    if let Ok((result, wall_us)) = reconstructed {
+                        return Job {
+                            result,
+                            wall_us,
+                            fingerprint: fingerprint.clone(),
+                            cached: true,
+                        };
+                    }
+                }
+                let started = Instant::now();
+                let result = run_unit(scheme, unit, sweep.config);
+                let wall_us = started.elapsed().as_micros() as u64;
+                if let Some(st) = store {
+                    let record = job_record(unit.name, label, &result, wall_us, &fingerprint);
+                    if let Err(e) = st.append(experiment, &record) {
+                        // Losing cache warmth is not worth failing the run.
+                        eprintln!("warning: cannot append to store for {experiment}: {e}");
+                    }
+                }
+                Job {
+                    result,
                     wall_us,
-                    &fingerprint,
-                );
-                if let Err(e) = st.append(experiment, &record) {
-                    // Losing cache warmth is not worth failing the run.
-                    eprintln!("warning: cannot append to store for {experiment}: {e}");
+                    fingerprint: fingerprint.clone(),
+                    cached: false,
                 }
+            })();
+            if let Some(tel) = telemetry {
+                tel.emit("job_end", |j| {
+                    j.set("experiment", experiment)
+                        .set("workload", unit.name)
+                        .set("scheme", label)
+                        .set("fingerprint", job.fingerprint.as_str())
+                        .set("cached", job.cached)
+                        .set("wall_us", job.wall_us);
+                });
             }
-            Job {
-                result,
-                wall_us,
-                fingerprint,
-                cached: false,
-            }
+            job
         });
         let mut rows: Vec<Vec<Option<Job>>> = (0..set.units.len())
             .map(|_| (0..nschemes).map(|_| None).collect())
@@ -362,7 +384,7 @@ impl Runner {
     /// Runs the complete sweep with no store: the cache-free,
     /// single-shard fast path used by tests and benches.
     pub fn run_sweep(&self, sweep: &Sweep, scale: Scale) -> SweepResults {
-        self.run_sweep_shard(sweep, scale, "", None, Shard::full())
+        self.run_sweep_shard(sweep, scale, "", None, Shard::full(), None)
             .expect("storeless runs cannot fail")
             .into_results()
     }

@@ -73,15 +73,15 @@ fn store_backed_json_is_bit_identical_across_worker_counts() {
     let store = scratch.store();
     let sweep = small_sweep(Suite::Spec2006, vec!["gamess", "hmmer"]);
     let warm = Runner::new(2)
-        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
         .unwrap();
     assert_eq!(warm.cache.misses, 4);
 
     let serial = Runner::new(1)
-        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
         .unwrap();
     let parallel = Runner::new(4)
-        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
         .unwrap();
     assert_eq!(
         sweep_results_json(&sweep, &serial).render(),
@@ -102,14 +102,14 @@ fn a_warm_store_eliminates_all_simulation() {
     let sweep = small_sweep(Suite::Spec2006, vec!["gamess", "hmmer"]);
 
     let cold = Runner::new(2)
-        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
         .unwrap();
     assert_eq!((cold.cache.hits, cold.cache.misses), (0, 4));
     assert!(cold.sim_wall_us() > 0, "misses must record wall-clock");
     assert!(cold.slowest_sim(&sweep).is_some());
 
     let warm = Runner::new(2)
-        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
         .unwrap();
     assert_eq!((warm.cache.hits, warm.cache.misses), (4, 0));
     assert_eq!(warm.sim_wall_us(), 0, "zero re-simulation on a warm store");
@@ -127,12 +127,12 @@ fn a_config_change_invalidates_the_cache() {
     let store = scratch.store();
     let mut sweep = small_sweep(Suite::Spec2006, vec!["gamess"]);
     Runner::new(1)
-        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
         .unwrap();
     // Any behavioural knob flips the fingerprint; the warm store misses.
     sweep.config.core.rob_entries -= 1;
     let run = Runner::new(1)
-        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full())
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
         .unwrap();
     assert_eq!((run.cache.hits, run.cache.misses), (0, 2));
 }
@@ -164,7 +164,7 @@ fn normalized_sweep_has_rows_plus_geomean() {
 fn sweep_json_carries_per_job_records() {
     let sweep = small_sweep(Suite::Spec2006, vec!["gamess"]);
     let run = Runner::new(1)
-        .run_sweep_shard(&sweep, Scale::Test, "t", None, Shard::full())
+        .run_sweep_shard(&sweep, Scale::Test, "t", None, Shard::full(), None)
         .unwrap();
     let json = sweep_results_json(&sweep, &run).render();
     for field in [
@@ -231,7 +231,7 @@ fn shard_round(n: u32, store: &ResultStore, reference: &(String, String)) {
     for k in 1..=n {
         let shard = Shard::new(k, n).unwrap();
         let run = Runner::new(1)
-            .run_sweep_shard(sweep, Scale::Test, exp.name, Some(store), shard)
+            .run_sweep_shard(sweep, Scale::Test, exp.name, Some(store), shard, None)
             .unwrap();
         assert_eq!(run.cache.misses, 0, "warm store: shards never simulate");
         // Flatten ownership in job order.
@@ -298,7 +298,7 @@ fn historical_costs_shard_consistently_against_one_store() {
     // Reference (storeless — the report depends only on the simulation).
     let reference = report_text(
         exp.title,
-        &run_experiment(&Runner::new(1), exp, Scale::Test, None).unwrap(),
+        &run_experiment(&Runner::new(1), exp, Scale::Test, None, None).unwrap(),
     );
     // Warm the store under an *older* configuration: every record's
     // fingerprint misses the current jobs, so nothing is cached, but
@@ -307,7 +307,14 @@ fn historical_costs_shard_consistently_against_one_store() {
     old.config.core.rob_entries -= 1;
     old.workloads = Some(vec!["gamess"]);
     Runner::new(1)
-        .run_sweep_shard(&old, Scale::Test, exp.name, Some(&store), Shard::full())
+        .run_sweep_shard(
+            &old,
+            Scale::Test,
+            exp.name,
+            Some(&store),
+            Shard::full(),
+            None,
+        )
         .unwrap();
 
     let mut docs = Vec::new();
@@ -316,7 +323,7 @@ fn historical_costs_shard_consistently_against_one_store() {
     for k in 1..=2u32 {
         let shard = Shard::new(k, 2).unwrap();
         let run = Runner::new(1)
-            .run_sweep_shard(sweep, Scale::Test, exp.name, Some(&store), shard)
+            .run_sweep_shard(sweep, Scale::Test, exp.name, Some(&store), shard, None)
             .unwrap();
         misses += run.cache.misses;
         let flat: Vec<bool> = run
@@ -370,7 +377,7 @@ proptest! {
         )
         .unwrap();
         let exp = &experiments[0];
-        let out = run_experiment(&Runner::new(1), exp, Scale::Test, Some(&store)).unwrap();
+        let out = run_experiment(&Runner::new(1), exp, Scale::Test, Some(&store), None).unwrap();
         let reference = (report_text(exp.title, &out), out.results.render());
         shard_round(n, &store, &reference);
     }

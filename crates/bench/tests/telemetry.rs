@@ -1,0 +1,161 @@
+//! Integration tests for `--telemetry` JSON-lines span events: every
+//! emitted line must round-trip through the strict `gm_stats::Json`
+//! parser, spans must nest and balance, and the event *set* must be
+//! independent of the worker count (`--jobs 1` vs `--jobs 4`).
+
+use ghostminion::{Scheme, SystemConfig};
+use gm_bench::experiment::{Report, SchemeCol, Sweep};
+use gm_bench::telemetry::{self, Telemetry};
+use gm_bench::{Runner, Shard};
+use gm_results::ResultStore;
+use gm_stats::Json;
+use gm_workloads::{Scale, Suite};
+use std::path::PathBuf;
+
+/// A unique scratch directory under the system temp dir, removed on
+/// drop (the offline environment has no `tempfile` crate).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gm-telemetry-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir creates");
+        Self(dir)
+    }
+
+    fn store(&self) -> ResultStore {
+        ResultStore::open(self.0.join("store")).expect("scratch store opens")
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_str().expect("utf-8 path").to_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn small_sweep() -> Sweep {
+    Sweep {
+        suite: Suite::Spec2006,
+        workloads: Some(vec!["gamess", "hmmer"]),
+        schemes: vec![
+            SchemeCol::named(Scheme::unsafe_baseline()),
+            SchemeCol::named(Scheme::ghost_minion()),
+        ],
+        report: Report::NormalizedTime,
+        config: SystemConfig::micro2021(),
+    }
+}
+
+/// Emulates the driver's span bracketing around one sweep, the way
+/// `gm-run --telemetry` runs it.
+fn run_with_telemetry(path: &str, jobs: usize, store: &ResultStore, sweep: &Sweep) {
+    let tel = Telemetry::create(path).expect("telemetry file creates");
+    tel.emit("run_start", |j| {
+        j.set("program", "test").set("scale", "test");
+    });
+    tel.emit("experiment_start", |j| {
+        j.set("experiment", "t");
+    });
+    let run = Runner::new(jobs)
+        .run_sweep_shard(
+            sweep,
+            Scale::Test,
+            "t",
+            Some(store),
+            Shard::full(),
+            Some(&tel),
+        )
+        .expect("sweep runs");
+    tel.emit("experiment_end", |j| {
+        j.set("experiment", "t")
+            .set("jobs", run.owned_jobs())
+            .set("hits", run.cache.hits)
+            .set("misses", run.cache.misses)
+            .set("sim_wall_us", run.sim_wall_us());
+    });
+    tel.emit("run_end", |j| {
+        j.set("experiments", 1usize);
+    });
+    tel.finish().expect("telemetry flushes");
+}
+
+#[test]
+fn every_line_parses_strictly_and_spans_balance() {
+    let scratch = Scratch::new("balance");
+    let store = scratch.store();
+    let sweep = small_sweep();
+    let path = scratch.path("events.jsonl");
+    run_with_telemetry(&path, 2, &store, &sweep);
+    let text = std::fs::read_to_string(&path).expect("telemetry file reads");
+
+    // Each line individually round-trips through the strict parser.
+    for line in text.lines() {
+        let j = Json::parse(line).expect("line parses strictly");
+        assert_eq!(j.render(), line, "render/parse round-trip is exact");
+        assert!(
+            j.get("event").and_then(Json::as_str).is_some(),
+            "every line carries an event"
+        );
+    }
+    // The validator agrees: balanced spans, 2 run + 2 experiment events
+    // and a start/end pair per (2 workloads x 2 schemes) job.
+    let s = telemetry::validate(&text).expect("stream validates");
+    assert_eq!(s.events, 2 + 2 + 2 * 4);
+    assert_eq!(s.experiments, 1);
+    assert_eq!(s.jobs, 4);
+    // A cold run simulated everything.
+    assert!(
+        text.contains("\"cached\":false"),
+        "cold jobs are marked uncached"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_the_event_set() {
+    let scratch = Scratch::new("jobs");
+    let store = scratch.store();
+    let sweep = small_sweep();
+
+    // Warm the store first, so both telemetry runs replay identical
+    // records: cache hits report the stored wall-clock, which makes the
+    // streams deterministic and byte-comparable as sets.
+    Runner::new(2)
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
+        .expect("warm-up runs");
+
+    let p1 = scratch.path("jobs1.jsonl");
+    let p4 = scratch.path("jobs4.jsonl");
+    run_with_telemetry(&p1, 1, &store, &sweep);
+    run_with_telemetry(&p4, 4, &store, &sweep);
+    let t1 = std::fs::read_to_string(&p1).unwrap();
+    let t4 = std::fs::read_to_string(&p4).unwrap();
+    telemetry::validate(&t1).expect("jobs=1 stream validates");
+    telemetry::validate(&t4).expect("jobs=4 stream validates");
+
+    // Parallel workers may interleave job spans, but the event *set*
+    // (every line, byte for byte) is identical.
+    let mut lines1: Vec<&str> = t1.lines().collect();
+    let mut lines4: Vec<&str> = t4.lines().collect();
+    lines1.sort_unstable();
+    lines4.sort_unstable();
+    assert_eq!(
+        lines1, lines4,
+        "event set must not depend on the worker count"
+    );
+    assert!(t4.contains("\"cached\":true"), "warm jobs replay the store");
+    assert!(
+        t4.contains("\"sim_wall_us\":0"),
+        "a fully warm run simulates nothing"
+    );
+}

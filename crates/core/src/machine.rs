@@ -4,10 +4,12 @@ use crate::memsys::{HierarchyConfig, MemStats, MemorySystem};
 use crate::scheme::Scheme;
 use gm_isa::Program;
 use gm_mem::CacheConfig;
-use gm_sim::{Core, CoreConfig, CoreStats, IssueMode, MemoryBackend};
+use gm_sim::{Core, CoreConfig, CoreStats, IssueMode, MemoryBackend, TraceSink};
 use gm_stats::Json;
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Wake-ordered schedule over the machine's cores: a min-heap keyed on
 /// each core's `next_wake`, with lazy invalidation (reschedules push a
@@ -377,6 +379,18 @@ impl Machine {
     pub fn set_issue_mode(&mut self, mode: IssueMode) {
         for core in &mut self.cores {
             core.set_issue_mode(mode);
+        }
+    }
+
+    /// Installs one trace sink shared by every core: each core gets a
+    /// clone of the same `Rc` handle, so a multicore machine streams
+    /// all cores' lifecycle events into a single observer (events
+    /// carry the core index). Tracing is observation-only and provably
+    /// never perturbs simulation — see [`gm_sim::TraceSink`] and the
+    /// trace-neutrality oracle tests. Call before the first tick.
+    pub fn set_trace(&mut self, sink: Rc<RefCell<dyn TraceSink>>) {
+        for core in &mut self.cores {
+            core.set_trace(Rc::clone(&sink));
         }
     }
 

@@ -20,11 +20,14 @@ use crate::lsq::{ForwardResult, LoadQueue, LoadState, StoreQueue};
 use crate::mem_if::{AccessKind, LoadResp, MemReq, MemoryBackend};
 use crate::regfile::{PhysReg, RegFile};
 use crate::rob::{Rob, RobStatus};
+use crate::trace::{SquashCause, TraceEvent, TraceSink};
 use crate::wakeup::WakeupTable;
 use gm_isa::{alu_eval, branch_taken, pc_to_addr, FuClass, Inst, Op, Program, Reg};
 use gm_mem::line_addr;
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::rc::Rc;
 
 /// Data-cache ports: loads/stores the LSQ may send to memory per cycle.
 const MEM_PORTS: usize = 2;
@@ -46,6 +49,8 @@ struct Fetched {
     ras_cp: Option<crate::bpred::RasCheckpoint>,
     avail_at: u64,
     fetch_line: u64,
+    /// Cycle the frontend fetched this instruction (trace only).
+    fetched_at: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -246,6 +251,13 @@ pub struct Core {
     /// `lq_ready > 0` does, so `next_wake` always reads an exact value
     /// without the O(lq) rescan it used to perform.
     lq_retry_min: u64,
+    /// Observer of per-instruction lifecycle edges (see
+    /// [`TraceSink`]). `None` in production: every hook is then a
+    /// single branch and no event is ever constructed. Hooks only
+    /// *read* engine state, so an installed sink provably cannot
+    /// perturb simulation (pinned by the trace-neutrality oracle
+    /// tests).
+    trace: Option<Rc<RefCell<dyn TraceSink>>>,
 }
 
 impl Core {
@@ -302,6 +314,7 @@ impl Core {
             parked_seqs: Vec::new(),
             stage_gating: true,
             lq_retry_min: u64::MAX,
+            trace: None,
             cfg,
             id,
             program,
@@ -338,13 +351,32 @@ impl Core {
         self.issue_mode = mode;
     }
 
+    /// Installs a trace sink observing this core's per-instruction
+    /// lifecycle edges (see [`TraceSink`]). Cores sharing a machine may
+    /// share one sink through clones of the same `Rc` handle. Call
+    /// before the first tick; tracing never changes simulated
+    /// behaviour.
+    pub fn set_trace(&mut self, sink: Rc<RefCell<dyn TraceSink>>) {
+        self.trace = Some(sink);
+    }
+
+    /// Delivers one trace event if a sink is installed. The closure
+    /// defers event construction, so the untraced path is a lone
+    /// branch.
+    #[inline]
+    fn emit(&self, now: u64, make: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.trace {
+            t.borrow_mut().event(now, self.id, &make());
+        }
+    }
+
     /// Writes a result register and wakes the IQ entries waiting on it.
     /// Every in-flight result write must go through here (initial-state
     /// writes in [`Core::new`] predate the first dispatch and need not).
-    fn write_reg(&mut self, p: PhysReg, val: u64) {
+    fn write_reg(&mut self, p: PhysReg, val: u64, now: u64) {
         self.regs.write(p, val);
         if !self.wakeup.is_empty(p) {
-            self.wake_waiters(p);
+            self.wake_waiters(p, now);
         }
     }
 
@@ -353,7 +385,7 @@ impl Core {
     /// resolve in the IQ were squashed after registering — their records
     /// are dropped here (seqs are never reused, so a stale seq cannot
     /// alias a live entry).
-    fn wake_waiters(&mut self, p: PhysReg) {
+    fn wake_waiters(&mut self, p: PhysReg, now: u64) {
         let mut woken = std::mem::take(&mut self.scratch_woken);
         woken.clear();
         self.wakeup.drain_into(p, &mut woken);
@@ -367,6 +399,7 @@ impl Core {
                 // source slots is drained twice; insert it once.
                 if let Err(pos) = self.ready_seqs.binary_search(&seq) {
                     self.ready_seqs.insert(pos, seq);
+                    self.emit(now, || TraceEvent::Ready { seq });
                 }
             }
         }
@@ -673,6 +706,7 @@ impl Core {
             return; // squashed while in flight
         };
         self.rob.set_done_at(ri, now);
+        self.emit(now, || TraceEvent::Writeback { seq });
         let e = self.rob.at(ri);
         let inst = e.inst;
         let result = e.result;
@@ -681,7 +715,7 @@ impl Core {
         if let (Some(_rd), Some(p)) = (inst.dest(), phys_rd) {
             if inst.op != Op::Sc {
                 // Store-conditionals resolve at commit.
-                self.write_reg(p, result);
+                self.write_reg(p, result, now);
                 self.regs.set_taint(p, result_tainted);
             }
         }
@@ -709,13 +743,14 @@ impl Core {
             return;
         };
         self.rob.set_done_at(ri, now);
+        self.emit(now, || TraceEvent::Writeback { seq });
         let e = self.rob.at_mut(ri);
         e.result = value;
         let phys_rd = e.phys_rd;
         let speculative = e.issued_speculatively;
         if let Some(p) = phys_rd {
             let tainted = taint_mode.is_some() && speculative;
-            self.write_reg(p, value);
+            self.write_reg(p, value, now);
             self.regs.set_taint(p, tainted);
         }
     }
@@ -737,7 +772,7 @@ impl Core {
             (e.seq, e.inst, e.ghist_before, e.taken, e.actual_target);
         self.rob.at_mut(ri).mispredicted = true;
         self.stats.mispredicts += 1;
-        self.squash_after(mem, seq, target, now);
+        self.squash_after(mem, seq, target, now, SquashCause::Mispredict);
         if inst.op.is_cond_branch() {
             self.bpred.repair_ghist(ghist_before, taken);
         } else {
@@ -745,11 +780,20 @@ impl Core {
         }
     }
 
-    fn squash_after(&mut self, mem: &mut dyn MemoryBackend, seq: u64, redirect_pc: u64, now: u64) {
+    fn squash_after(
+        &mut self,
+        mem: &mut dyn MemoryBackend,
+        seq: u64,
+        redirect_pc: u64,
+        now: u64,
+        cause: SquashCause,
+    ) {
         let max_ts = self.next_seq.saturating_sub(1);
         let regs = &mut self.regs;
         let bpred = &mut self.bpred;
         let wakeup = &mut self.wakeup;
+        let trace = self.trace.as_deref();
+        let core_id = self.id;
         let n = self.rob.squash_above(seq, |e| {
             if let (Some(rd), Some(new), Some(old)) = (e.inst.dest(), e.phys_rd, e.old_phys_rd) {
                 regs.unrename(rd, new, old);
@@ -759,6 +803,18 @@ impl Core {
             }
             if let Some(cp) = e.ras_cp {
                 bpred.ras_restore(cp);
+            }
+            if let Some(t) = trace {
+                t.borrow_mut().event(
+                    now,
+                    core_id,
+                    &TraceEvent::Squash {
+                        seq: e.seq,
+                        pc: e.pc,
+                        op: e.inst.op,
+                        cause,
+                    },
+                );
             }
         });
         self.stats.squashed += n as u64;
@@ -872,7 +928,7 @@ impl Core {
                         if let Some(p) = phys_rd {
                             // The SC result register may have waiters in
                             // the IQ (it only resolves here, at commit).
-                            self.write_reg(p, if ok { 0 } else { 1 });
+                            self.write_reg(p, if ok { 0 } else { 1 }, now);
                             self.regs.set_taint(p, false);
                         }
                     } else {
@@ -884,7 +940,7 @@ impl Core {
                     // Drain the wrong-path tail fetched past the halt so
                     // the rename map reflects architectural state.
                     let pc = head.pc;
-                    self.squash_after(mem, seq, pc, now);
+                    self.squash_after(mem, seq, pc, now, SquashCause::HaltDrain);
                     self.halted = true;
                 }
                 _ => {}
@@ -911,6 +967,12 @@ impl Core {
             if let (Some(rd), Some(old)) = (head.inst.dest(), head.old_phys_rd) {
                 self.regs.release(rd, old);
             }
+            let pc = head.pc;
+            self.emit(now, || TraceEvent::Commit {
+                seq,
+                pc,
+                op: inst.op,
+            });
             self.rob.drop_head();
             self.stats.committed += 1;
             self.last_commit_cycle = now;
@@ -996,6 +1058,7 @@ impl Core {
         self.fu.issue(q.class, now, latency);
         *issued += 1;
         self.tick_progress = true;
+        self.emit(now, || TraceEvent::Issue { seq: q.seq });
 
         if inst.op.is_mem() {
             // AGU: resolve the address; the LSQ takes over next phase.
@@ -1221,6 +1284,7 @@ impl Core {
                         self.lq_ready -= 1;
                         let pos = self.parked_seqs.partition_point(|&s| s < seq);
                         self.parked_seqs.insert(pos, seq);
+                        self.emit(now, || TraceEvent::MemPark { seq });
                         continue;
                     }
                 }
@@ -1231,6 +1295,7 @@ impl Core {
                     // Re-check only when that store resolves or drains;
                     // until then the scan result cannot change.
                     self.lq.at_mut(li).blocked_on = Some(s);
+                    self.emit(now, || TraceEvent::MemBlock { seq, store_seq: s });
                     continue;
                 }
                 ForwardResult::Forward(v) => {
@@ -1249,6 +1314,7 @@ impl Core {
                     self.stats.load_forwards += 1;
                     self.tick_progress = true;
                     self.events.push(Reverse((now + 1, seq, EV_LOAD, u64::MAX)));
+                    self.emit(now, || TraceEvent::MemForward { seq });
                 }
                 ForwardResult::NoMatch => {
                     self.tick_progress = true;
@@ -1285,14 +1351,17 @@ impl Core {
                                 .push(Reverse((at.max(now + 1), seq, EV_LOAD, ticket)));
                             sent += 1;
                             last_send_seq = seq;
+                            self.emit(now, || TraceEvent::MemSend { seq, addr });
                         }
                         LoadResp::Retry { at } => {
                             let le = self.lq.at_mut(li);
                             le.retry_at = at.max(now + 1);
-                            retry_min = retry_min.min(le.retry_at);
+                            let retry_at = le.retry_at;
+                            retry_min = retry_min.min(retry_at);
                             self.stats.load_retries += 1;
                             sent += 1;
                             last_send_seq = seq;
+                            self.emit(now, || TraceEvent::MemRetry { seq, retry_at });
                         }
                     }
                 }
@@ -1350,6 +1419,7 @@ impl Core {
             self.stats.stt_delays += (now - le.parked_since) - le.park_deficit;
             le.park_deficit = 0;
             self.lq_ready += 1;
+            self.emit(now, || TraceEvent::MemUnpark { seq });
             unparked += 1;
         }
         if unparked > 0 {
@@ -1417,6 +1487,13 @@ impl Core {
             }
             let class = f.inst.op.fu_class();
             self.iq.push(IqEntry { seq, srcs, class });
+            self.emit(now, || TraceEvent::Rename {
+                seq,
+                pc: f.pc,
+                op: f.inst.op,
+                fetched_at: f.fetched_at,
+            });
+            self.emit(now, || TraceEvent::Dispatch { seq });
             // Wakeup bookkeeping: wait on every in-flight source; go
             // straight to the ready set when there is none. Dispatch is
             // in seq order, so a plain push keeps both lists sorted.
@@ -1429,6 +1506,7 @@ impl Core {
             }
             if !waiting {
                 self.ready_seqs.push(seq);
+                self.emit(now, || TraceEvent::Ready { seq });
             }
             if matches!(class, FuClass::IntDiv | FuClass::FpDiv | FuClass::FpSqrt) {
                 self.nonpipe_seqs.push(seq);
@@ -1534,8 +1612,10 @@ impl Core {
                 ras_cp,
                 avail_at: now + self.cfg.frontend_delay,
                 fetch_line,
+                fetched_at: now,
             });
             self.stats.fetched += 1;
+            self.emit(now, || TraceEvent::Fetch { pc, op: inst.op });
             self.fetch_pc = pred_target;
             if inst.op == Op::Halt {
                 break; // nothing sensible to fetch past a halt

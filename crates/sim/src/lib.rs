@@ -35,6 +35,7 @@ mod mem_if;
 pub mod prof;
 mod regfile;
 mod rob;
+mod trace;
 mod wakeup;
 
 pub use bpred::{BpredConfig, BranchUpdate, Prediction, TournamentPredictor};
@@ -45,3 +46,4 @@ pub use lsq::{LoadQueue, StoreQueue};
 pub use mem_if::{AccessKind, LoadResp, MemReq, MemoryBackend, Ticket};
 pub use regfile::{PhysReg, RegFile};
 pub use rob::{Rob, RobEntry, RobStatus};
+pub use trace::{SquashCause, TraceEvent, TraceSink};

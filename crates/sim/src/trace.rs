@@ -1,0 +1,231 @@
+//! Per-instruction pipeline tracing.
+//!
+//! A [`TraceSink`] observes every lifecycle edge of every dynamic
+//! instruction — fetch, rename, dispatch, wakeup, issue, the LSQ's
+//! memory decisions, writeback, commit, and squash-with-cause. The
+//! engine holds the sink behind `Option<Rc<RefCell<dyn TraceSink>>>`
+//! and every hook is a single `is_some` branch when tracing is off;
+//! the event value itself is only constructed when a sink is
+//! installed, so the untraced busy path pays one predictable branch
+//! per hook and nothing else.
+//!
+//! Hooks are strictly read-only observations: a sink receives copies
+//! of already-committed engine state and has no channel back into the
+//! core, so attaching one can never perturb simulation. The
+//! `trace_neutrality` integration tests pin this down by asserting
+//! trace-on runs are cycle-, statistic-, and memory-counter-identical
+//! to trace-off runs across scheme families, multicore workloads, and
+//! random programs.
+
+use gm_isa::Op;
+
+/// Why a squash removed an instruction from the window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SquashCause {
+    /// A resolved branch disagreed with the prediction the wrong-path
+    /// instructions were fetched under.
+    Mispredict,
+    /// A committing `Halt` drained the wrong-path tail fetched past it
+    /// so the rename map reflects architectural state.
+    HaltDrain,
+}
+
+impl SquashCause {
+    /// Stable lower-case name (`mispredict` / `halt-drain`) for trace
+    /// renderers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SquashCause::Mispredict => "mispredict",
+            SquashCause::HaltDrain => "halt-drain",
+        }
+    }
+}
+
+/// One lifecycle edge of one dynamic instruction.
+///
+/// Events before rename identify the instruction by `pc` only (a
+/// fetched instruction has no sequence number yet and may be dropped
+/// by a squash without ever getting one); from [`TraceEvent::Rename`]
+/// on, `seq` is the per-core unique dynamic-instruction id, never
+/// reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The frontend fetched an instruction (possibly wrong-path).
+    Fetch {
+        /// Program counter (instruction index) fetched.
+        pc: u64,
+        /// Opcode fetched.
+        op: Op,
+    },
+    /// Rename allocated a sequence number, physical destination and
+    /// ROB entry for the fetch-queue head.
+    Rename {
+        /// Dynamic-instruction id assigned here, unique per core.
+        seq: u64,
+        /// Program counter of the instruction.
+        pc: u64,
+        /// Opcode of the instruction.
+        op: Op,
+        /// Cycle the frontend fetched this instruction.
+        fetched_at: u64,
+    },
+    /// The renamed instruction entered the issue queue (same cycle as
+    /// its [`TraceEvent::Rename`]; kept distinct so renderers can show
+    /// a rename→dispatch stage boundary).
+    Dispatch {
+        /// Dynamic-instruction id.
+        seq: u64,
+    },
+    /// All source operands became ready: the wakeup path moved the
+    /// instruction into the issue-ready set.
+    Ready {
+        /// Dynamic-instruction id.
+        seq: u64,
+    },
+    /// Issue selected the instruction and claimed its functional unit.
+    Issue {
+        /// Dynamic-instruction id.
+        seq: u64,
+    },
+    /// The LSQ sent a load to the memory backend.
+    MemSend {
+        /// Dynamic-instruction id of the load.
+        seq: u64,
+        /// Resolved byte address.
+        addr: u64,
+    },
+    /// The LSQ satisfied a load from the store queue (store-to-load
+    /// forwarding, no memory access).
+    MemForward {
+        /// Dynamic-instruction id of the load.
+        seq: u64,
+    },
+    /// A load blocked on an older store with an unknown or partially
+    /// overlapping address; it re-enters the send scan when that store
+    /// resolves or drains.
+    MemBlock {
+        /// Dynamic-instruction id of the load.
+        seq: u64,
+        /// Sequence number of the blocking store.
+        store_seq: u64,
+    },
+    /// The STT taint gate parked a tainted-address load until its
+    /// visibility point.
+    MemPark {
+        /// Dynamic-instruction id of the load.
+        seq: u64,
+    },
+    /// A parked load's visibility point arrived; it re-entered the
+    /// send candidates.
+    MemUnpark {
+        /// Dynamic-instruction id of the load.
+        seq: u64,
+    },
+    /// The memory backend rejected a load with a retry backoff (MSHR
+    /// pressure).
+    MemRetry {
+        /// Dynamic-instruction id of the load.
+        seq: u64,
+        /// Cycle at which the load may retry.
+        retry_at: u64,
+    },
+    /// The instruction's result became architecturally visible to
+    /// dependents (writeback).
+    Writeback {
+        /// Dynamic-instruction id.
+        seq: u64,
+    },
+    /// The instruction retired from the ROB head.
+    Commit {
+        /// Dynamic-instruction id.
+        seq: u64,
+        /// Program counter of the instruction.
+        pc: u64,
+        /// Opcode of the instruction.
+        op: Op,
+    },
+    /// A squash removed the (renamed, never-committed) instruction.
+    Squash {
+        /// Dynamic-instruction id.
+        seq: u64,
+        /// Program counter of the instruction.
+        pc: u64,
+        /// Opcode of the instruction.
+        op: Op,
+        /// What triggered the squash.
+        cause: SquashCause,
+    },
+}
+
+impl TraceEvent {
+    /// The dynamic-instruction id this event concerns, if it has one
+    /// (every event except [`TraceEvent::Fetch`]).
+    pub fn seq(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::Fetch { .. } => None,
+            TraceEvent::Rename { seq, .. }
+            | TraceEvent::Dispatch { seq }
+            | TraceEvent::Ready { seq }
+            | TraceEvent::Issue { seq }
+            | TraceEvent::MemSend { seq, .. }
+            | TraceEvent::MemForward { seq }
+            | TraceEvent::MemBlock { seq, .. }
+            | TraceEvent::MemPark { seq }
+            | TraceEvent::MemUnpark { seq }
+            | TraceEvent::MemRetry { seq, .. }
+            | TraceEvent::Writeback { seq }
+            | TraceEvent::Commit { seq, .. }
+            | TraceEvent::Squash { seq, .. } => Some(seq),
+        }
+    }
+}
+
+/// An observer of per-instruction pipeline events.
+///
+/// Implementations receive every event from every core that shares
+/// the sink (the multicore machine clones one `Rc` handle into each
+/// core), in the deterministic order the engine produces them. A sink
+/// must not assume events for different cores interleave in any
+/// particular pattern, but per `(core, seq)` the lifecycle order is
+/// fixed: rename → dispatch → [ready →] issue → [memory events →]
+/// writeback → commit, or a terminal squash after any point past
+/// rename.
+pub trait TraceSink {
+    /// Observes one event. `cycle` is the simulated cycle the edge
+    /// occurred on; `core` is the emitting core's index.
+    fn event(&mut self, cycle: u64, core: usize, ev: &TraceEvent);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_accessor_covers_every_variant() {
+        assert_eq!(
+            TraceEvent::Fetch {
+                pc: 3,
+                op: Op::Halt
+            }
+            .seq(),
+            None
+        );
+        assert_eq!(TraceEvent::Dispatch { seq: 7 }.seq(), Some(7));
+        assert_eq!(
+            TraceEvent::Squash {
+                seq: 9,
+                pc: 1,
+                op: Op::Halt,
+                cause: SquashCause::Mispredict
+            }
+            .seq(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn squash_cause_names_are_stable() {
+        assert_eq!(SquashCause::Mispredict.name(), "mispredict");
+        assert_eq!(SquashCause::HaltDrain.name(), "halt-drain");
+    }
+}

@@ -1,0 +1,808 @@
+#![warn(missing_docs)]
+
+//! Pipeline-trace sinks over the engine's [`TraceSink`] hooks.
+//!
+//! Two consumers of the per-instruction lifecycle events `gm-sim`
+//! emits (see [`gm_sim::TraceEvent`]):
+//!
+//! * [`O3PipeViewSink`] streams a gem5 `O3PipeView`-compatible text
+//!   trace, directly loadable in the Konata pipeline viewer;
+//! * [`SummarySink`] folds the event stream into a guest-cycle
+//!   attribution report — per functional-unit class, the cycles lost
+//!   to FU waits, STT taint parking, store-forward blocking, and
+//!   squashed work.
+//!
+//! [`Tee`] fans one event stream into several sinks, and
+//! [`validate_o3`] is the strict parser CI runs over emitted traces.
+//!
+//! # Trace format
+//!
+//! Each retired (or squashed) instruction is one 7-line group:
+//!
+//! ```text
+//! O3PipeView:fetch:<tick>:0x<addr>:0:<sn>:<disasm>
+//! O3PipeView:decode:<tick>
+//! O3PipeView:rename:<tick>
+//! O3PipeView:dispatch:<tick>
+//! O3PipeView:issue:<tick>
+//! O3PipeView:complete:<tick>
+//! O3PipeView:retire:<tick>:store:<store-tick>
+//! ```
+//!
+//! Ticks are **1-based simulated cycles** (`cycle + 1`), so `0`
+//! unambiguously means "never reached that stage" — squashed
+//! instructions carry `retire` tick 0, and gem5 tools read the same
+//! convention. `<sn>` is a file-global instruction number assigned in
+//! rename order across all cores.
+
+use gm_isa::{pc_to_addr, FuClass};
+use gm_sim::{TraceEvent, TraceSink};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+/// Tick value meaning "the instruction never reached this stage".
+const NEVER: u64 = 0;
+
+/// Converts a simulated cycle to a trace tick (1-based; see module
+/// docs).
+fn tick(cycle: u64) -> u64 {
+    cycle + 1
+}
+
+// ---- O3PipeView emission ----
+
+/// One in-flight instruction's recorded stage ticks.
+#[derive(Clone, Debug)]
+struct O3Rec {
+    sn: u64,
+    pc: u64,
+    disasm: String,
+    is_store: bool,
+    fetch: u64,
+    decode: u64,
+    rename: u64,
+    dispatch: u64,
+    issue: u64,
+    complete: u64,
+}
+
+/// Streams a gem5 `O3PipeView` text trace (Konata-loadable) to a
+/// writer.
+///
+/// Groups are written when an instruction retires or is squashed, so
+/// each instruction's seven lines are contiguous even in multicore
+/// traces. Instructions squashed before rename never acquired a
+/// sequence number and do not appear (they exist only as fetch-stage
+/// bubbles).
+pub struct O3PipeViewSink<W: Write> {
+    out: W,
+    live: HashMap<(usize, u64), O3Rec>,
+    next_sn: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> O3PipeViewSink<W> {
+    /// Creates a sink writing the trace to `out` (wrap files in a
+    /// `BufWriter`; the sink writes line-at-a-time).
+    pub fn new(out: W) -> Self {
+        Self {
+            out,
+            live: HashMap::new(),
+            next_sn: 0,
+            err: None,
+        }
+    }
+
+    /// Number of instructions currently tracked (renamed, not yet
+    /// retired or squashed).
+    pub fn in_flight(&self) -> usize {
+        self.live.len()
+    }
+
+    fn write_group(&mut self, rec: &O3Rec, retire: u64) {
+        if self.err.is_some() {
+            return;
+        }
+        let store = if rec.is_store && retire != NEVER {
+            retire
+        } else {
+            NEVER
+        };
+        let r = write!(
+            self.out,
+            "O3PipeView:fetch:{}:0x{:08x}:0:{}:{}\n\
+             O3PipeView:decode:{}\n\
+             O3PipeView:rename:{}\n\
+             O3PipeView:dispatch:{}\n\
+             O3PipeView:issue:{}\n\
+             O3PipeView:complete:{}\n\
+             O3PipeView:retire:{}:store:{}\n",
+            rec.fetch,
+            pc_to_addr(rec.pc),
+            rec.sn,
+            rec.disasm,
+            rec.decode,
+            rec.rename,
+            rec.dispatch,
+            rec.issue,
+            rec.complete,
+            retire,
+            store,
+        );
+        if let Err(e) = r {
+            self.err = Some(e);
+        }
+    }
+
+    /// Writes any still-in-flight instructions as squashed groups
+    /// (simulation aborted mid-window), flushes the writer, and
+    /// reports the first I/O error encountered while streaming.
+    pub fn finish(&mut self) -> io::Result<()> {
+        let mut rest: Vec<O3Rec> = self.live.drain().map(|(_, r)| r).collect();
+        rest.sort_by_key(|r| r.sn);
+        for rec in rest {
+            self.write_group(&rec, NEVER);
+        }
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+impl<W: Write> TraceSink for O3PipeViewSink<W> {
+    fn event(&mut self, cycle: u64, core: usize, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Rename {
+                seq,
+                pc,
+                op,
+                fetched_at,
+            } => {
+                let sn = self.next_sn;
+                self.next_sn += 1;
+                self.live.insert(
+                    (core, seq),
+                    O3Rec {
+                        sn,
+                        pc,
+                        disasm: format!("{op:?}"),
+                        is_store: op.is_store(),
+                        fetch: tick(fetched_at),
+                        decode: tick(cycle),
+                        rename: tick(cycle),
+                        dispatch: NEVER,
+                        issue: NEVER,
+                        complete: NEVER,
+                    },
+                );
+            }
+            TraceEvent::Dispatch { seq } => {
+                if let Some(r) = self.live.get_mut(&(core, seq)) {
+                    r.dispatch = tick(cycle);
+                }
+            }
+            TraceEvent::Issue { seq } => {
+                if let Some(r) = self.live.get_mut(&(core, seq)) {
+                    r.issue = tick(cycle);
+                }
+            }
+            TraceEvent::Writeback { seq } => {
+                if let Some(r) = self.live.get_mut(&(core, seq)) {
+                    r.complete = tick(cycle);
+                }
+            }
+            TraceEvent::Commit { seq, .. } => {
+                if let Some(rec) = self.live.remove(&(core, seq)) {
+                    self.write_group(&rec, tick(cycle));
+                }
+            }
+            TraceEvent::Squash { seq, .. } => {
+                if let Some(rec) = self.live.remove(&(core, seq)) {
+                    self.write_group(&rec, NEVER);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---- guest-cycle attribution ----
+
+/// All functional-unit classes, in report order.
+const CLASSES: [FuClass; 8] = [
+    FuClass::IntAlu,
+    FuClass::IntMult,
+    FuClass::IntDiv,
+    FuClass::FpAlu,
+    FuClass::FpDiv,
+    FuClass::FpSqrt,
+    FuClass::MemRead,
+    FuClass::MemWrite,
+];
+
+fn class_index(c: FuClass) -> usize {
+    CLASSES.iter().position(|&x| x == c).expect("known class")
+}
+
+fn class_name(c: FuClass) -> &'static str {
+    match c {
+        FuClass::IntAlu => "IntAlu",
+        FuClass::IntMult => "IntMult",
+        FuClass::IntDiv => "IntDiv",
+        FuClass::FpAlu => "FpAlu",
+        FuClass::FpDiv => "FpDiv",
+        FuClass::FpSqrt => "FpSqrt",
+        FuClass::MemRead => "MemRead",
+        FuClass::MemWrite => "MemWrite",
+    }
+}
+
+/// Per-class accumulated attribution (cycles and counts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCycles {
+    /// Instructions of this class that committed.
+    pub committed: u64,
+    /// Instructions of this class squashed after rename.
+    pub squashed: u64,
+    /// Cycles between operands-ready and issue (FU / port contention,
+    /// fences, strict-FU ordering).
+    pub fu_wait: u64,
+    /// Cycles loads spent parked by the STT taint gate.
+    pub stt_delay: u64,
+    /// Cycles loads spent blocked on an older store with an unknown or
+    /// partially overlapping address.
+    pub store_block: u64,
+    /// Cycles of squashed work: squash cycle minus fetch cycle, summed
+    /// over squashed instructions.
+    pub squash_cost: u64,
+}
+
+/// Per-instruction state the summary tracks between events.
+#[derive(Clone, Copy, Debug)]
+struct LiveInst {
+    class: FuClass,
+    fetched_at: u64,
+    ready_at: Option<u64>,
+    park_at: Option<u64>,
+    block_at: Option<u64>,
+}
+
+/// Folds the event stream into a guest-cycle attribution report: for
+/// each functional-unit class, where its instructions' simulated
+/// cycles went — waiting for a functional unit, parked by the STT
+/// taint gate, blocked behind an unresolved store, or thrown away by a
+/// squash.
+///
+/// Intervals are measured between lifecycle edges of the same dynamic
+/// instruction, so the report is exact (not sampled) and deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct SummarySink {
+    live: HashMap<(usize, u64), LiveInst>,
+    by_class: [ClassCycles; CLASSES.len()],
+    /// Instructions fetched, including never-renamed fetch bubbles.
+    pub fetched: u64,
+    /// Squashes by cause name (`mispredict` / `halt-drain`).
+    pub squashes_by_cause: [(&'static str, u64); 2],
+}
+
+impl SummarySink {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            squashes_by_cause: [("mispredict", 0), ("halt-drain", 0)],
+            ..Self::default()
+        }
+    }
+
+    /// The accumulated attribution for one class.
+    pub fn class(&self, c: FuClass) -> &ClassCycles {
+        &self.by_class[class_index(c)]
+    }
+
+    /// Total committed instructions across classes.
+    pub fn committed(&self) -> u64 {
+        self.by_class.iter().map(|c| c.committed).sum()
+    }
+
+    /// Total cycles attributed to any stall cause.
+    pub fn attributed(&self) -> u64 {
+        self.by_class
+            .iter()
+            .map(|c| c.fu_wait + c.stt_delay + c.store_block + c.squash_cost)
+            .sum()
+    }
+
+    fn settle_block(acc: &mut ClassCycles, li: &mut LiveInst, cycle: u64) {
+        if let Some(b) = li.block_at.take() {
+            acc.store_block += cycle - b;
+        }
+    }
+
+    /// Renders the attribution table. `cycles` is the run's final
+    /// cycle count (for the caption); pass the machine result's
+    /// `cycles`.
+    pub fn render(&self, cycles: u64) -> String {
+        let mut t = gm_stats::Table::new(vec![
+            "class".into(),
+            "committed".into(),
+            "squashed".into(),
+            "fu_wait".into(),
+            "stt_delay".into(),
+            "store_block".into(),
+            "squash_cost".into(),
+        ]);
+        let mut total = ClassCycles::default();
+        for (i, acc) in self.by_class.iter().enumerate() {
+            if *acc == ClassCycles::default() {
+                continue;
+            }
+            t.row(vec![
+                class_name(CLASSES[i]).into(),
+                acc.committed.to_string(),
+                acc.squashed.to_string(),
+                acc.fu_wait.to_string(),
+                acc.stt_delay.to_string(),
+                acc.store_block.to_string(),
+                acc.squash_cost.to_string(),
+            ]);
+            total.committed += acc.committed;
+            total.squashed += acc.squashed;
+            total.fu_wait += acc.fu_wait;
+            total.stt_delay += acc.stt_delay;
+            total.store_block += acc.store_block;
+            total.squash_cost += acc.squash_cost;
+        }
+        t.row(vec![
+            "total".into(),
+            total.committed.to_string(),
+            total.squashed.to_string(),
+            total.fu_wait.to_string(),
+            total.stt_delay.to_string(),
+            total.store_block.to_string(),
+            total.squash_cost.to_string(),
+        ]);
+        let causes = self
+            .squashes_by_cause
+            .iter()
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "guest-cycle attribution over {cycles} cycles \
+             ({} fetched, squashes: {causes})\n{}",
+            self.fetched,
+            t.render()
+        )
+    }
+}
+
+impl TraceSink for SummarySink {
+    fn event(&mut self, cycle: u64, core: usize, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Fetch { .. } => self.fetched += 1,
+            TraceEvent::Rename {
+                seq,
+                op,
+                fetched_at,
+                ..
+            } => {
+                self.live.insert(
+                    (core, seq),
+                    LiveInst {
+                        class: op.fu_class(),
+                        fetched_at,
+                        ready_at: None,
+                        park_at: None,
+                        block_at: None,
+                    },
+                );
+            }
+            TraceEvent::Ready { seq } => {
+                if let Some(li) = self.live.get_mut(&(core, seq)) {
+                    li.ready_at = Some(cycle);
+                }
+            }
+            TraceEvent::Issue { seq } => {
+                if let Some(li) = self.live.get_mut(&(core, seq)) {
+                    if let Some(r) = li.ready_at {
+                        self.by_class[class_index(li.class)].fu_wait += cycle - r;
+                    }
+                }
+            }
+            TraceEvent::MemPark { seq } => {
+                if let Some(li) = self.live.get_mut(&(core, seq)) {
+                    let acc = &mut self.by_class[class_index(li.class)];
+                    Self::settle_block(acc, li, cycle);
+                    li.park_at = Some(cycle);
+                }
+            }
+            TraceEvent::MemUnpark { seq } => {
+                if let Some(li) = self.live.get_mut(&(core, seq)) {
+                    if let Some(p) = li.park_at.take() {
+                        self.by_class[class_index(li.class)].stt_delay += cycle - p;
+                    }
+                }
+            }
+            TraceEvent::MemBlock { seq, .. } => {
+                if let Some(li) = self.live.get_mut(&(core, seq)) {
+                    let acc = &mut self.by_class[class_index(li.class)];
+                    Self::settle_block(acc, li, cycle);
+                    li.block_at = Some(cycle);
+                }
+            }
+            TraceEvent::MemSend { seq, .. } | TraceEvent::MemForward { seq } => {
+                if let Some(li) = self.live.get_mut(&(core, seq)) {
+                    let acc = &mut self.by_class[class_index(li.class)];
+                    Self::settle_block(acc, li, cycle);
+                }
+            }
+            TraceEvent::Commit { seq, .. } => {
+                if let Some(mut li) = self.live.remove(&(core, seq)) {
+                    let acc = &mut self.by_class[class_index(li.class)];
+                    Self::settle_block(acc, &mut li, cycle);
+                    acc.committed += 1;
+                }
+            }
+            TraceEvent::Squash { seq, cause, .. } => {
+                if let Some(mut li) = self.live.remove(&(core, seq)) {
+                    let acc = &mut self.by_class[class_index(li.class)];
+                    Self::settle_block(acc, &mut li, cycle);
+                    if let Some(p) = li.park_at.take() {
+                        acc.stt_delay += cycle - p;
+                    }
+                    acc.squashed += 1;
+                    acc.squash_cost += cycle - li.fetched_at;
+                    let slot = match cause {
+                        gm_sim::SquashCause::Mispredict => 0,
+                        gm_sim::SquashCause::HaltDrain => 1,
+                    };
+                    self.squashes_by_cause[slot].1 += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---- fan-out ----
+
+/// Forwards every event to several sinks, letting one traced run feed
+/// both a streamed trace file and an in-memory summary. Holds the same
+/// shared handles the machine's cores hold, so callers keep their own
+/// concrete handles for post-run access.
+pub struct Tee {
+    sinks: Vec<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl Tee {
+    /// Creates a tee over the given sinks; events are forwarded in
+    /// order.
+    pub fn new(sinks: Vec<Rc<RefCell<dyn TraceSink>>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl TraceSink for Tee {
+    fn event(&mut self, cycle: u64, core: usize, ev: &TraceEvent) {
+        for s in &self.sinks {
+            s.borrow_mut().event(cycle, core, ev);
+        }
+    }
+}
+
+// ---- validation ----
+
+/// What [`validate_o3`] found in a well-formed trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct O3Report {
+    /// Instruction groups in the trace.
+    pub instructions: u64,
+    /// Groups with a nonzero retire tick.
+    pub retired: u64,
+    /// Groups with retire tick 0 (squashed or aborted in flight).
+    pub squashed: u64,
+}
+
+fn parse_tick(line: &str, stage: &str, lineno: usize) -> Result<u64, String> {
+    let prefix = format!("O3PipeView:{stage}:");
+    let rest = line
+        .strip_prefix(&prefix)
+        .ok_or_else(|| format!("line {lineno}: expected `{prefix}<tick>`, got `{line}`"))?;
+    rest.parse::<u64>()
+        .map_err(|_| format!("line {lineno}: non-numeric {stage} tick `{rest}`"))
+}
+
+/// Strictly validates an O3PipeView trace produced by
+/// [`O3PipeViewSink`]: 7-line groups, numeric ticks, monotone
+/// non-decreasing stage ticks, zeros only as an unreached suffix, and
+/// file-unique instruction numbers. Returns counts on success.
+pub fn validate_o3(text: &str) -> Result<O3Report, String> {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() % 7 != 0 {
+        return Err(format!(
+            "trace has {} lines, not a multiple of 7",
+            lines.len()
+        ));
+    }
+    let mut seen_sn = std::collections::HashSet::new();
+    let mut report = O3Report::default();
+    for (g, group) in lines.chunks(7).enumerate() {
+        let base = g * 7 + 1;
+        let fetch_fields: Vec<&str> = group[0].splitn(7, ':').collect();
+        if fetch_fields.len() != 7 || fetch_fields[0] != "O3PipeView" || fetch_fields[1] != "fetch"
+        {
+            return Err(format!("line {base}: malformed fetch line `{}`", group[0]));
+        }
+        let fetch: u64 = fetch_fields[2]
+            .parse()
+            .map_err(|_| format!("line {base}: non-numeric fetch tick"))?;
+        if !fetch_fields[3].starts_with("0x")
+            || u64::from_str_radix(&fetch_fields[3][2..], 16).is_err()
+        {
+            return Err(format!(
+                "line {base}: malformed pc field `{}`",
+                fetch_fields[3]
+            ));
+        }
+        let sn: u64 = fetch_fields[5]
+            .parse()
+            .map_err(|_| format!("line {base}: non-numeric instruction number"))?;
+        if !seen_sn.insert(sn) {
+            return Err(format!("line {base}: duplicate instruction number {sn}"));
+        }
+        if fetch_fields[6].is_empty() {
+            return Err(format!("line {base}: empty disasm"));
+        }
+        let decode = parse_tick(group[1], "decode", base + 1)?;
+        let rename = parse_tick(group[2], "rename", base + 2)?;
+        let dispatch = parse_tick(group[3], "dispatch", base + 3)?;
+        let issue = parse_tick(group[4], "issue", base + 4)?;
+        let complete = parse_tick(group[5], "complete", base + 5)?;
+        let retire_fields: Vec<&str> = group[6].splitn(5, ':').collect();
+        if retire_fields.len() != 5
+            || retire_fields[0] != "O3PipeView"
+            || retire_fields[1] != "retire"
+            || retire_fields[3] != "store"
+        {
+            return Err(format!(
+                "line {}: malformed retire line `{}`",
+                base + 6,
+                group[6]
+            ));
+        }
+        let retire: u64 = retire_fields[2]
+            .parse()
+            .map_err(|_| format!("line {}: non-numeric retire tick", base + 6))?;
+        let store: u64 = retire_fields[4]
+            .parse()
+            .map_err(|_| format!("line {}: non-numeric store tick", base + 6))?;
+        // Stage ticks must be non-decreasing where reached, and zeros
+        // (unreached) must form a suffix of the pipeline order.
+        let stages = [fetch, decode, rename, dispatch, issue, complete, retire];
+        let mut prev = 0u64;
+        let mut dead = false;
+        for (si, &t) in stages.iter().enumerate() {
+            let name = [
+                "fetch", "decode", "rename", "dispatch", "issue", "complete", "retire",
+            ][si];
+            if t == NEVER {
+                // `retire` may be 0 after a completed writeback
+                // (squashed instruction); earlier stages may not
+                // restart once unreached.
+                if name != "retire" {
+                    dead = true;
+                }
+                continue;
+            }
+            if dead {
+                return Err(format!(
+                    "group at line {base}: stage `{name}` reached after an unreached stage"
+                ));
+            }
+            if t < prev {
+                return Err(format!(
+                    "group at line {base}: stage `{name}` tick {t} precedes {prev}"
+                ));
+            }
+            prev = t;
+        }
+        if store != NEVER && store != retire {
+            return Err(format!(
+                "group at line {base}: store tick {store} disagrees with retire {retire}"
+            ));
+        }
+        report.instructions += 1;
+        if retire == NEVER {
+            report.squashed += 1;
+        } else {
+            report.retired += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_isa::Op;
+    use gm_sim::SquashCause;
+
+    fn rename_ev(seq: u64, op: Op, fetched_at: u64) -> TraceEvent {
+        TraceEvent::Rename {
+            seq,
+            pc: seq,
+            op,
+            fetched_at,
+        }
+    }
+
+    /// Drives a synthetic single-instruction lifecycle through the O3
+    /// sink and validates the emitted group.
+    #[test]
+    fn o3_sink_emits_valid_groups() {
+        let mut sink = O3PipeViewSink::new(Vec::new());
+        sink.event(2, 0, &rename_ev(1, Op::Add, 0));
+        sink.event(2, 0, &TraceEvent::Dispatch { seq: 1 });
+        sink.event(2, 0, &TraceEvent::Ready { seq: 1 });
+        sink.event(3, 0, &TraceEvent::Issue { seq: 1 });
+        sink.event(4, 0, &TraceEvent::Writeback { seq: 1 });
+        sink.event(
+            5,
+            0,
+            &TraceEvent::Commit {
+                seq: 1,
+                pc: 1,
+                op: Op::Add,
+            },
+        );
+        // A second instruction squashed while waiting.
+        sink.event(3, 0, &rename_ev(2, Op::Mul, 2));
+        sink.event(3, 0, &TraceEvent::Dispatch { seq: 2 });
+        sink.event(
+            6,
+            0,
+            &TraceEvent::Squash {
+                seq: 2,
+                pc: 2,
+                op: Op::Mul,
+                cause: SquashCause::Mispredict,
+            },
+        );
+        sink.finish().unwrap();
+        let text = String::from_utf8(std::mem::take(&mut sink.out)).unwrap();
+        let report = validate_o3(&text).expect("trace validates");
+        assert_eq!(report.instructions, 2);
+        assert_eq!(report.retired, 1);
+        assert_eq!(report.squashed, 1);
+        assert!(text.contains("O3PipeView:retire:6:store:0"));
+        assert!(text.contains("O3PipeView:retire:0:store:0"));
+    }
+
+    #[test]
+    fn o3_store_carries_retire_tick() {
+        let mut sink = O3PipeViewSink::new(Vec::new());
+        sink.event(0, 0, &rename_ev(1, Op::St(gm_isa::MemSize::B8), 0));
+        sink.event(0, 0, &TraceEvent::Dispatch { seq: 1 });
+        sink.event(1, 0, &TraceEvent::Issue { seq: 1 });
+        sink.event(2, 0, &TraceEvent::Writeback { seq: 1 });
+        sink.event(
+            9,
+            0,
+            &TraceEvent::Commit {
+                seq: 1,
+                pc: 1,
+                op: Op::St(gm_isa::MemSize::B8),
+            },
+        );
+        sink.finish().unwrap();
+        let text = String::from_utf8(std::mem::take(&mut sink.out)).unwrap();
+        assert!(text.contains("O3PipeView:retire:10:store:10"));
+        validate_o3(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_o3("O3PipeView:fetch:1\n").is_err());
+        let mut sink = O3PipeViewSink::new(Vec::new());
+        sink.event(0, 0, &rename_ev(1, Op::Add, 0));
+        sink.event(
+            1,
+            0,
+            &TraceEvent::Commit {
+                seq: 1,
+                pc: 1,
+                op: Op::Add,
+            },
+        );
+        sink.finish().unwrap();
+        let good = String::from_utf8(std::mem::take(&mut sink.out)).unwrap();
+        let tampered = good.replace("O3PipeView:decode:1", "O3PipeView:decode:x");
+        assert!(validate_o3(&tampered).is_err());
+    }
+
+    /// The summary attributes the interval arithmetic exactly.
+    #[test]
+    fn summary_attributes_intervals() {
+        let mut s = SummarySink::new();
+        // A load: ready at 4, issued at 9 (5 cycles fu_wait), parked
+        // 10..=17 (7 cycles stt), sent, committed.
+        s.event(
+            0,
+            0,
+            &TraceEvent::Fetch {
+                pc: 1,
+                op: Op::Ld(gm_isa::MemSize::B8),
+            },
+        );
+        s.event(2, 0, &rename_ev(1, Op::Ld(gm_isa::MemSize::B8), 0));
+        s.event(4, 0, &TraceEvent::Ready { seq: 1 });
+        s.event(9, 0, &TraceEvent::Issue { seq: 1 });
+        s.event(10, 0, &TraceEvent::MemPark { seq: 1 });
+        s.event(17, 0, &TraceEvent::MemUnpark { seq: 1 });
+        s.event(17, 0, &TraceEvent::MemSend { seq: 1, addr: 8 });
+        s.event(25, 0, &TraceEvent::Writeback { seq: 1 });
+        s.event(
+            26,
+            0,
+            &TraceEvent::Commit {
+                seq: 1,
+                pc: 1,
+                op: Op::Ld(gm_isa::MemSize::B8),
+            },
+        );
+        let acc = s.class(FuClass::MemRead);
+        assert_eq!(acc.committed, 1);
+        assert_eq!(acc.fu_wait, 5);
+        assert_eq!(acc.stt_delay, 7);
+        assert_eq!(acc.store_block, 0);
+        assert_eq!(s.fetched, 1);
+        assert_eq!(s.committed(), 1);
+        assert_eq!(s.attributed(), 12);
+        let rendered = s.render(30);
+        assert!(rendered.contains("MemRead"));
+        assert!(rendered.contains("total"));
+    }
+
+    /// Squash settles parked intervals and records thrown-away work.
+    #[test]
+    fn summary_settles_on_squash() {
+        let mut s = SummarySink::new();
+        s.event(3, 1, &rename_ev(5, Op::Ld(gm_isa::MemSize::B8), 1));
+        s.event(
+            4,
+            1,
+            &TraceEvent::MemBlock {
+                seq: 5,
+                store_seq: 4,
+            },
+        );
+        s.event(
+            12,
+            1,
+            &TraceEvent::Squash {
+                seq: 5,
+                pc: 5,
+                op: Op::Ld(gm_isa::MemSize::B8),
+                cause: SquashCause::HaltDrain,
+            },
+        );
+        let acc = s.class(FuClass::MemRead);
+        assert_eq!(acc.squashed, 1);
+        assert_eq!(acc.store_block, 8);
+        assert_eq!(acc.squash_cost, 11);
+        assert_eq!(s.squashes_by_cause[1], ("halt-drain", 1));
+    }
+
+    #[test]
+    fn tee_forwards_to_all_sinks() {
+        let a = Rc::new(RefCell::new(SummarySink::new()));
+        let b = Rc::new(RefCell::new(SummarySink::new()));
+        let mut tee = Tee::new(vec![a.clone(), b.clone()]);
+        tee.event(0, 0, &TraceEvent::Fetch { pc: 0, op: Op::Add });
+        assert_eq!(a.borrow().fetched, 1);
+        assert_eq!(b.borrow().fetched, 1);
+    }
+}

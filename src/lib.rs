@@ -12,7 +12,9 @@
 //! * [`attacks`] — Spectre-family attack gadgets and harness;
 //! * [`energy`] — CACTI-calibrated energy model (paper §6.5);
 //! * [`stats`] — counters and report tables;
-//! * [`results`] — fingerprinted, persistent experiment results.
+//! * [`results`] — fingerprinted, persistent experiment results;
+//! * [`trace`] — pipeline-trace sinks (Konata/O3PipeView emission,
+//!   guest-cycle attribution) over the engine's `TraceSink` hooks.
 
 pub use ghostminion as core;
 pub use gm_attacks as attacks;
@@ -22,4 +24,5 @@ pub use gm_mem as mem;
 pub use gm_results as results;
 pub use gm_sim as sim;
 pub use gm_stats as stats;
+pub use gm_trace as trace;
 pub use gm_workloads as workloads;

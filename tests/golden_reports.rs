@@ -117,7 +117,7 @@ fn subset_reports_match_committed_golden() {
             panic!("{name} is a sweep");
         };
         sweep.workloads = Some(keep.to_vec());
-        let rendered = run_experiment(&runner, &exp, Scale::Test, None)
+        let rendered = run_experiment(&runner, &exp, Scale::Test, None, None)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         out.push_str(&report_text(exp.title, &rendered));
     }
@@ -134,7 +134,7 @@ fn full_registry_reports_match_committed_golden() {
     let runner = Runner::new(0);
     let mut out = String::new();
     for exp in registry() {
-        let rendered = run_experiment(&runner, &exp, Scale::Test, None)
+        let rendered = run_experiment(&runner, &exp, Scale::Test, None, None)
             .unwrap_or_else(|e| panic!("{}: {e}", exp.name));
         out.push_str(&report_text(exp.title, &rendered));
     }
