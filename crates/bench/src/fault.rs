@@ -1,0 +1,317 @@
+//! Deterministic job-level fault injection for supervision tests.
+//!
+//! A [`FaultPlan`] tells the [`crate::Runner`] to make specific
+//! (workload × scheme) jobs misbehave — panic, stall briefly, or wedge
+//! past their wall-clock budget — on specific attempts. Plans are pure
+//! data: the same plan against the same sweep always faults the same
+//! jobs, so "the sweep survives a panicking job" is an ordinary
+//! deterministic test (and a CI smoke via `gm-run --inject`).
+//!
+//! The textual spec (`--inject`) is `;`-separated clauses:
+//!
+//! ```text
+//! panic:<workload>/<scheme>[@<attempt>]
+//! delay:<workload>/<scheme>[@<attempt>]:<millis>
+//! wedge:<workload>/<scheme>[@<attempt>]
+//! seed:<u64>:<percent>
+//! ```
+//!
+//! `*` matches any workload or scheme; `@N` restricts a clause to the
+//! N-th attempt (1-based) — `panic:mcf/GhostMinion@1` with one retry
+//! exercises the retry-heals-a-transient path. `seed` faults a
+//! deterministic `percent`% of (job, attempt) pairs with panics,
+//! derived from the seed by hashing, for chaos-style sweeps.
+
+use std::time::Duration;
+
+/// What an injected fault makes the job do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at job start (the supervised path a deadlocked simulation
+    /// hitting its cycle deadline also takes).
+    Panic,
+    /// Sleep before running, then run normally.
+    Delay(Duration),
+    /// Sleep long enough to trip any per-job budget (10× the budget;
+    /// 60 s if the runner has none), then run normally — so an
+    /// unbudgeted wedge degrades to a slow success instead of hanging
+    /// the suite.
+    Wedge,
+}
+
+/// One clause of a plan: which jobs it matches and what they do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Rule {
+    /// Workload name, `None` for any.
+    workload: Option<String>,
+    /// Scheme column label, `None` for any.
+    scheme: Option<String>,
+    /// 1-based attempt this clause fires on, `None` for every attempt.
+    attempt: Option<u32>,
+    kind: FaultKind,
+}
+
+impl Rule {
+    fn matches(&self, workload: &str, scheme: &str, attempt: u32) -> bool {
+        // `Option::is_none_or` needs Rust 1.82; the workspace MSRV is 1.75.
+        fn any_or<T, U: PartialEq<T> + Copy>(field: &Option<T>, v: U) -> bool {
+            match field {
+                None => true,
+                Some(f) => v == *f,
+            }
+        }
+        any_or(&self.workload.as_deref(), workload)
+            && any_or(&self.scheme.as_deref(), scheme)
+            && any_or(&self.attempt, attempt)
+    }
+}
+
+/// A deterministic set of job faults (see the module docs for the
+/// textual form).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    rules: Vec<Rule>,
+    /// Seeded chaos mode: (seed, percent of (job, attempt) pairs that
+    /// panic).
+    seeded: Option<(u64, u32)>,
+}
+
+/// SplitMix64 over a byte stream: deterministic, platform-independent.
+fn mix_bytes(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state = state
+            .wrapping_add(u64::from(b))
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        state = (state ^ (state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        state = (state ^ (state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        state ^= state >> 31;
+    }
+    state
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.seeded.is_none()
+    }
+
+    /// Adds a clause: `kind` for (`workload`, `scheme`) on `attempt`
+    /// (1-based; `None` = every attempt). `"*"` matches any workload or
+    /// scheme.
+    pub fn with(
+        mut self,
+        kind: FaultKind,
+        workload: &str,
+        scheme: &str,
+        attempt: Option<u32>,
+    ) -> Self {
+        let name = |s: &str| (s != "*").then(|| s.to_owned());
+        self.rules.push(Rule {
+            workload: name(workload),
+            scheme: name(scheme),
+            attempt,
+            kind,
+        });
+        self
+    }
+
+    /// Panic (`workload`, `scheme`) on every attempt.
+    pub fn panic_on(self, workload: &str, scheme: &str) -> Self {
+        self.with(FaultKind::Panic, workload, scheme, None)
+    }
+
+    /// Panic (`workload`, `scheme`) on the first attempt only — the
+    /// transient a single retry heals.
+    pub fn panic_once(self, workload: &str, scheme: &str) -> Self {
+        self.with(FaultKind::Panic, workload, scheme, Some(1))
+    }
+
+    /// Wedge (`workload`, `scheme`) past any per-job budget.
+    pub fn wedge_on(self, workload: &str, scheme: &str) -> Self {
+        self.with(FaultKind::Wedge, workload, scheme, None)
+    }
+
+    /// Seeded chaos: a deterministic `percent`% of (job, attempt)
+    /// pairs panic.
+    pub fn seeded(mut self, seed: u64, percent: u32) -> Self {
+        self.seeded = Some((seed, percent));
+        self
+    }
+
+    /// The fault (first matching clause wins, then seeded chaos) for
+    /// `attempt` (1-based) of job (`workload`, `scheme`), if any.
+    pub fn fault_for(&self, workload: &str, scheme: &str, attempt: u32) -> Option<FaultKind> {
+        if let Some(rule) = self
+            .rules
+            .iter()
+            .find(|r| r.matches(workload, scheme, attempt))
+        {
+            return Some(rule.kind.clone());
+        }
+        let (seed, percent) = self.seeded?;
+        let mut h = mix_bytes(seed, workload.as_bytes());
+        h = mix_bytes(h, scheme.as_bytes());
+        h = mix_bytes(h, &attempt.to_le_bytes());
+        (h % 100 < u64::from(percent)).then_some(FaultKind::Panic)
+    }
+
+    /// Parses the `--inject` spec (see the module docs). Errors name
+    /// the offending clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("invalid --inject clause {clause:?}: {what}");
+            let (verb, rest) = clause
+                .split_once(':')
+                .ok_or_else(|| err("expected <kind>:<args>"))?;
+            if verb == "seed" {
+                let (seed, percent) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("expected seed:<u64>:<percent>"))?;
+                let seed = seed.parse::<u64>().map_err(|_| err("bad seed"))?;
+                let percent = percent
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|p| *p <= 100)
+                    .ok_or_else(|| err("percent must be 0..=100"))?;
+                plan = plan.seeded(seed, percent);
+                continue;
+            }
+            let (target, millis) = match verb {
+                "delay" => {
+                    let (target, ms) = rest
+                        .rsplit_once(':')
+                        .ok_or_else(|| err("expected delay:<job>:<millis>"))?;
+                    let ms = ms.parse::<u64>().map_err(|_| err("bad millis"))?;
+                    (target, Some(ms))
+                }
+                "panic" | "wedge" => (rest, None),
+                other => return Err(err(&format!("unknown fault kind {other:?}"))),
+            };
+            let (job, attempt) = match target.split_once('@') {
+                Some((job, n)) => {
+                    let n = n
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| err("attempt must be >= 1"))?;
+                    (job, Some(n))
+                }
+                None => (target, None),
+            };
+            let (workload, scheme) = job
+                .split_once('/')
+                .ok_or_else(|| err("expected <workload>/<scheme>"))?;
+            if workload.is_empty() || scheme.is_empty() {
+                return Err(err("empty workload or scheme"));
+            }
+            let kind = match verb {
+                "panic" => FaultKind::Panic,
+                "wedge" => FaultKind::Wedge,
+                "delay" => FaultKind::Delay(Duration::from_millis(millis.unwrap())),
+                _ => unreachable!("verbs filtered above"),
+            };
+            plan = plan.with(kind, workload, scheme, attempt);
+        }
+        if plan.is_empty() {
+            return Err(format!("--inject spec {spec:?} injects nothing"));
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clauses_match_job_scheme_and_attempt() {
+        let plan = FaultPlan::none().panic_once("mcf", "GhostMinion").with(
+            FaultKind::Delay(Duration::from_millis(5)),
+            "*",
+            "Unsafe",
+            None,
+        );
+        assert_eq!(
+            plan.fault_for("mcf", "GhostMinion", 1),
+            Some(FaultKind::Panic)
+        );
+        assert_eq!(plan.fault_for("mcf", "GhostMinion", 2), None);
+        assert_eq!(
+            plan.fault_for("anything", "Unsafe", 3),
+            Some(FaultKind::Delay(Duration::from_millis(5)))
+        );
+        assert_eq!(plan.fault_for("mcf", "Baseline", 1), None);
+    }
+
+    #[test]
+    fn parse_round_trips_the_builder_forms() {
+        let plan =
+            FaultPlan::parse("panic:mcf/GhostMinion@1;delay:*/Unsafe:5;wedge:gcc/*").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan::none()
+                .panic_once("mcf", "GhostMinion")
+                .with(
+                    FaultKind::Delay(Duration::from_millis(5)),
+                    "*",
+                    "Unsafe",
+                    None
+                )
+                .wedge_on("gcc", "*")
+        );
+        assert_eq!(
+            FaultPlan::parse("seed:42:25").unwrap(),
+            FaultPlan::none().seeded(42, 25)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "panic",
+            "panic:mcf",
+            "panic:/GhostMinion",
+            "panic:mcf/",
+            "panic:mcf/GhostMinion@0",
+            "panic:mcf/GhostMinion@x",
+            "delay:mcf/GhostMinion",
+            "delay:mcf/GhostMinion:ms",
+            "seed:42",
+            "seed:42:101",
+            "explode:mcf/GhostMinion",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn seeded_chaos_is_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::none().seeded(7, 30);
+        let again = FaultPlan::none().seeded(7, 30);
+        let mut hits = 0;
+        for i in 0..200u32 {
+            let w = format!("w{i}");
+            let a = plan.fault_for(&w, "S", 1);
+            assert_eq!(a, again.fault_for(&w, "S", 1), "deterministic");
+            if a.is_some() {
+                hits += 1;
+            }
+        }
+        assert!((30..=90).contains(&hits), "got {hits} faults in 200 draws");
+        assert!(FaultPlan::none()
+            .seeded(7, 0)
+            .fault_for("w", "S", 1)
+            .is_none());
+    }
+}

@@ -10,8 +10,12 @@
 //! * [`runner`] — expands a sweep into independent (workload × scheme)
 //!   jobs and executes them on a scoped thread pool with deterministic
 //!   result ordering; consults a [`gm_results::ResultStore`] before
-//!   simulating (cache-aware re-runs) and partitions the job list under
-//!   a [`runner::Shard`];
+//!   simulating (cache-aware re-runs), partitions the job list under
+//!   a [`runner::Shard`], and supervises each job (panic isolation,
+//!   wall-clock budget, bounded retry — see [`runner::Supervision`]);
+//! * [`fault`] — deterministic job-level fault injection
+//!   ([`fault::FaultPlan`], `--inject`) driving the supervision tests
+//!   and CI smokes;
 //! * [`report`] — turns raw [`MachineResult`]s into the figures' tables
 //!   and structured JSON (per-job [`gm_results::record`] objects);
 //! * [`merge`] — shard documents and the `gm-run merge` recombination,
@@ -27,13 +31,15 @@
 
 pub mod cli;
 pub mod experiment;
+pub mod fault;
 pub mod merge;
 pub mod report;
 pub mod runner;
 pub mod telemetry;
 
 pub use experiment::{Experiment, ExperimentKind, Report, SchemeCol, Sweep};
-pub use runner::{CacheStats, Job, Runner, Shard, SweepRun};
+pub use fault::{FaultKind, FaultPlan};
+pub use runner::{CacheStats, FailureKind, Job, JobFailure, Runner, Shard, Supervision, SweepRun};
 pub use telemetry::Telemetry;
 
 use ghostminion::{Machine, MachineResult, Scheme, SystemConfig};

@@ -204,6 +204,9 @@ pub fn merge_docs(docs: &[Json], runner: &Runner) -> Result<Merged, String> {
                     sim_wall_us: 0,
                     sim_cycles: 0,
                     slowest: None,
+                    // Merge verifies full coverage, so there is nothing
+                    // to annotate: shard docs carry only completed jobs.
+                    failures: Vec::new(),
                 };
                 outputs.push((exp, out));
             }
@@ -313,6 +316,9 @@ fn reassemble_sweep(
         set,
         rows,
         cache: CacheStats::default(),
+        // Shard documents carry only completed jobs; a failed job shows
+        // up as missing coverage, which reassembly rejects above.
+        failures: Vec::new(),
     })
 }
 

@@ -2,7 +2,7 @@
 //! lines, and structured JSON.
 
 use crate::experiment::{Experiment, ExperimentKind, Report, Sweep};
-use crate::runner::{CacheStats, Runner, Shard, SweepResults, SweepRun};
+use crate::runner::{CacheStats, JobFailure, Runner, Shard, SweepResults, SweepRun};
 use crate::telemetry::Telemetry;
 use ghostminion::{Scheme, SystemConfig};
 use gm_attacks::{run_all, spectre_rewind, spectre_v1_string};
@@ -29,6 +29,10 @@ pub struct ExperimentOutput {
     pub sim_cycles: u64,
     /// Slowest simulated job as ("workload/scheme", µs).
     pub slowest: Option<(String, u64)>,
+    /// Jobs that exhausted supervision (empty on a fault-free run, so
+    /// fault-free stdout and JSON are byte-identical to a run made with
+    /// a build that predates supervision).
+    pub failures: Vec<JobFailure>,
 }
 
 impl ExperimentOutput {
@@ -47,6 +51,7 @@ impl ExperimentOutput {
             sim_wall_us: 0,
             sim_cycles: 0,
             slowest: None,
+            failures: Vec::new(),
         }
     }
 }
@@ -71,8 +76,16 @@ pub fn run_experiment(
         ExperimentKind::Sweep(sweep) => {
             let run =
                 runner.run_sweep_shard(sweep, scale, exp.name, store, Shard::full(), telemetry)?;
-            let results = run.to_results();
-            let (preamble, table, postamble) = render_sweep(sweep, &results);
+            let (results, omitted) = run.complete_results();
+            let (preamble, table, mut postamble) = render_sweep(sweep, &results);
+            // Failure annotations: absent on a fault-free run, so golden
+            // stdout fixtures never see them.
+            for f in &run.failures {
+                postamble.push(format!("!! job failed: {f}"));
+            }
+            for name in &omitted {
+                postamble.push(format!("!! row omitted: {name} (incomplete scheme lineup)"));
+            }
             Ok(ExperimentOutput {
                 preamble,
                 table,
@@ -82,6 +95,7 @@ pub fn run_experiment(
                 sim_wall_us: run.sim_wall_us(),
                 sim_cycles: run.sim_cycles(),
                 slowest: run.slowest_sim(sweep),
+                failures: run.failures.clone(),
             })
         }
         ExperimentKind::Security => Ok(security_report(runner)),
@@ -99,6 +113,9 @@ pub fn run_experiment(
                 .set("hits", out.cache.hits)
                 .set("misses", out.cache.misses)
                 .set("sim_wall_us", out.sim_wall_us);
+            if !out.failures.is_empty() {
+                j.set("failed", out.failures.len() as u64);
+            }
         });
     }
     out
@@ -428,6 +445,8 @@ pub fn table1_table(cfg: &SystemConfig) -> Table {
 }
 
 /// Wraps one experiment's output as the JSON object `gm-run` emits.
+/// The `"failures"` key is present only when a supervised job failed,
+/// so fault-free JSON is byte-identical to pre-supervision fixtures.
 pub fn experiment_json(exp: &Experiment, scale: Scale, out: &ExperimentOutput) -> Json {
     let mut j = Json::object();
     j.set("name", exp.name)
@@ -435,5 +454,21 @@ pub fn experiment_json(exp: &Experiment, scale: Scale, out: &ExperimentOutput) -
         .set("scale", scale.name())
         .set("table", out.table.to_json())
         .set("results", out.results.clone());
+    if !out.failures.is_empty() {
+        let list = out
+            .failures
+            .iter()
+            .map(|f| {
+                let mut o = Json::object();
+                o.set("workload", f.workload.as_str())
+                    .set("scheme", f.scheme.as_str())
+                    .set("kind", f.kind.name())
+                    .set("attempts", u64::from(f.attempts))
+                    .set("error", f.message.as_str());
+                o
+            })
+            .collect();
+        j.set("failures", Json::Array(list));
+    }
     j
 }

@@ -7,7 +7,7 @@
 //! many workers run (`--jobs 1` vs `--jobs N` is a pure wall-clock
 //! difference).
 //!
-//! Two orthogonal features layer on top of the pool:
+//! Three orthogonal features layer on top of the pool:
 //!
 //! * **Caching** — with a [`ResultStore`], each job's
 //!   [`gm_results::job_fingerprint`] is looked up before simulating; a
@@ -19,18 +19,26 @@
 //!   job list (`flat_index % count == index - 1`), so N machines can
 //!   split one experiment and `gm-run merge` can recombine the outputs.
 //!   Unowned jobs are simply `None` in the result grid.
+//! * **Supervision** — each job runs under `catch_unwind`, an optional
+//!   wall-clock budget (watchdog thread), and bounded deterministic
+//!   retry (see [`Supervision`]). A job that exhausts its attempts
+//!   becomes a structured [`JobFailure`] instead of aborting the sweep:
+//!   its cell stays `None`, every other job completes, and the caller
+//!   decides between partial success and (`strict`) fail-fast.
 
 use crate::experiment::Sweep;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::run_unit;
 use crate::telemetry::Telemetry;
-use ghostminion::MachineResult;
+use ghostminion::{MachineResult, Scheme, SystemConfig};
 use gm_results::{job_fingerprint, job_record, record_wall_us, result_from_record, ResultStore};
-use gm_workloads::{Scale, WorkloadSet};
+use gm_workloads::{Scale, WorkloadSet, WorkloadUnit};
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One deterministic partition of a job list: the `index`th (1-based) of
 /// `count` round-robin slices.
@@ -155,6 +163,12 @@ impl fmt::Display for Shard {
 pub struct CacheStats {
     pub hits: usize,
     pub misses: usize,
+    /// Store damage seen during the warm load: quarantined corrupt
+    /// lines, or 1 when the whole file failed to read and the run
+    /// degraded to a cold start. Misses on a damaged store are expected
+    /// re-simulation, not a cache regression — `--expect-cached` warns
+    /// instead of aborting when this is nonzero.
+    pub corrupt: usize,
 }
 
 /// One finished job: the simulation result plus its store metadata.
@@ -171,10 +185,109 @@ pub struct Job {
     pub cached: bool,
 }
 
+/// Why a supervised job ultimately failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The job panicked (its own bug, an injected fault, or the
+    /// simulated-cycle deadline on [`SystemConfig`] firing).
+    Panic,
+    /// The job exceeded its per-job wall-clock budget.
+    Timeout,
+}
+
+impl FailureKind {
+    /// Stable lowercase name for reports and telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+        }
+    }
+}
+
+/// One job that failed every attempt. The sweep completes around it:
+/// its grid cell stays `None`, the report annotates the hole, and the
+/// driver exits with the partial-success code (or fails fast under
+/// [`Supervision::strict`]).
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme column label.
+    pub scheme: String,
+    /// How the final attempt failed.
+    pub kind: FailureKind,
+    /// The panic message or budget description.
+    pub message: String,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} after {} attempt(s): {}",
+            self.workload,
+            self.scheme,
+            self.kind.name(),
+            self.attempts,
+            self.message
+        )
+    }
+}
+
+/// Fault-tolerance policy for supervised jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Supervision {
+    /// Total attempts per job (1 + retries); at least 1.
+    pub attempts: u32,
+    /// Per-job wall-clock budget. Budgeted jobs run on a watchdog'd
+    /// thread; `None` runs them inline (panic isolation only).
+    pub budget: Option<Duration>,
+    /// Fail the whole run on any job failure (after the sweep finishes,
+    /// so completed work still lands in the store) instead of reporting
+    /// partial success.
+    pub strict: bool,
+}
+
+impl Default for Supervision {
+    /// One retry, no budget, partial-success semantics: a transient
+    /// fault heals invisibly, a persistent one costs one extra attempt
+    /// and becomes a structured failure.
+    fn default() -> Self {
+        Self {
+            attempts: 2,
+            budget: None,
+            strict: false,
+        }
+    }
+}
+
+/// How one attempt of a supervised job ended.
+enum Attempt {
+    Done(Box<MachineResult>),
+    Panicked(String),
+    TimedOut,
+}
+
+/// Renders a `catch_unwind` payload the way the default hook would.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Executes independent jobs across a fixed number of worker threads.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Runner {
     jobs: usize,
+    supervision: Supervision,
+    faults: FaultPlan,
 }
 
 impl Runner {
@@ -186,7 +299,32 @@ impl Runner {
         } else {
             jobs
         };
-        Self { jobs }
+        Self {
+            jobs,
+            supervision: Supervision::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Replaces the supervision policy (attempts are clamped to >= 1).
+    pub fn with_supervision(mut self, supervision: Supervision) -> Self {
+        self.supervision = Supervision {
+            attempts: supervision.attempts.max(1),
+            ..supervision
+        };
+        self
+    }
+
+    /// Injects a deterministic [`FaultPlan`] into supervised jobs
+    /// (testing only; see [`crate::fault`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The active supervision policy.
+    pub fn supervision(&self) -> Supervision {
+        self.supervision
     }
 
     /// Available hardware parallelism (1 if unknown).
@@ -204,8 +342,11 @@ impl Runner {
     /// Applies `f` to every item on the worker pool, returning results in
     /// input order regardless of completion order.
     ///
-    /// A panicking job (e.g. a deadlocked simulation hitting its cycle
-    /// deadline) propagates out of the scope and fails the whole run.
+    /// `map` itself offers no isolation: a panicking `f` propagates out
+    /// of the scope and fails the caller. Sweep jobs do not run bare on
+    /// this pool — [`Runner::run_sweep_shard`] wraps each one in
+    /// `catch_unwind`, budget, and retry (see [`Supervision`]) so a
+    /// single bad job degrades to a [`JobFailure`] instead.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -241,6 +382,122 @@ impl Runner {
             .collect()
     }
 
+    /// Runs one attempt of a job, isolated by `catch_unwind`; with a
+    /// budget, the simulation runs on a watchdog'd thread that is left
+    /// detached on timeout (Rust cannot kill a thread — the simulated-
+    /// cycle deadline on [`SystemConfig`] bounds how long it lingers).
+    fn attempt_job(
+        &self,
+        scheme: Scheme,
+        unit: &WorkloadUnit,
+        cfg: SystemConfig,
+        fault: Option<FaultKind>,
+    ) -> Attempt {
+        let budget = self.supervision.budget;
+        let body = move |unit: &WorkloadUnit| -> MachineResult {
+            match fault {
+                Some(FaultKind::Panic) => panic!("injected fault: panic"),
+                Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+                // 10× the budget reliably trips the watchdog; without
+                // one, a wedge degrades to a slow success instead of
+                // hanging the suite forever.
+                Some(FaultKind::Wedge) => std::thread::sleep(match budget {
+                    Some(b) => b * 10,
+                    None => Duration::from_secs(60),
+                }),
+                None => {}
+            }
+            run_unit(scheme, unit, cfg)
+        };
+        match budget {
+            None => match catch_unwind(AssertUnwindSafe(|| body(unit))) {
+                Ok(result) => Attempt::Done(Box::new(result)),
+                Err(payload) => Attempt::Panicked(panic_message(payload)),
+            },
+            Some(limit) => {
+                let unit = unit.clone();
+                let (tx, rx) = mpsc::channel();
+                let spawned = std::thread::Builder::new()
+                    .name("gm-job".into())
+                    .spawn(move || {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| body(&unit)));
+                        // The watchdog may have timed out and dropped
+                        // the receiver; nothing to do about it here.
+                        let _ = tx.send(outcome);
+                    });
+                if let Err(e) = spawned {
+                    return Attempt::Panicked(format!("cannot spawn job thread: {e}"));
+                }
+                match rx.recv_timeout(limit) {
+                    Ok(Ok(result)) => Attempt::Done(Box::new(result)),
+                    Ok(Err(payload)) => Attempt::Panicked(panic_message(payload)),
+                    Err(_) => Attempt::TimedOut,
+                }
+            }
+        }
+    }
+
+    /// Runs one job to completion under the supervision policy: up to
+    /// [`Supervision::attempts`] tries, each panic-isolated and
+    /// budget-watched, with a stderr warning (and a `job_retry`
+    /// telemetry event) per retry. Returns the result and its
+    /// simulation wall-clock, or the final failure.
+    fn run_supervised(
+        &self,
+        experiment: &str,
+        unit: &WorkloadUnit,
+        scheme: Scheme,
+        label: &str,
+        cfg: SystemConfig,
+        telemetry: Option<&Telemetry>,
+    ) -> Result<(MachineResult, u64), JobFailure> {
+        let attempts = self.supervision.attempts.max(1);
+        let mut last = None;
+        for attempt in 1..=attempts {
+            let fault = self.faults.fault_for(unit.name, label, attempt);
+            let started = Instant::now();
+            match self.attempt_job(scheme, unit, cfg, fault) {
+                Attempt::Done(result) => {
+                    return Ok((*result, started.elapsed().as_micros() as u64))
+                }
+                Attempt::Panicked(message) => last = Some((FailureKind::Panic, message)),
+                Attempt::TimedOut => {
+                    let budget = self.supervision.budget.unwrap_or_default();
+                    last = Some((
+                        FailureKind::Timeout,
+                        format!("exceeded the per-job budget of {budget:?}"),
+                    ));
+                }
+            }
+            let (kind, message) = last.as_ref().expect("failure just recorded");
+            if attempt < attempts {
+                eprintln!(
+                    "warning: {experiment}: job {}/{label} attempt {attempt}/{attempts} \
+                     failed ({}: {message}); retrying",
+                    unit.name,
+                    kind.name()
+                );
+                if let Some(tel) = telemetry {
+                    tel.emit("job_retry", |j| {
+                        j.set("experiment", experiment)
+                            .set("workload", unit.name)
+                            .set("scheme", label)
+                            .set("attempt", u64::from(attempt))
+                            .set("kind", kind.name());
+                    });
+                }
+            }
+        }
+        let (kind, message) = last.expect("at least one attempt ran");
+        Err(JobFailure {
+            workload: unit.name.to_owned(),
+            scheme: label.to_owned(),
+            kind,
+            message,
+            attempts,
+        })
+    }
+
     /// Expands `sweep` at `scale` into (workload × scheme) jobs, runs
     /// this shard's slice of them — consulting `store` before simulating
     /// and appending fresh results to it — and returns the job grid.
@@ -259,6 +516,15 @@ impl Runner {
     /// (fingerprint, cache outcome, wall-clock) as it runs; spans from
     /// parallel workers may interleave, but every field is independent
     /// of the worker count (see [`crate::telemetry`]).
+    ///
+    /// Jobs run under the runner's [`Supervision`]: one that fails
+    /// every attempt lands in [`SweepRun::failures`] (its grid cell
+    /// stays `None`, closed by a `job_fail` telemetry event) and the
+    /// sweep completes around it. Under [`Supervision::strict`] the
+    /// whole call errors instead — after the sweep finishes, so the
+    /// surviving jobs still reach the store. A store that cannot be
+    /// *read* degrades to a cold run (with a stderr warning) rather
+    /// than failing: re-simulation always beats aborting.
     pub fn run_sweep_shard(
         &self,
         sweep: &Sweep,
@@ -273,12 +539,22 @@ impl Runner {
         let all: Vec<(usize, usize)> = (0..set.units.len())
             .flat_map(|u| (0..nschemes).map(move |s| (u, s)))
             .collect();
+        let mut store_corrupt = 0usize;
         let cached: HashMap<String, gm_stats::Json> = match store {
-            Some(st) => {
-                st.load(experiment)
-                    .map_err(|e| format!("cannot load store for {experiment}: {e}"))?
-                    .records
-            }
+            Some(st) => match st.load(experiment) {
+                Ok(shard) => {
+                    store_corrupt = shard.corrupt;
+                    shard.records
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: cannot read store for {experiment} ({e}); \
+                         degrading to a cold run"
+                    );
+                    store_corrupt = 1;
+                    HashMap::new()
+                }
+            },
             None => HashMap::new(),
         };
         // With a store, fingerprint every job up front (in parallel):
@@ -324,22 +600,21 @@ impl Runner {
                         .set("scheme", label);
                 });
             }
-            let job = (|| {
+            let outcome = (|| -> Result<Job, JobFailure> {
                 if let Some(record) = cached.get(&fingerprint) {
                     let reconstructed = result_from_record(record, unit.name, scheme.name())
                         .and_then(|result| Ok((result, record_wall_us(record)?)));
                     if let Ok((result, wall_us)) = reconstructed {
-                        return Job {
+                        return Ok(Job {
                             result,
                             wall_us,
                             fingerprint: fingerprint.clone(),
                             cached: true,
-                        };
+                        });
                     }
                 }
-                let started = Instant::now();
-                let result = run_unit(scheme, unit, sweep.config);
-                let wall_us = started.elapsed().as_micros() as u64;
+                let (result, wall_us) =
+                    self.run_supervised(experiment, unit, scheme, label, sweep.config, telemetry)?;
                 if let Some(st) = store {
                     let record = job_record(unit.name, label, &result, wall_us, &fingerprint);
                     if let Err(e) = st.append(experiment, &record) {
@@ -347,46 +622,84 @@ impl Runner {
                         eprintln!("warning: cannot append to store for {experiment}: {e}");
                     }
                 }
-                Job {
+                Ok(Job {
                     result,
                     wall_us,
                     fingerprint: fingerprint.clone(),
                     cached: false,
-                }
+                })
             })();
             if let Some(tel) = telemetry {
-                tel.emit("job_end", |j| {
-                    j.set("experiment", experiment)
-                        .set("workload", unit.name)
-                        .set("scheme", label)
-                        .set("fingerprint", job.fingerprint.as_str())
-                        .set("cached", job.cached)
-                        .set("wall_us", job.wall_us);
-                });
+                match &outcome {
+                    Ok(job) => tel.emit("job_end", |j| {
+                        j.set("experiment", experiment)
+                            .set("workload", unit.name)
+                            .set("scheme", label)
+                            .set("fingerprint", job.fingerprint.as_str())
+                            .set("cached", job.cached)
+                            .set("wall_us", job.wall_us);
+                    }),
+                    Err(fail) => tel.emit("job_fail", |j| {
+                        j.set("experiment", experiment)
+                            .set("workload", unit.name)
+                            .set("scheme", label)
+                            .set("kind", fail.kind.name())
+                            .set("attempts", u64::from(fail.attempts))
+                            .set("error", fail.message.as_str());
+                    }),
+                }
             }
-            job
+            outcome
         });
         let mut rows: Vec<Vec<Option<Job>>> = (0..set.units.len())
             .map(|_| (0..nschemes).map(|_| None).collect())
             .collect();
-        let mut cache = CacheStats::default();
-        for (&(_, u, s), job) in owned.iter().zip(jobs) {
-            if job.cached {
-                cache.hits += 1;
-            } else {
-                cache.misses += 1;
+        let mut cache = CacheStats {
+            corrupt: store_corrupt,
+            ..CacheStats::default()
+        };
+        let mut failures = Vec::new();
+        for (&(_, u, s), outcome) in owned.iter().zip(jobs) {
+            match outcome {
+                Ok(job) => {
+                    if job.cached {
+                        cache.hits += 1;
+                    } else {
+                        cache.misses += 1;
+                    }
+                    rows[u][s] = Some(job);
+                }
+                Err(failure) => failures.push(failure),
             }
-            rows[u][s] = Some(job);
         }
-        Ok(SweepRun { set, rows, cache })
+        if self.supervision.strict {
+            if let Some(first) = failures.first() {
+                return Err(format!(
+                    "strict mode: {} job(s) failed; first: {first}",
+                    failures.len()
+                ));
+            }
+        }
+        Ok(SweepRun {
+            set,
+            rows,
+            cache,
+            failures,
+        })
     }
 
     /// Runs the complete sweep with no store: the cache-free,
-    /// single-shard fast path used by tests and benches.
+    /// single-shard fast path used by tests and benches. Panics if any
+    /// job fails — callers of this path want a loud failure, not a
+    /// partial grid.
     pub fn run_sweep(&self, sweep: &Sweep, scale: Scale) -> SweepResults {
-        self.run_sweep_shard(sweep, scale, "", None, Shard::full(), None)
-            .expect("storeless runs cannot fail")
-            .into_results()
+        let run = self
+            .run_sweep_shard(sweep, scale, "", None, Shard::full(), None)
+            .expect("storeless non-strict runs cannot fail");
+        if let Some(first) = run.failures.first() {
+            panic!("sweep job failed: {first}");
+        }
+        run.into_results()
     }
 }
 
@@ -455,12 +768,15 @@ pub struct SweepResults {
 
 /// The job grid a (possibly sharded, possibly cached) sweep run
 /// produced: `rows[workload][scheme]` is `None` for jobs owned by other
-/// shards.
+/// shards — or jobs that exhausted their supervised attempts, which
+/// appear in `failures` instead.
 #[derive(Debug)]
 pub struct SweepRun {
     pub set: WorkloadSet,
     pub rows: Vec<Vec<Option<Job>>>,
     pub cache: CacheStats,
+    /// Jobs that failed every attempt (empty on a fault-free run).
+    pub failures: Vec<JobFailure>,
 }
 
 impl SweepRun {
@@ -536,6 +852,33 @@ impl SweepRun {
             set: self.set,
             rows,
         }
+    }
+
+    /// The rows every scheme completed, as plain results, plus the
+    /// names of workloads whose rows were dropped because at least one
+    /// of their jobs is missing (failed, or owned by another shard).
+    /// Reports render the complete rows and annotate the omissions; on
+    /// a fault-free single-shard run nothing is dropped and the output
+    /// matches [`SweepRun::to_results`] exactly.
+    pub fn complete_results(&self) -> (SweepResults, Vec<String>) {
+        let mut units = Vec::new();
+        let mut rows = Vec::new();
+        let mut omitted = Vec::new();
+        for (unit, row) in self.set.units.iter().zip(&self.rows) {
+            if row.iter().all(Option::is_some) {
+                units.push(unit.clone());
+                rows.push(
+                    row.iter()
+                        .map(|j| j.as_ref().expect("checked complete").result.clone())
+                        .collect(),
+                );
+            } else {
+                omitted.push(unit.name.to_owned());
+            }
+        }
+        let mut set = self.set.clone();
+        set.units = units;
+        (SweepResults { set, rows }, omitted)
     }
 
     /// Borrows the grid as plain results, panicking on missing jobs.

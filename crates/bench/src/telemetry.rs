@@ -9,8 +9,11 @@
 //! * every line parses with the strict [`gm_stats::Json`] parser;
 //! * spans balance — `run_start`/`run_end` bracket the file,
 //!   `experiment_start`/`experiment_end` nest inside the run, and every
-//!   `job_start` is closed by a `job_end` with the same
-//!   (experiment, workload, scheme) identity before its experiment ends;
+//!   `job_start` is closed by a `job_end` (the job produced a result)
+//!   or a `job_fail` (supervision exhausted its attempts) with the same
+//!   (experiment, workload, scheme) identity before its experiment
+//!   ends; `job_retry` events may appear inside an open job span and
+//!   close nothing;
 //! * no field depends on the worker count, so `--jobs 1` and `--jobs N`
 //!   emit the same event *set* (job events may interleave differently);
 //! * there are no time-of-day stamps — `wall_us` is simulation
@@ -88,8 +91,12 @@ pub struct TelemetrySummary {
     pub events: usize,
     /// Closed experiment spans.
     pub experiments: usize,
-    /// Closed job spans.
+    /// Job spans closed by `job_end` (the job produced a result).
     pub jobs: usize,
+    /// Job spans closed by `job_fail` (the job exhausted supervision).
+    pub failed: usize,
+    /// `job_retry` events (supervised attempts that were retried).
+    pub retries: usize,
 }
 
 fn field<'a>(j: &'a Json, line: usize, key: &str) -> Result<&'a Json, String> {
@@ -223,6 +230,49 @@ pub fn validate(text: &str) -> Result<TelemetrySummary, String> {
                 u64_field(&j, line, "wall_us")?;
                 summary.jobs += 1;
             }
+            "job_retry" => {
+                let exp = str_field(&j, line, "experiment")?;
+                if experiment.as_deref() != Some(exp.as_str()) {
+                    return Err(format!(
+                        "line {line}: job_retry for experiment {exp:?} outside its span"
+                    ));
+                }
+                let id = (
+                    str_field(&j, line, "workload")?,
+                    str_field(&j, line, "scheme")?,
+                );
+                if !open_jobs.contains(&id) {
+                    return Err(format!(
+                        "line {line}: job_retry without an open job for {}/{}",
+                        id.0, id.1
+                    ));
+                }
+                u64_field(&j, line, "attempt")?;
+                str_field(&j, line, "kind")?;
+                summary.retries += 1;
+            }
+            "job_fail" => {
+                let exp = str_field(&j, line, "experiment")?;
+                if experiment.as_deref() != Some(exp.as_str()) {
+                    return Err(format!(
+                        "line {line}: job_fail for experiment {exp:?} outside its span"
+                    ));
+                }
+                let id = (
+                    str_field(&j, line, "workload")?,
+                    str_field(&j, line, "scheme")?,
+                );
+                if !open_jobs.remove(&id) {
+                    return Err(format!(
+                        "line {line}: job_fail without job_start for {}/{}",
+                        id.0, id.1
+                    ));
+                }
+                str_field(&j, line, "kind")?;
+                u64_field(&j, line, "attempts")?;
+                str_field(&j, line, "error")?;
+                summary.failed += 1;
+            }
             other => return Err(format!("line {line}: unknown event {other:?}")),
         }
         summary.events += 1;
@@ -296,6 +346,79 @@ mod tests {
         assert_eq!(s.events, 6);
         assert_eq!(s.experiments, 1);
         assert_eq!(s.jobs, 1);
+    }
+
+    #[test]
+    fn validates_retry_and_fail_spans() {
+        let mut retry = job_fields("fig6", "mcf", "GhostMinion");
+        retry.extend([("attempt", Json::from(1u64)), ("kind", Json::from("panic"))]);
+        let mut fail = job_fields("fig6", "mcf", "GhostMinion");
+        fail.extend([
+            ("kind", Json::from("panic")),
+            ("attempts", Json::from(2u64)),
+            ("error", Json::from("injected fault: panic")),
+        ]);
+        let stream = [
+            line(
+                "run_start",
+                &[
+                    ("program", Json::from("gm-run")),
+                    ("scale", Json::from("test")),
+                ],
+            ),
+            line("experiment_start", &[("experiment", Json::from("fig6"))]),
+            line("job_start", &job_fields("fig6", "mcf", "GhostMinion")),
+            line("job_retry", &retry.clone()),
+            line("job_fail", &fail.clone()),
+            line(
+                "experiment_end",
+                &[
+                    ("experiment", Json::from("fig6")),
+                    ("jobs", Json::from(1u64)),
+                    ("hits", Json::from(0u64)),
+                    ("misses", Json::from(1u64)),
+                    ("sim_wall_us", Json::from(0u64)),
+                ],
+            ),
+            line("run_end", &[("experiments", Json::from(1u64))]),
+        ]
+        .join("\n");
+        let s = validate(&stream).expect("fail span validates");
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.retries, 1);
+
+        // job_retry outside an open job span is rejected.
+        let orphan_retry = [
+            line(
+                "run_start",
+                &[
+                    ("program", Json::from("gm-run")),
+                    ("scale", Json::from("test")),
+                ],
+            ),
+            line("experiment_start", &[("experiment", Json::from("fig6"))]),
+            line("job_retry", &retry),
+        ]
+        .join("\n");
+        let e = validate(&orphan_retry).unwrap_err();
+        assert!(e.contains("without an open job"), "{e}");
+
+        // job_fail without job_start is rejected.
+        let orphan_fail = [
+            line(
+                "run_start",
+                &[
+                    ("program", Json::from("gm-run")),
+                    ("scale", Json::from("test")),
+                ],
+            ),
+            line("experiment_start", &[("experiment", Json::from("fig6"))]),
+            line("job_fail", &fail),
+        ]
+        .join("\n");
+        let e = validate(&orphan_fail).unwrap_err();
+        assert!(e.contains("without job_start"), "{e}");
     }
 
     #[test]

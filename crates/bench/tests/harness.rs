@@ -8,7 +8,7 @@ use ghostminion::{Scheme, SystemConfig};
 use gm_bench::experiment::{self, apply_workload_filter, ExperimentKind, Report, SchemeCol, Sweep};
 use gm_bench::merge::{merge_docs, shard_doc, shard_entry};
 use gm_bench::report::{render_sweep, report_text, run_experiment, sweep_results_json};
-use gm_bench::{Runner, Shard};
+use gm_bench::{FaultPlan, Runner, Shard};
 use gm_results::ResultStore;
 use gm_workloads::{Scale, Suite};
 use proptest::prelude::*;
@@ -119,6 +119,72 @@ fn a_warm_store_eliminates_all_simulation() {
     let (_, cold_table, _) = render_sweep(&sweep, &cold.to_results());
     let (_, warm_table, _) = render_sweep(&sweep, &warm.to_results());
     assert_eq!(cold_table.render(), warm_table.render());
+}
+
+/// Satellite of the fault-tolerance PR: everything operational (retry
+/// warnings, quarantine notes) goes to stderr, so the *rendered report*
+/// of a run that recovered from a bit-rotten store line and a transient
+/// panic is byte-identical to a clean run's.
+#[test]
+fn reports_stay_byte_identical_under_recoverable_faults() {
+    let scratch = Scratch::new("recoverable");
+    let store = scratch.store();
+    let sweep = small_sweep(Suite::Spec2006, vec!["gamess", "hmmer"]);
+
+    // Clean reference: a cold run that also warms the store.
+    let clean = Runner::new(2)
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
+        .unwrap();
+    let (clean_res, omitted) = clean.complete_results();
+    assert!(omitted.is_empty(), "fault-free run omits nothing");
+    let (pre, clean_table, post) = render_sweep(&sweep, &clean_res);
+    assert!(pre.is_empty() && post.is_empty());
+
+    // Bit-rot the gamess/Unsafe record: its checksum now fails, the line
+    // is quarantined on load, and the job re-simulates — where an
+    // injected transient panic makes the first attempt fail too.
+    let path = store.path("t");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let idx = lines
+        .iter()
+        .position(|l| l.contains("\"workload\":\"gamess\"") && l.contains("\"scheme\":\"Unsafe\""))
+        .expect("store holds the gamess/Unsafe record");
+    lines[idx] = lines[idx].replacen("\"cycles\":", "\"cycles\":1", 1);
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+    let healed = Runner::new(2)
+        .with_faults(FaultPlan::none().panic_once("gamess", "Unsafe"))
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
+        .unwrap();
+    assert!(healed.failures.is_empty(), "retry healed the transient");
+    assert_eq!(
+        (healed.cache.hits, healed.cache.misses),
+        (3, 1),
+        "only the quarantined record re-simulates"
+    );
+    assert!(
+        store.quarantine_path("t").exists(),
+        "the rotten line is preserved in the quarantine sidecar"
+    );
+
+    let (healed_res, omitted) = healed.complete_results();
+    assert!(omitted.is_empty());
+    let (pre, healed_table, post) = render_sweep(&sweep, &healed_res);
+    assert!(pre.is_empty() && post.is_empty(), "no stdout annotations");
+    assert_eq!(
+        clean_table.render(),
+        healed_table.render(),
+        "recovered report must be byte-identical"
+    );
+    assert_eq!(clean_table.to_csv(), healed_table.to_csv());
+
+    // The re-simulated record superseded the rotten one: a further warm
+    // run replays everything.
+    let warm = Runner::new(2)
+        .run_sweep_shard(&sweep, Scale::Test, "t", Some(&store), Shard::full(), None)
+        .unwrap();
+    assert_eq!((warm.cache.hits, warm.cache.misses), (4, 0));
 }
 
 #[test]

@@ -6,7 +6,7 @@
 use ghostminion::{Scheme, SystemConfig};
 use gm_bench::experiment::{Report, SchemeCol, Sweep};
 use gm_bench::telemetry::{self, Telemetry};
-use gm_bench::{Runner, Shard};
+use gm_bench::{FaultPlan, Runner, Shard};
 use gm_results::ResultStore;
 use gm_stats::Json;
 use gm_workloads::{Scale, Suite};
@@ -60,6 +60,17 @@ fn small_sweep() -> Sweep {
 /// Emulates the driver's span bracketing around one sweep, the way
 /// `gm-run --telemetry` runs it.
 fn run_with_telemetry(path: &str, jobs: usize, store: &ResultStore, sweep: &Sweep) {
+    run_faulted_with_telemetry(path, jobs, store, sweep, FaultPlan::none());
+}
+
+/// Same bracketing, with an injected [`FaultPlan`] on the runner.
+fn run_faulted_with_telemetry(
+    path: &str,
+    jobs: usize,
+    store: &ResultStore,
+    sweep: &Sweep,
+    faults: FaultPlan,
+) {
     let tel = Telemetry::create(path).expect("telemetry file creates");
     tel.emit("run_start", |j| {
         j.set("program", "test").set("scale", "test");
@@ -68,6 +79,7 @@ fn run_with_telemetry(path: &str, jobs: usize, store: &ResultStore, sweep: &Swee
         j.set("experiment", "t");
     });
     let run = Runner::new(jobs)
+        .with_faults(faults)
         .run_sweep_shard(
             sweep,
             Scale::Test,
@@ -83,6 +95,9 @@ fn run_with_telemetry(path: &str, jobs: usize, store: &ResultStore, sweep: &Swee
             .set("hits", run.cache.hits)
             .set("misses", run.cache.misses)
             .set("sim_wall_us", run.sim_wall_us());
+        if !run.failures.is_empty() {
+            j.set("failed", run.failures.len());
+        }
     });
     tel.emit("run_end", |j| {
         j.set("experiments", 1usize);
@@ -119,6 +134,34 @@ fn every_line_parses_strictly_and_spans_balance() {
         text.contains("\"cached\":false"),
         "cold jobs are marked uncached"
     );
+}
+
+#[test]
+fn injected_faults_emit_retry_and_fail_spans_the_validator_accepts() {
+    let scratch = Scratch::new("faults");
+    let store = scratch.store();
+    let sweep = small_sweep();
+    let path = scratch.path("faults.jsonl");
+    // gamess/Unsafe: transient, heals on the retry (one job_retry, then
+    // job_end). hmmer/GhostMinion: permanent, exhausts the default two
+    // attempts (one job_retry, then job_fail).
+    let plan = FaultPlan::none()
+        .panic_once("gamess", "Unsafe")
+        .panic_on("hmmer", "GhostMinion");
+    run_faulted_with_telemetry(&path, 2, &store, &sweep, plan);
+    let text = std::fs::read_to_string(&path).expect("telemetry file reads");
+    let s = telemetry::validate(&text).expect("faulted stream still validates");
+    assert_eq!(s.experiments, 1);
+    assert_eq!(s.jobs, 3, "three jobs produced results");
+    assert_eq!(s.failed, 1, "one job exhausted supervision");
+    assert_eq!(s.retries, 2, "each faulted job retried once");
+    assert!(text.contains("\"event\":\"job_fail\""));
+    assert!(text.contains("\"error\":\"injected fault: panic\""));
+    assert!(text.contains("\"failed\":1"), "experiment_end counts it");
+
+    // The three surviving jobs are in the store; the failed one is not.
+    let shard = store.load("t").expect("store loads");
+    assert_eq!(shard.records.len(), 3);
 }
 
 #[test]

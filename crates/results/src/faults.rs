@@ -1,0 +1,256 @@
+//! Deterministic I/O fault injection for store crash tests.
+//!
+//! [`FaultyIo`] implements [`StoreIo`] by delegating to [`RealIo`] and
+//! injecting faults its shared [`FaultControl`] handle arms: torn
+//! appends cut at an exact byte offset (the on-disk prefix is really
+//! written, then the call errors — exactly what a crash mid-`write`
+//! leaves behind), half-written snapshot files, failed renames, and
+//! path-matched read errors. A seeded chaos mode derives a
+//! deterministic fault (or none) for every operation from a SplitMix64
+//! stream, so "appends keep failing randomly" is a reproducible test,
+//! not a flake.
+//!
+//! ```
+//! use gm_results::{FaultControl, FaultyIo, ResultStore};
+//! use gm_stats::Json;
+//!
+//! let dir = std::env::temp_dir().join(format!("gm-faults-doc-{}", std::process::id()));
+//! let ctl = FaultControl::new();
+//! let store = ResultStore::open_with_io(&dir, Box::new(FaultyIo::new(ctl.clone())))?;
+//!
+//! let mut record = Json::object();
+//! record.set("fingerprint", "a".repeat(64)).set("cycles", 7u64);
+//! ctl.truncate_next_append(10);
+//! assert!(store.append("fig6", &record).is_err(), "torn append reports failure");
+//! assert_eq!(ctl.injected(), 1);
+//!
+//! // The torn prefix is on disk, but a load survives it: the damaged
+//! // line is quarantined and the record simply re-simulates.
+//! let shard = store.load("fig6")?;
+//! assert_eq!(shard.records.len(), 0);
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use crate::store::{RealIo, StoreIo};
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+#[derive(Debug, Default)]
+struct State {
+    /// Next append writes only this many payload bytes, then errors.
+    truncate_next_append: Option<usize>,
+    /// Next snapshot write puts only this many bytes in the file, then
+    /// errors (a crash while writing a compact/gc temporary).
+    truncate_next_write: Option<usize>,
+    /// Fail the next rename (crash between snapshot and swap).
+    fail_next_rename: bool,
+    /// Fail every read whose path contains this substring.
+    fail_reads_matching: Option<String>,
+    /// Seeded chaos: (seed, percent) — each mutation derives a
+    /// deterministic fault with the given probability.
+    seeded: Option<(u64, u32)>,
+    /// Operations seen so far (the chaos stream's position).
+    ops: u64,
+    /// Faults actually injected.
+    injected: u64,
+}
+
+/// Shared handle steering a [`FaultyIo`]. Clone it before handing the
+/// io to [`crate::ResultStore::open_with_io`] so the test keeps a
+/// control channel.
+#[derive(Clone, Debug, Default)]
+pub struct FaultControl(Arc<Mutex<State>>);
+
+impl FaultControl {
+    /// A control with no faults armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Arms a one-shot torn append: only `keep` bytes of the payload
+    /// reach the file, then the call errors.
+    pub fn truncate_next_append(&self, keep: usize) {
+        self.lock().truncate_next_append = Some(keep);
+    }
+
+    /// Arms a one-shot torn snapshot write (compact/gc temporary).
+    pub fn truncate_next_write(&self, keep: usize) {
+        self.lock().truncate_next_write = Some(keep);
+    }
+
+    /// Arms a one-shot rename failure.
+    pub fn fail_next_rename(&self) {
+        self.lock().fail_next_rename = true;
+    }
+
+    /// Fails every read whose path contains `needle` (until cleared).
+    pub fn fail_reads_matching(&self, needle: &str) {
+        self.lock().fail_reads_matching = Some(needle.to_owned());
+    }
+
+    /// Enables seeded chaos: each mutation faults with probability
+    /// `percent`/100, deterministically derived from `seed` and the
+    /// operation index.
+    pub fn seed(&self, seed: u64, percent: u32) {
+        self.lock().seeded = Some((seed, percent));
+    }
+
+    /// Disarms every fault.
+    pub fn clear(&self) {
+        let mut s = self.lock();
+        let ops = s.ops;
+        let injected = s.injected;
+        *s = State::default();
+        s.ops = ops;
+        s.injected = injected;
+    }
+
+    /// How many faults have actually fired.
+    pub fn injected(&self) -> u64 {
+        self.lock().injected
+    }
+}
+
+/// SplitMix64: a tiny, high-quality deterministic mixer.
+fn mix(seed: u64, n: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn injected_err(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+/// What one append should do, decided under the control lock.
+enum AppendPlan {
+    Clean,
+    Torn(usize),
+    Fail,
+}
+
+/// A [`StoreIo`] that injects the faults its [`FaultControl`] arms and
+/// delegates everything else to [`RealIo`].
+#[derive(Debug)]
+pub struct FaultyIo {
+    real: RealIo,
+    ctl: FaultControl,
+}
+
+impl FaultyIo {
+    /// Wraps [`RealIo`] with the given control handle.
+    pub fn new(ctl: FaultControl) -> Self {
+        Self { real: RealIo, ctl }
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        let fail = {
+            let mut s = self.ctl.lock();
+            s.ops += 1;
+            let fail = s
+                .fail_reads_matching
+                .as_deref()
+                .is_some_and(|needle| path.to_string_lossy().contains(needle));
+            if fail {
+                s.injected += 1;
+            }
+            fail
+        };
+        if fail {
+            return Err(injected_err("read error"));
+        }
+        self.real.read_to_string(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> io::Result<()> {
+        let plan = {
+            let mut s = self.ctl.lock();
+            s.ops += 1;
+            if let Some(keep) = s.truncate_next_append.take() {
+                s.injected += 1;
+                AppendPlan::Torn(keep)
+            } else if let Some((seed, percent)) = s.seeded {
+                let r = mix(seed, s.ops);
+                if r % 100 < u64::from(percent) {
+                    s.injected += 1;
+                    if (r >> 8) % 2 == 0 {
+                        AppendPlan::Fail
+                    } else {
+                        AppendPlan::Torn((r >> 16) as usize % (bytes.len() + 1))
+                    }
+                } else {
+                    AppendPlan::Clean
+                }
+            } else {
+                AppendPlan::Clean
+            }
+        };
+        match plan {
+            AppendPlan::Clean => self.real.append(path, bytes, sync),
+            AppendPlan::Fail => Err(injected_err("append refused")),
+            AppendPlan::Torn(keep) => {
+                let keep = keep.min(bytes.len());
+                self.real.append(path, &bytes[..keep], sync)?;
+                Err(injected_err("torn append"))
+            }
+        }
+    }
+
+    fn write_synced(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let torn = {
+            let mut s = self.ctl.lock();
+            s.ops += 1;
+            let torn = s.truncate_next_write.take();
+            if torn.is_some() {
+                s.injected += 1;
+            }
+            torn
+        };
+        match torn {
+            None => self.real.write_synced(path, bytes),
+            Some(keep) => {
+                let keep = keep.min(bytes.len());
+                self.real.write_synced(path, &bytes[..keep])?;
+                Err(injected_err("torn snapshot write"))
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let fail = {
+            let mut s = self.ctl.lock();
+            s.ops += 1;
+            let fail = s.fail_next_rename;
+            s.fail_next_rename = false;
+            if fail {
+                s.injected += 1;
+            }
+            fail
+        };
+        if fail {
+            return Err(injected_err("rename refused"));
+        }
+        self.real.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.ctl.lock().ops += 1;
+        self.real.remove_file(path)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        self.ctl.lock().ops += 1;
+        self.real.len(path)
+    }
+}

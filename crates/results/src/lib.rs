@@ -18,9 +18,12 @@
 //!   enough (cycles, per-core pipeline stats, all memory counters,
 //!   wall-clock) to rebuild the [`ghostminion::MachineResult`] a report
 //!   renderer consumes.
-//! * [`store`] — append-only JSON-lines per experiment with tolerant
-//!   reads and atomic compaction; the cache the `gm-bench` runner
-//!   consults before simulating and appends to after.
+//! * [`store`] — append-only JSON-lines per experiment with per-record
+//!   checksums, tolerant reads (corrupt lines quarantined, never
+//!   silently dropped), and atomic compaction; the cache the `gm-bench`
+//!   runner consults before simulating and appends to after.
+//! * [`faults`] — deterministic I/O fault injection behind the store's
+//!   [`store::StoreIo`] seam, for crash and corruption tests.
 //! * [`hash`] — the dependency-free SHA-256 underneath it all.
 //!
 //! The `gm-bench` crate layers the user-visible behaviour on top:
@@ -28,12 +31,18 @@
 //! deterministic job partitioning, and `gm-run merge` for combining
 //! shard outputs into a report bit-identical to an unsharded run.
 
+pub mod faults;
 pub mod fingerprint;
 pub mod hash;
 pub mod record;
 pub mod store;
 
+pub use faults::{FaultControl, FaultyIo};
 pub use fingerprint::{job_descriptor, job_fingerprint, program_sha, FORMAT_VERSION};
 pub use hash::{sha256_hex, Sha256};
-pub use record::{job_record, record_fingerprint, record_wall_us, result_from_record};
-pub use store::{CompactStats, GcStats, LoadedShard, ResultStore};
+pub use record::{
+    job_record, record_fingerprint, record_wall_us, result_from_record, validate_record,
+};
+pub use store::{
+    parse_store_line, CompactStats, GcStats, LoadedShard, RealIo, ResultStore, StoreIo, StoreLine,
+};

@@ -161,6 +161,60 @@ pub fn result_from_record(
     })
 }
 
+/// Shape-checks a record without reconstructing a result from it:
+/// format version, identity fields, well-formed fingerprint, complete
+/// per-core statistics consistent with `threads`, and all-integer
+/// counters. Unlike [`result_from_record`] it needs no live
+/// [`ghostminion::Scheme`] to compare against, so `gm-run store
+/// --verify` can run it over every record the store holds — including
+/// records of schemes or workloads the current registry no longer
+/// produces.
+pub fn validate_record(record: &Json) -> Result<(), String> {
+    let v = field_u64(record, "v")?;
+    if v != FORMAT_VERSION {
+        return Err(format!(
+            "record format v{v} (this binary writes v{FORMAT_VERSION})"
+        ));
+    }
+    for key in ["workload", "scheme", "scheme_name"] {
+        record
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("record field {key:?} missing or not a string"))?;
+    }
+    for key in ["cycles", "committed", "wall_us"] {
+        field_u64(record, key)?;
+    }
+    let fp = record_fingerprint(record)?;
+    if fp.len() != 64 || !fp.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return Err(format!("fingerprint {fp:?} is not 64 lowercase hex digits"));
+    }
+    let threads = field_u64(record, "threads")? as usize;
+    let cores = record
+        .get("cores")
+        .and_then(Json::as_array)
+        .ok_or("record has no cores array")?;
+    if cores.len() != threads {
+        return Err(format!(
+            "{} core entries for {threads} threads",
+            cores.len()
+        ));
+    }
+    for core in cores {
+        core_stats_from(core)?;
+    }
+    for (name, value) in record
+        .get("counters")
+        .and_then(Json::as_object)
+        .ok_or("record has no counters object")?
+    {
+        value
+            .as_u64()
+            .ok_or_else(|| format!("counter {name:?} is not a u64"))?;
+    }
+    Ok(())
+}
+
 /// The stored wall-clock of a record, in microseconds.
 pub fn record_wall_us(record: &Json) -> Result<u64, String> {
     field_u64(record, "wall_us")

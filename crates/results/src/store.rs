@@ -2,35 +2,182 @@
 //! experiment, keyed by job fingerprint.
 //!
 //! Layout: `<dir>/<experiment>.jsonl`, one [`crate::record`] object per
-//! line. The runner appends a line the moment a job finishes, so an
+//! line, extended with a trailing `"sha"` field holding the SHA-256 of
+//! the line's record body (the rendered object *without* the `"sha"`
+//! field). The runner appends a line the moment a job finishes, so an
 //! interrupted run keeps everything it already simulated; a re-run
 //! resumes from the survivors. Appends are serialized through an
 //! in-process lock; cross-machine writes go to *separate* stores whose
 //! outputs meet in `gm-run merge`, not to a shared file.
 //!
-//! Reads tolerate damage: a truncated final line (killed process) or a
-//! corrupt line (bit rot) is skipped and counted, and the affected job
-//! simply re-simulates. [`ResultStore::compact`] rewrites a file without
-//! the damage and without superseded duplicates — atomically, by
-//! renaming a complete temporary file over the original, so a reader
-//! never observes a half-written store.
+//! Reads tolerate damage: a truncated final line (killed process), a
+//! corrupt line (bit rot), or a line whose checksum does not match is
+//! skipped, counted, quarantined to a `<experiment>.quarantine` sidecar
+//! (with a stderr warning), and the affected job simply re-simulates.
+//! Lines without a `"sha"` field — written by pre-checksum binaries —
+//! still load, just without integrity verification.
+//! [`ResultStore::compact`] rewrites a file without the damage and
+//! without superseded duplicates — atomically, by renaming a complete
+//! temporary file over the original, so a reader never observes a
+//! half-written store.
+//!
+//! All file I/O goes through the [`StoreIo`] trait ([`RealIo`] in
+//! production), so crash tests can inject torn appends, failed renames,
+//! and read errors deterministically (see [`crate::faults`]).
 
+use crate::hash::sha256_hex;
 use gm_stats::Json;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+/// The minimal filesystem surface the store reads and writes through.
+/// Production uses [`RealIo`]; crash tests substitute
+/// [`crate::faults::FaultyIo`] via [`ResultStore::open_with_io`] to
+/// place deterministic faults at arbitrary byte offsets.
+pub trait StoreIo: Send + Sync {
+    /// Reads the whole file at `path`.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Appends `bytes` to `path` (creating it if needed), fsyncing
+    /// before returning when `sync` is set.
+    fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> io::Result<()>;
+    /// Creates (truncating) `path` with `bytes` and fsyncs it.
+    fn write_synced(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Renames `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Current length of the file at `path`, in bytes.
+    fn len(&self, path: &Path) -> io::Result<u64>;
+}
+
+/// The production [`StoreIo`]: plain `std::fs`, no faults.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        if sync {
+            f.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn write_synced(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+}
+
+/// One classified line of a store file (see [`parse_store_line`]).
+#[derive(Clone, Debug)]
+pub enum StoreLine {
+    /// A well-formed record; `record` has its `"sha"` field stripped, so
+    /// it renders byte-identically to what [`crate::job_record`] built.
+    Record {
+        /// The record body, checksum field removed.
+        record: Json,
+        /// The fingerprint the record is keyed under.
+        fingerprint: String,
+        /// Whether the line carried a (verified) checksum. Lines written
+        /// by pre-checksum binaries load as `false`.
+        checksummed: bool,
+    },
+    /// A damaged line: unparseable, checksum mismatch, or no
+    /// fingerprint. Loaders skip, count, and quarantine it.
+    Corrupt {
+        /// What was wrong with the line.
+        reason: String,
+    },
+    /// Whitespace only.
+    Blank,
+}
+
+/// Parses and integrity-checks one line of a store file: strict JSON,
+/// then — if a `"sha"` field is present — the SHA-256 of the remaining
+/// record body must match it, then a `"fingerprint"` must be present.
+pub fn parse_store_line(line: &str) -> StoreLine {
+    if line.trim().is_empty() {
+        return StoreLine::Blank;
+    }
+    let mut record = match Json::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return StoreLine::Corrupt {
+                reason: format!("unparseable JSON ({e})"),
+            }
+        }
+    };
+    let checksummed = match record.remove("sha") {
+        None => false,
+        Some(sha) => {
+            let Some(sha) = sha.as_str() else {
+                return StoreLine::Corrupt {
+                    reason: "checksum field is not a string".into(),
+                };
+            };
+            let expect = sha256_hex(record.render().as_bytes());
+            if sha != expect {
+                return StoreLine::Corrupt {
+                    reason: format!("checksum mismatch (stored {sha:?})"),
+                };
+            }
+            true
+        }
+    };
+    match record.get("fingerprint").and_then(Json::as_str) {
+        Some(fp) => {
+            let fingerprint = fp.to_owned();
+            StoreLine::Record {
+                record,
+                fingerprint,
+                checksummed,
+            }
+        }
+        None => StoreLine::Corrupt {
+            reason: "record has no fingerprint".into(),
+        },
+    }
+}
 
 /// What a load found in one experiment's store file.
 #[derive(Debug, Default)]
 pub struct LoadedShard {
     /// Records by fingerprint; a later line supersedes an earlier one
-    /// with the same fingerprint (append-wins).
+    /// with the same fingerprint (append-wins). Checksum fields are
+    /// stripped: these are plain [`crate::record`] objects.
     pub records: HashMap<String, Json>,
     /// Total well-formed lines read (including superseded duplicates).
     pub lines: usize,
-    /// Lines that failed to parse or carried no fingerprint.
+    /// Well-formed lines whose checksum was present and verified.
+    pub checksummed: usize,
+    /// Lines that failed to parse, failed their checksum, or carried no
+    /// fingerprint. Quarantined, not loaded.
     pub corrupt: usize,
 }
 
@@ -48,7 +195,7 @@ pub struct CompactStats {
     pub kept: usize,
     /// Superseded duplicate lines dropped.
     pub superseded: usize,
-    /// Corrupt lines dropped.
+    /// Corrupt lines dropped (and quarantined).
     pub corrupt: usize,
 }
 
@@ -62,7 +209,7 @@ pub struct GcStats {
     pub dropped: usize,
     /// Superseded duplicate lines dropped along the way.
     pub superseded: usize,
-    /// Corrupt lines dropped along the way.
+    /// Corrupt lines dropped (and quarantined) along the way.
     pub corrupt: usize,
     /// Bytes the rewrite reclaimed on disk.
     pub reclaimed_bytes: u64,
@@ -88,22 +235,59 @@ pub struct GcStats {
 /// # std::fs::remove_dir_all(&dir)?;
 /// # Ok::<(), std::io::Error>(())
 /// ```
-#[derive(Debug)]
 pub struct ResultStore {
     dir: PathBuf,
-    /// Serializes appends from the runner's worker threads.
+    /// Serializes appends and rewrites from the runner's worker threads.
+    /// Poison is recovered, not propagated: the guarded sections leave
+    /// no in-memory state behind, so a panicked writer must not wedge
+    /// every later store operation in-process.
     append_lock: Mutex<()>,
+    /// Experiments whose file tail this process has verified ends at a
+    /// line boundary. A crashed writer can leave a torn final line with
+    /// no newline; the first append per experiment checks for that and
+    /// isolates the damage with a leading newline, so the new record
+    /// never merges into the garbage. A failed append un-verifies its
+    /// experiment (the fault may itself have torn the tail).
+    checked_tails: Mutex<HashSet<String>>,
+    io: Box<dyn StoreIo>,
+    sync: bool,
+}
+
+impl fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("dir", &self.dir)
+            .field("sync", &self.sync)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ResultStore {
     /// Opens (creating if needed) the store rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with_io(dir, Box::new(RealIo))
+    }
+
+    /// Opens the store with a caller-supplied [`StoreIo`] — the fault
+    /// injection seam used by crash tests.
+    pub fn open_with_io(dir: impl Into<PathBuf>, io: Box<dyn StoreIo>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(Self {
             dir,
             append_lock: Mutex::new(()),
+            checked_tails: Mutex::new(HashSet::new()),
+            io,
+            sync: false,
         })
+    }
+
+    /// With `sync` set, every append is fsync'd before it reports
+    /// success: a crash cannot lose an acknowledged record at the cost
+    /// of one fsync per job. Off by default (the page cache is plenty
+    /// for a cache whose worst loss is a re-simulation).
+    pub fn set_sync(&mut self, sync: bool) {
+        self.sync = sync;
     }
 
     /// The store's root directory.
@@ -116,51 +300,152 @@ impl ResultStore {
         self.dir.join(format!("{experiment}.jsonl"))
     }
 
+    /// The sidecar file corrupt lines of `experiment` are quarantined
+    /// to. Not a `.jsonl` file, so [`ResultStore::experiments`] never
+    /// lists it.
+    pub fn quarantine_path(&self, experiment: &str) -> PathBuf {
+        self.dir.join(format!("{experiment}.quarantine"))
+    }
+
     /// Loads every record of `experiment`. A missing file is an empty
-    /// shard, not an error.
+    /// shard, not an error. Corrupt lines (unparseable, checksum
+    /// mismatch, no fingerprint) are counted, quarantined to
+    /// [`ResultStore::quarantine_path`], and warned about on stderr —
+    /// never silently dropped, and never fatal.
     pub fn load(&self, experiment: &str) -> io::Result<LoadedShard> {
-        let text = match fs::read_to_string(self.path(experiment)) {
+        let path = self.path(experiment);
+        let text = match self.io.read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LoadedShard::default()),
             Err(e) => return Err(e),
         };
         let mut shard = LoadedShard::default();
+        let mut bad: Vec<&str> = Vec::new();
         for line in text.lines() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let record = match Json::parse(line) {
-                Ok(r) => r,
-                Err(_) => {
+            match parse_store_line(line) {
+                StoreLine::Blank => {}
+                StoreLine::Corrupt { .. } => {
                     shard.corrupt += 1;
-                    continue;
+                    bad.push(line);
                 }
-            };
-            match record.get("fingerprint").and_then(Json::as_str) {
-                Some(fp) => {
+                StoreLine::Record {
+                    record,
+                    fingerprint,
+                    checksummed,
+                } => {
                     shard.lines += 1;
-                    shard.records.insert(fp.to_owned(), record);
+                    if checksummed {
+                        shard.checksummed += 1;
+                    }
+                    shard.records.insert(fingerprint, record);
                 }
-                None => shard.corrupt += 1,
             }
+        }
+        if !bad.is_empty() {
+            self.quarantine(experiment, &bad);
         }
         Ok(shard)
     }
 
-    /// Appends one record to `experiment`'s file. The record must carry
-    /// a `"fingerprint"` field (it is the lookup key on the next load).
+    /// Appends the corrupt `lines` to the experiment's quarantine
+    /// sidecar (deduplicated against its current content) and warns on
+    /// stderr. Quarantine failures are warned about, never propagated:
+    /// the sidecar is evidence, not data the run depends on.
+    fn quarantine(&self, experiment: &str, lines: &[&str]) {
+        let qpath = self.quarantine_path(experiment);
+        let fresh = (|| -> io::Result<usize> {
+            let existing = match self.io.read_to_string(&qpath) {
+                Ok(t) => t,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+                Err(e) => return Err(e),
+            };
+            let mut seen: HashSet<&str> = existing.lines().collect();
+            let mut out = String::new();
+            let mut fresh = 0usize;
+            for line in lines {
+                if seen.insert(line) {
+                    out.push_str(line);
+                    out.push('\n');
+                    fresh += 1;
+                }
+            }
+            if !out.is_empty() {
+                self.io.append(&qpath, out.as_bytes(), self.sync)?;
+            }
+            Ok(fresh)
+        })();
+        match fresh {
+            Ok(fresh) => eprintln!(
+                "warning: store {experiment}: {} corrupt line(s) skipped \
+                 ({fresh} new, quarantined to {qpath:?}); affected jobs re-simulate",
+                lines.len()
+            ),
+            Err(e) => eprintln!(
+                "warning: store {experiment}: {} corrupt line(s) skipped \
+                 (quarantine to {qpath:?} failed: {e}); affected jobs re-simulate",
+                lines.len()
+            ),
+        }
+    }
+
+    /// Appends one record to `experiment`'s file, extended with a
+    /// `"sha"` checksum of the record body. The record must carry a
+    /// `"fingerprint"` field (it is the lookup key on the next load) and
+    /// no `"sha"` field of its own.
     pub fn append(&self, experiment: &str, record: &Json) -> io::Result<()> {
         debug_assert!(
             record.get("fingerprint").and_then(Json::as_str).is_some(),
             "store records must carry a fingerprint"
         );
-        let line = record.render() + "\n";
-        let _guard = self.append_lock.lock().expect("append lock poisoned");
-        let mut f = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.path(experiment))?;
-        f.write_all(line.as_bytes())
+        debug_assert!(
+            record.get("sha").is_none(),
+            "store records must not pre-carry a checksum"
+        );
+        let body = record.render();
+        let sha = sha256_hex(body.as_bytes());
+        // Splice the checksum in as the final field without re-rendering
+        // the whole record: `body` is a non-empty object (it has a
+        // fingerprint), so it ends in `}`.
+        let mut line = body;
+        line.truncate(line.len() - 1);
+        line.push_str(",\"sha\":\"");
+        line.push_str(&sha);
+        line.push_str("\"}\n");
+        let _guard = self
+            .append_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // First append per experiment (or first after a failed one):
+        // if a crashed writer left a torn final line, isolate it on its
+        // own (quarantinable) line so this record lands intact.
+        let first_append = self
+            .checked_tails
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(experiment.to_owned());
+        if first_append {
+            let torn_tail = match self.io.read_to_string(&self.path(experiment)) {
+                Ok(text) => !text.is_empty() && !text.ends_with('\n'),
+                // Missing file: clean. Unreadable file: appending is
+                // still the right move — a merged line quarantines and
+                // re-simulates, it never corrupts other records.
+                Err(_) => false,
+            };
+            if torn_tail {
+                line.insert(0, '\n');
+            }
+        }
+        let result = self
+            .io
+            .append(&self.path(experiment), line.as_bytes(), self.sync);
+        if result.is_err() {
+            // The fault may have torn the tail: re-verify next time.
+            self.checked_tails
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(experiment);
+        }
+        result
     }
 
     /// Rewrites `experiment`'s file keeping only the surviving record
@@ -169,9 +454,12 @@ impl ResultStore {
     /// file, flushed, and renamed over the original, so a crash mid-way
     /// leaves either the old or the new file — never a truncated one.
     pub fn compact(&self, experiment: &str) -> io::Result<CompactStats> {
-        let _guard = self.append_lock.lock().expect("append lock poisoned");
+        let _guard = self
+            .append_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let path = self.path(experiment);
-        let text = match fs::read_to_string(&path) {
+        let text = match self.io.read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 return Ok(CompactStats {
@@ -182,14 +470,19 @@ impl ResultStore {
             }
             Err(e) => return Err(e),
         };
-        self.compact_snapshot(&path, &text)
+        self.compact_snapshot(experiment, &path, &text)
     }
 
     /// The write phase of [`ResultStore::compact`], operating on a text
     /// snapshot already read from `path`. Separated so the
     /// grown-under-us abort path is deterministically testable.
-    fn compact_snapshot(&self, path: &Path, text: &str) -> io::Result<CompactStats> {
-        let g = self.rewrite_snapshot(path, text, None)?;
+    fn compact_snapshot(
+        &self,
+        experiment: &str,
+        path: &Path,
+        text: &str,
+    ) -> io::Result<CompactStats> {
+        let g = self.rewrite_snapshot(experiment, path, text, None)?;
         Ok(CompactStats {
             kept: g.kept,
             superseded: g.superseded,
@@ -202,25 +495,30 @@ impl ResultStore {
     /// superseded and corrupt lines), reporting how many records and
     /// bytes were reclaimed. A file left with no records is removed.
     pub fn gc(&self, experiment: &str, keep: &dyn Fn(&str) -> bool) -> io::Result<GcStats> {
-        let _guard = self.append_lock.lock().expect("append lock poisoned");
+        let _guard = self
+            .append_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let path = self.path(experiment);
-        let text = match fs::read_to_string(&path) {
+        let text = match self.io.read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(GcStats::default()),
             Err(e) => return Err(e),
         };
-        self.rewrite_snapshot(&path, &text, Some(keep))
+        self.rewrite_snapshot(experiment, &path, &text, Some(keep))
     }
 
     /// Shared rewrite pass behind [`ResultStore::compact`] and
-    /// [`ResultStore::gc`]: dedups superseded lines, drops corrupt ones,
-    /// and — when a `keep` predicate is given — drops records whose
-    /// fingerprint it rejects. Atomic: the new content is written to a
-    /// sibling temporary file, flushed, and renamed over the original,
-    /// so a crash mid-way leaves either the old or the new file — never
-    /// a truncated one.
+    /// [`ResultStore::gc`]: dedups superseded lines, drops (and
+    /// quarantines) corrupt ones, and — when a `keep` predicate is given
+    /// — drops records whose fingerprint it rejects. Surviving lines are
+    /// kept verbatim, so their checksums carry over. Atomic: the new
+    /// content is written to a sibling temporary file, flushed, and
+    /// renamed over the original, so a crash mid-way leaves either the
+    /// old or the new file — never a truncated one.
     fn rewrite_snapshot(
         &self,
+        experiment: &str,
         path: &Path,
         text: &str,
         keep: Option<&dyn Fn(&str) -> bool>,
@@ -230,22 +528,22 @@ impl ResultStore {
         let mut entries: Vec<(String, String)> = Vec::new();
         let mut survivor: HashMap<String, usize> = HashMap::new();
         let mut corrupt = 0usize;
+        let mut bad: Vec<&str> = Vec::new();
         for line in text.lines() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let fp = Json::parse(line).ok().and_then(|r| {
-                r.get("fingerprint")
-                    .and_then(Json::as_str)
-                    .map(str::to_owned)
-            });
-            match fp {
-                Some(fp) => {
-                    survivor.insert(fp.clone(), entries.len());
-                    entries.push((fp, line.to_owned()));
+            match parse_store_line(line) {
+                StoreLine::Blank => {}
+                StoreLine::Corrupt { .. } => {
+                    corrupt += 1;
+                    bad.push(line);
                 }
-                None => corrupt += 1,
+                StoreLine::Record { fingerprint, .. } => {
+                    survivor.insert(fingerprint.clone(), entries.len());
+                    entries.push((fingerprint, line.to_owned()));
+                }
             }
+        }
+        if !bad.is_empty() {
+            self.quarantine(experiment, &bad);
         }
         // Pass 2: emit each fingerprint's surviving line at its first
         // appearance, preserving the file's chronology; a `keep`
@@ -254,7 +552,7 @@ impl ResultStore {
         let mut kept = 0usize;
         let mut superseded = 0usize;
         let mut dropped = 0usize;
-        let mut emitted: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let mut emitted: HashSet<&str> = HashSet::new();
         for (fp, _) in &entries {
             if !emitted.insert(fp) {
                 superseded += 1;
@@ -284,10 +582,11 @@ impl ResultStore {
             });
         }
         let tmp = path.with_extension("jsonl.tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(out.as_bytes())?;
-            f.sync_all()?;
+        if let Err(e) = self.io.write_synced(&tmp, out.as_bytes()) {
+            // A half-written temporary must not linger: the next rewrite
+            // recreates it from scratch anyway.
+            let _ = self.io.remove_file(&tmp);
+            return Err(e);
         }
         // The in-process lock cannot see *other* processes appending to
         // the same file; a rename would silently discard their records.
@@ -297,8 +596,8 @@ impl ResultStore {
         // the remaining check-to-rename window can still lose a record;
         // stores are designed for one process per directory — shard
         // across directories and `gm-run merge` instead.)
-        if fs::metadata(path)?.len() != text.len() as u64 {
-            let _ = fs::remove_file(&tmp);
+        if self.io.len(path)? != text.len() as u64 {
+            let _ = self.io.remove_file(&tmp);
             // Report what actually happened: nothing was dropped.
             return Ok(GcStats {
                 kept: kept + superseded + dropped,
@@ -311,10 +610,13 @@ impl ResultStore {
         if out.is_empty() {
             // Every record was reclaimed: remove the file instead of
             // leaving an empty shard behind.
-            let _ = fs::remove_file(&tmp);
-            fs::remove_file(path)?;
-        } else {
-            fs::rename(&tmp, path)?;
+            let _ = self.io.remove_file(&tmp);
+            self.io.remove_file(path)?;
+        } else if let Err(e) = self.io.rename(&tmp, path) {
+            // Failed rename leaves the original untouched; clean up the
+            // temporary instead of leaking it.
+            let _ = self.io.remove_file(&tmp);
+            return Err(e);
         }
         Ok(stats)
     }
@@ -391,7 +693,88 @@ mod tests {
             shard.records["aa"].get("cycles").unwrap().as_u64(),
             Some(100)
         );
+        // Loaded records are sha-stripped: byte-identical to the input.
+        assert_eq!(shard.records["aa"].render(), rec("aa", 100).render());
+        assert_eq!(shard.checksummed, 2);
         assert_eq!(store.experiments().unwrap(), ["fig6", "other"]);
+    }
+
+    #[test]
+    fn appended_lines_carry_a_verifiable_checksum() {
+        let s = Scratch::new("checksum");
+        let store = ResultStore::open(&s.0).unwrap();
+        let r = rec("aa", 100);
+        store.append("fig6", &r).unwrap();
+        let text = fs::read_to_string(store.path("fig6")).unwrap();
+        let expect = sha256_hex(r.render().as_bytes());
+        assert_eq!(
+            text.trim_end(),
+            format!("{{\"fingerprint\":\"aa\",\"cycles\":100,\"sha\":\"{expect}\"}}")
+        );
+        match parse_store_line(text.trim_end()) {
+            StoreLine::Record {
+                record,
+                fingerprint,
+                checksummed,
+            } => {
+                assert_eq!(record.render(), r.render());
+                assert_eq!(fingerprint, "aa");
+                assert!(checksummed);
+            }
+            other => panic!("expected a record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unchecksummed_legacy_lines_still_load() {
+        let s = Scratch::new("legacy");
+        let store = ResultStore::open(&s.0).unwrap();
+        // A line written by a pre-checksum binary.
+        fs::write(
+            store.path("fig6"),
+            "{\"fingerprint\":\"aa\",\"cycles\":7}\n",
+        )
+        .unwrap();
+        let shard = store.load("fig6").unwrap();
+        assert_eq!(shard.records.len(), 1);
+        assert_eq!((shard.lines, shard.checksummed, shard.corrupt), (1, 0, 0));
+        assert!(!shard.needs_compaction());
+    }
+
+    #[test]
+    fn bit_rot_fails_the_checksum_and_quarantines() {
+        let s = Scratch::new("bitrot");
+        let store = ResultStore::open(&s.0).unwrap();
+        store.append("fig6", &rec("aa", 100)).unwrap();
+        store.append("fig6", &rec("bb", 200)).unwrap();
+        // Flip one digit inside the first record's body: still valid
+        // JSON, but the checksum no longer matches.
+        let path = store.path("fig6");
+        let text = fs::read_to_string(&path).unwrap();
+        let rotted = text.replacen("\"cycles\":100", "\"cycles\":101", 1);
+        assert_ne!(rotted, text);
+        fs::write(&path, &rotted).unwrap();
+        let shard = store.load("fig6").unwrap();
+        assert_eq!(shard.records.len(), 1, "rotted record must not load");
+        assert!(shard.records.contains_key("bb"));
+        assert_eq!(shard.corrupt, 1);
+        assert!(shard.needs_compaction());
+        // The damaged line is preserved as evidence, not silently lost.
+        let q = fs::read_to_string(store.quarantine_path("fig6")).unwrap();
+        assert_eq!(q.lines().count(), 1);
+        assert!(q.contains("\"cycles\":101"));
+        // Re-loading does not duplicate the quarantined line.
+        store.load("fig6").unwrap();
+        let q2 = fs::read_to_string(store.quarantine_path("fig6")).unwrap();
+        assert_eq!(q2, q);
+        // Compaction heals the main file; the quarantine file stays.
+        let stats = store.compact("fig6").unwrap();
+        assert_eq!((stats.kept, stats.corrupt), (1, 1));
+        let healed = store.load("fig6").unwrap();
+        assert_eq!((healed.records.len(), healed.corrupt), (1, 0));
+        assert!(store.quarantine_path("fig6").exists());
+        // Quarantine sidecars are not experiments.
+        assert_eq!(store.experiments().unwrap(), ["fig6"]);
     }
 
     #[test]
@@ -424,6 +807,29 @@ mod tests {
     }
 
     #[test]
+    fn an_append_after_a_torn_tail_isolates_the_damage() {
+        let s = Scratch::new("torn-tail");
+        let store = ResultStore::open(&s.0).unwrap();
+        store.append("fig6", &rec("aa", 1)).unwrap();
+        // A killed writer left a torn final line with no newline.
+        let path = store.path("fig6");
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"fingerprint\":\"bb\",\"cyc");
+        fs::write(&path, text).unwrap();
+        // A fresh process (fresh store handle) appends: the new record
+        // must not merge into the garbage.
+        let store = ResultStore::open(&s.0).unwrap();
+        store.append("fig6", &rec("cc", 3)).unwrap();
+        let shard = store.load("fig6").unwrap();
+        assert_eq!(shard.records.len(), 2);
+        assert_eq!(shard.records["cc"].get("cycles").unwrap().as_u64(), Some(3));
+        assert_eq!(shard.corrupt, 1, "the torn line quarantines alone");
+        // Subsequent appends skip the tail check and land normally.
+        store.append("fig6", &rec("dd", 4)).unwrap();
+        assert_eq!(store.load("fig6").unwrap().records.len(), 3);
+    }
+
+    #[test]
     fn compact_dedups_heals_and_is_atomic() {
         let s = Scratch::new("compact");
         let store = ResultStore::open(&s.0).unwrap();
@@ -446,12 +852,18 @@ mod tests {
         );
         // No temporary file left behind.
         assert!(!path.with_extension("jsonl.tmp").exists());
-        // First-appearance order, surviving values.
+        // First-appearance order, surviving values, checksums intact.
         let text = fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"aa\"") && lines[0].contains("\"cycles\":3"));
         assert!(lines[1].contains("\"bb\""));
+        for line in &lines {
+            assert!(
+                matches!(parse_store_line(line), StoreLine::Record { checksummed, .. } if checksummed),
+                "compacted lines keep their checksums: {line}"
+            );
+        }
         // Idempotent.
         let again = store.compact("fig6").unwrap();
         assert_eq!(
@@ -477,7 +889,7 @@ mod tests {
         store.append("fig6", &rec("bb", 3)).unwrap();
         // Compacting from the stale snapshot must notice the growth,
         // drop nothing, and leave no temporary file behind.
-        let stats = store.compact_snapshot(&path, &stale).unwrap();
+        let stats = store.compact_snapshot("fig6", &path, &stale).unwrap();
         assert_eq!(
             stats,
             CompactStats {
@@ -555,6 +967,18 @@ mod tests {
     }
 
     #[test]
+    fn synced_appends_round_trip_too() {
+        let s = Scratch::new("sync");
+        let mut store = ResultStore::open(&s.0).unwrap();
+        store.set_sync(true);
+        store.append("fig6", &rec("aa", 1)).unwrap();
+        store.append("fig6", &rec("bb", 2)).unwrap();
+        let shard = store.load("fig6").unwrap();
+        assert_eq!(shard.records.len(), 2);
+        assert_eq!(shard.checksummed, 2);
+    }
+
+    #[test]
     fn concurrent_appends_keep_every_line_well_formed() {
         let s = Scratch::new("threads");
         let store = ResultStore::open(&s.0).unwrap();
@@ -571,5 +995,6 @@ mod tests {
         let shard = store.load("fig6").unwrap();
         assert_eq!(shard.records.len(), 100);
         assert_eq!(shard.corrupt, 0);
+        assert_eq!(shard.checksummed, 100);
     }
 }

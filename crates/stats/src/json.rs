@@ -49,6 +49,26 @@ impl Json {
         self
     }
 
+    /// Removes every field named `key` from an object, returning the
+    /// value of the *last* occurrence (the one [`Json::get`] resolves
+    /// to), or `None` if the key is absent. Order of the remaining
+    /// fields is preserved. Returns `None` on non-objects.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        let Json::Object(fields) = self else {
+            return None;
+        };
+        let mut removed = None;
+        let mut i = 0;
+        while i < fields.len() {
+            if fields[i].0 == key {
+                removed = Some(fields.remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        removed
+    }
+
     /// Parses a JSON document. Strict: trailing garbage, trailing
     /// commas, unquoted keys, and `NaN`/`Infinity` literals are errors.
     /// Errors carry the byte offset of the offending input.
@@ -695,5 +715,15 @@ mod tests {
     fn get_resolves_duplicate_keys_to_the_last() {
         let v = Json::parse("{\"k\":1,\"k\":2}").unwrap();
         assert_eq!(v.get("k").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn remove_strips_every_occurrence_and_keeps_order() {
+        let mut v = Json::parse("{\"a\":1,\"k\":1,\"b\":2,\"k\":2}").unwrap();
+        assert_eq!(v.remove("k").unwrap().as_u64(), Some(2));
+        assert_eq!(v.render(), "{\"a\":1,\"b\":2}");
+        assert!(v.remove("k").is_none());
+        assert!(v.remove("missing").is_none());
+        assert!(Json::from(1u64).remove("k").is_none());
     }
 }
