@@ -16,10 +16,27 @@ use crate::merge;
 use crate::report::{experiment_json, report_text, run_experiment};
 use crate::runner::{Runner, Shard, Supervision};
 use crate::telemetry::{self, Telemetry};
-use gm_results::ResultStore;
+use gm_results::{RemoteStore, ResultStore};
 use gm_stats::Json;
 use gm_workloads::Scale;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Process exit codes, shared by every `gm-run` entry point (and by
+/// `gm-serve`, whose codes are documented to match). Centralised so the
+/// meanings cannot drift between subcommands.
+pub mod exit {
+    /// Full success.
+    pub const OK: i32 = 0;
+    /// Hard failure: unreadable input, I/O error, failed check.
+    pub const FAILURE: i32 = 1;
+    /// Usage error: unknown flag, malformed value, inconsistent
+    /// combination.
+    pub const USAGE: i32 = 2;
+    /// Partial success: the sweep completed but some job(s) exhausted
+    /// supervision (their grid cells are annotated in the report).
+    pub const PARTIAL: i32 = 3;
+}
 
 /// Parsed command-line options, shared by `gm-run` and the per-figure
 /// binaries (which do not take `--list`/`--filter`/`--shard`).
@@ -54,6 +71,9 @@ pub struct Options {
     pub inject: Option<FaultPlan>,
     /// With `--store`: fsync every appended record (crash durability).
     pub store_sync: bool,
+    /// Fetch/push job results through a `gm-serve` result service at
+    /// this address (requires `--store`).
+    pub remote: Option<String>,
     /// List registered experiments instead of running.
     pub list: bool,
     /// Substring filter selecting experiments to run (gm-run only).
@@ -77,6 +97,7 @@ impl Default for Options {
             strict: false,
             inject: None,
             store_sync: false,
+            remote: None,
             list: false,
             filter: None,
             help: false,
@@ -92,7 +113,7 @@ pub fn usage(program: &str, selection: bool) -> String {
             "       gm-run merge <SHARD.json>... [--json <PATH>] [--jobs <N>]\n\
              \x20      gm-run bench [--scale <S>] [--jobs <N>] [--filter <SUBSTR>] [--json <PATH>]\n\
              \x20                   [--check <BASELINE.json>]\n\
-             \x20      gm-run store <DIR> [--compact] [--gc] [--verify]\n\
+             \x20      gm-run store <DIR> [--compact] [--gc] [--verify] [--purge-quarantine]\n\
              \x20      gm-run trace <EXPERIMENT> [--workload <NAME>] [--scheme <LABEL>]\n\
              \x20                   [--scale <S>] [--out <FILE>] [--summary]\n",
         );
@@ -110,6 +131,9 @@ pub fn usage(program: &str, selection: bool) -> String {
          \x20 --expect-cached            with --store: fail if any job had to be simulated\n\
          \x20                            (misses caused by store damage warn instead)\n\
          \x20 --store-sync               with --store: fsync every appended record\n\
+         \x20 --remote <ADDR>            with --store: fetch/push job results through the\n\
+         \x20                            gm-serve result service at ADDR; an unreachable or\n\
+         \x20                            failing service degrades to local simulation\n\
          \x20 --telemetry <FILE>         append JSON-lines run/experiment/job span events to FILE\n\
          \x20 --retries <N>              extra attempts per failed job (default: 1)\n\
          \x20 --budget <SECS>            per-job wall-clock budget; over-budget jobs fail\n\
@@ -127,6 +151,14 @@ pub fn usage(program: &str, selection: bool) -> String {
              \x20                            recombine with gm-run merge)\n",
         );
     }
+    u.push_str(
+        "\n\
+         exit codes:\n\
+         \x20 0  success\n\
+         \x20 1  hard failure (unreadable input, I/O error, failed check)\n\
+         \x20 2  usage error\n\
+         \x20 3  partial success (sweep completed, some jobs failed supervision)\n",
+    );
     u
 }
 
@@ -172,6 +204,7 @@ pub fn parse(args: &[String], selection: bool) -> Result<Options, String> {
             "--store" => opts.store = Some(value("--store", &mut it)?),
             "--expect-cached" => opts.expect_cached = true,
             "--store-sync" => opts.store_sync = true,
+            "--remote" => opts.remote = Some(value("--remote", &mut it)?),
             "--telemetry" => opts.telemetry = Some(value("--telemetry", &mut it)?),
             "--retries" => {
                 let v = value("--retries", &mut it)?;
@@ -202,6 +235,9 @@ pub fn parse(args: &[String], selection: bool) -> Result<Options, String> {
     if opts.store_sync && opts.store.is_none() {
         return Err("--store-sync requires --store".into());
     }
+    if opts.remote.is_some() && opts.store.is_none() {
+        return Err("--remote requires --store (remote hits land in the local store)".into());
+    }
     if opts.shard.is_some() && opts.json.is_none() && !opts.list && !opts.help {
         return Err("--shard requires --json (the shard document is the run's output)".into());
     }
@@ -223,20 +259,20 @@ fn parse_or_exit(program: &str, args: &[String], selection: bool) -> Options {
         Ok(opts) => {
             if opts.help {
                 print!("{}", usage(program, selection));
-                std::process::exit(0);
+                std::process::exit(exit::OK);
             }
             opts
         }
         Err(e) => {
             eprint!("{program}: {e}\n\n{}", usage(program, selection));
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         }
     }
 }
 
 fn fail(program: &str, message: &str) -> ! {
     eprintln!("{program}: {message}");
-    std::process::exit(1);
+    std::process::exit(exit::FAILURE);
 }
 
 /// Opens the store named by `--store`, if any, applying `--store-sync`.
@@ -262,6 +298,15 @@ fn build_runner(opts: &Options) -> Runner {
     if let Some(plan) = &opts.inject {
         runner = runner.with_faults(plan.clone());
     }
+    if let Some(addr) = &opts.remote {
+        let mut remote = RemoteStore::new(addr.clone());
+        if let Some(dir) = &opts.store {
+            // Garbage the remote sends lands next to the local store's
+            // own quarantine sidecars, where `gm-run store` reports it.
+            remote = remote.with_quarantine(std::path::Path::new(dir).join("remote.quarantine"));
+        }
+        runner = runner.with_remote(Arc::new(remote));
+    }
     runner
 }
 
@@ -274,7 +319,7 @@ fn exit_partial(program: &str, failed: usize) {
             "{program}: partial success: {failed} job(s) failed permanently \
              (see the '!! job failed' report lines); exiting 3"
         );
-        std::process::exit(3);
+        std::process::exit(exit::PARTIAL);
     }
 }
 
@@ -412,6 +457,12 @@ fn run_and_emit(program: &str, experiments: &[Experiment], opts: &Options) {
                     mcycles_per_s(out.sim_cycles, out.sim_wall_us)
                 ));
             }
+            if opts.remote.is_some() {
+                line.push_str(&format!(
+                    ", remote: {} fetched, {} pushed",
+                    out.cache.remote_hits, out.cache.remote_pushes
+                ));
+            }
             if let Some((label, us)) = &out.slowest {
                 line.push_str(&format!(" (slowest {label} {:.2}s)", seconds(*us)));
             }
@@ -493,6 +544,12 @@ fn run_shard_and_emit(program: &str, experiments: &[Experiment], opts: &Options,
                     seconds(run.sim_wall_us()),
                     mcycles_per_s(run.sim_cycles(), run.sim_wall_us()),
                 );
+                if opts.remote.is_some() {
+                    line.push_str(&format!(
+                        ", remote: {} fetched, {} pushed",
+                        run.cache.remote_hits, run.cache.remote_pushes
+                    ));
+                }
                 if !run.failures.is_empty() {
                     line.push_str(&format!(", {} FAILED", run.failures.len()));
                     for f in &run.failures {
@@ -536,7 +593,7 @@ fn run_selected(program: &str, mut experiments: Vec<Experiment>, opts: &Options,
     if let Some(names) = &opts.workloads {
         if let Err(e) = apply_workload_filter(&mut experiments, names) {
             eprint!("{program}: {e}\n\n{}", usage(program, selection));
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         }
         // A name can be valid for one suite and absent from another
         // (e.g. `mcf` exists in SPEC2006 but not Parsec). Skip sweeps
@@ -602,7 +659,7 @@ pub fn gm_run_main() {
                 "gm-run: unknown subcommand {cmd:?}\n\n{}",
                 usage("gm-run", true)
             );
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         }
         _ => {}
     }
@@ -626,7 +683,7 @@ pub fn gm_run_main() {
             "gm-run: no experiment matches {:?} (try --list)",
             opts.filter.as_deref().unwrap_or("")
         );
-        std::process::exit(1);
+        std::process::exit(exit::FAILURE);
     }
     run_selected("gm-run", selected, &opts, true);
 }
@@ -679,7 +736,7 @@ fn trace_main(args: &[String]) {
     let value = |flag: &str, it: &mut std::slice::Iter<String>| -> String {
         it.next().cloned().unwrap_or_else(|| {
             eprint!("{program}: {flag} requires a value\n\n{}", trace_usage());
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         })
     };
     while let Some(arg) = it.next() {
@@ -693,7 +750,7 @@ fn trace_main(args: &[String]) {
                         "{program}: invalid --scale {v:?} (expected test|bench|full)\n\n{}",
                         trace_usage()
                     );
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 });
             }
             "--out" => out = Some(value("--out", &mut it)),
@@ -704,11 +761,11 @@ fn trace_main(args: &[String]) {
             }
             "--help" | "-h" => {
                 print!("{}", trace_usage());
-                std::process::exit(0);
+                std::process::exit(exit::OK);
             }
             flag if flag.starts_with('-') => {
                 eprint!("{program}: unknown argument {flag:?}\n\n{}", trace_usage());
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
             name if experiment_name.is_none() => experiment_name = Some(name.to_owned()),
             extra => {
@@ -716,7 +773,7 @@ fn trace_main(args: &[String]) {
                     "{program}: unexpected argument {extra:?}\n\n{}",
                     trace_usage()
                 );
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
         }
     }
@@ -727,7 +784,7 @@ fn trace_main(args: &[String]) {
                 "{program}: --validate modes take only a file argument\n\n{}",
                 trace_usage()
             );
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         }
         if let Some(path) = &validate_trace {
             let text = std::fs::read_to_string(path)
@@ -759,7 +816,7 @@ fn trace_main(args: &[String]) {
     }
     let Some(exp_name) = experiment_name else {
         eprint!("{program}: trace needs an experiment\n\n{}", trace_usage());
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     };
     let exp = experiment::find(&exp_name).unwrap_or_else(|| {
         fail(
@@ -1132,7 +1189,7 @@ fn bench_main(args: &[String]) {
                 Some(v) => check = Some(v.clone()),
                 None => {
                     eprint!("{program}: --check requires a value\n\n{}", bench_usage());
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
             }
         } else if arg == "--profile" {
@@ -1147,21 +1204,21 @@ fn bench_main(args: &[String]) {
              --features stage-prof\n\n{}",
             bench_usage()
         );
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     }
     let args = rest.as_slice();
     let opts = match parse(args, true) {
         Ok(opts) => {
             if opts.help {
                 print!("{}", bench_usage());
-                std::process::exit(0);
+                std::process::exit(exit::OK);
             }
-            if opts.store.is_some() || opts.shard.is_some() || opts.list {
+            if opts.store.is_some() || opts.remote.is_some() || opts.shard.is_some() || opts.list {
                 eprint!(
                     "{program}: bench always runs cold and unsharded\n\n{}",
                     bench_usage()
                 );
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
             if opts.telemetry.is_some() {
                 eprint!(
@@ -1169,7 +1226,7 @@ fn bench_main(args: &[String]) {
                      use a plain sweep run instead\n\n{}",
                     bench_usage()
                 );
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
             if opts.inject.is_some() {
                 eprint!(
@@ -1177,13 +1234,13 @@ fn bench_main(args: &[String]) {
                      use a plain sweep run to exercise fault injection\n\n{}",
                     bench_usage()
                 );
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
             opts
         }
         Err(e) => {
             eprint!("{program}: {e}\n\n{}", bench_usage());
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         }
     };
     // With --check, the snapshot defaults to BENCH_fresh.json so the
@@ -1204,7 +1261,7 @@ fn bench_main(args: &[String]) {
              before it is checked\n\n{}",
             bench_usage()
         );
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     }
     // Read the baseline before the (minutes-long) bench run, so a bad
     // path fails fast.
@@ -1227,7 +1284,7 @@ fn bench_main(args: &[String]) {
     if let Some(names) = &opts.workloads {
         if let Err(e) = apply_workload_filter(&mut selected, names) {
             eprint!("{program}: {e}\n\n{}", bench_usage());
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         }
     }
     let runner = Runner::new(opts.jobs);
@@ -1325,16 +1382,19 @@ fn bench_main(args: &[String]) {
 }
 
 fn store_usage() -> String {
-    "usage: gm-run store <DIR> [--compact] [--gc] [--verify]\n\
+    "usage: gm-run store <DIR> [--compact] [--gc] [--verify] [--purge-quarantine]\n\
      \n\
-     Inspects a result store: per-experiment record counts and the total\n\
+     Inspects a result store: per-experiment record counts, the total\n\
      cached simulation wall-clock those records represent (the time a warm\n\
-     re-run saves). --compact rewrites every store file, dropping\n\
-     superseded and corrupt lines. --gc additionally drops records whose\n\
-     fingerprint no current registry experiment produces (at any scale) —\n\
-     stale cache entries from old configs, schemes, or workloads —\n\
-     reporting the records and bytes reclaimed; a fully-reclaimed file is\n\
-     removed.\n\
+     re-run saves), and the quarantined evidence each experiment carries.\n\
+     --compact rewrites every store file, dropping superseded and corrupt\n\
+     lines. --gc additionally drops records whose fingerprint no current\n\
+     registry experiment produces (at any scale) — stale cache entries\n\
+     from old configs, schemes, or workloads — reporting the records and\n\
+     bytes reclaimed; a fully-reclaimed file is removed. Neither pass\n\
+     touches .quarantine sidecars: quarantined lines are evidence, kept\n\
+     until --purge-quarantine deletes them (reporting the lines and bytes\n\
+     reclaimed).\n\
      \n\
      --verify is a read-only deep-integrity pass: every line is re-parsed\n\
      with the strict checker, per-record checksums are recomputed, record\n\
@@ -1478,18 +1538,20 @@ fn store_main(args: &[String]) {
     let mut compact = false;
     let mut gc = false;
     let mut verify = false;
+    let mut purge_quarantine = false;
     for arg in args {
         match arg.as_str() {
             "--compact" => compact = true,
             "--gc" => gc = true,
             "--verify" => verify = true,
+            "--purge-quarantine" => purge_quarantine = true,
             "--help" | "-h" => {
                 print!("{}", store_usage());
-                std::process::exit(0);
+                std::process::exit(exit::OK);
             }
             flag if flag.starts_with('-') => {
                 eprint!("{program}: unknown argument {flag:?}\n\n{}", store_usage());
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
             path if dir.is_none() => dir = Some(path.to_owned()),
             extra => {
@@ -1497,13 +1559,13 @@ fn store_main(args: &[String]) {
                     "{program}: unexpected argument {extra:?}\n\n{}",
                     store_usage()
                 );
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
         }
     }
     let Some(dir) = dir else {
         eprint!("{program}: store needs a directory\n\n{}", store_usage());
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     };
     let store = ResultStore::open(&dir)
         .unwrap_or_else(|e| fail(program, &format!("cannot open store {dir:?}: {e}")));
@@ -1516,8 +1578,10 @@ fn store_main(args: &[String]) {
         "cached_wall_s".into(),
         "superseded".into(),
         "corrupt".into(),
+        "quarantined".into(),
     ]);
     let (mut total_records, mut total_wall) = (0u64, 0u64);
+    let (mut total_q_lines, mut total_q_bytes) = (0usize, 0u64);
     for name in &experiments {
         let shard = store
             .load(name)
@@ -1527,14 +1591,18 @@ fn store_main(args: &[String]) {
             .values()
             .filter_map(|r| gm_results::record_wall_us(r).ok())
             .sum();
+        let quarantined = store.quarantine_stats(name).unwrap_or_default();
         total_records += shard.records.len() as u64;
         total_wall += wall;
+        total_q_lines += quarantined.lines;
+        total_q_bytes += quarantined.bytes;
         table.row(vec![
             name.clone(),
             shard.records.len().to_string(),
             format!("{:.2}", seconds(wall)),
             (shard.lines - shard.records.len()).to_string(),
             shard.corrupt.to_string(),
+            quarantined.lines.to_string(),
         ]);
     }
     table.row(vec![
@@ -1543,8 +1611,42 @@ fn store_main(args: &[String]) {
         format!("{:.2}", seconds(total_wall)),
         String::new(),
         String::new(),
+        total_q_lines.to_string(),
     ]);
     print!("{}", table.render());
+    // Sidecars without a matching store file (e.g. `remote.quarantine`,
+    // written by the --remote client) would otherwise be invisible.
+    let orphan_sidecars: Vec<String> = {
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .ok()
+            .into_iter()
+            .flatten()
+            .filter_map(Result::ok)
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter_map(|n| n.strip_suffix(".quarantine").map(str::to_owned))
+            .filter(|stem| !experiments.contains(stem))
+            .collect();
+        names.sort();
+        names
+    };
+    for stem in &orphan_sidecars {
+        if let Ok(q) = store.quarantine_stats(stem) {
+            total_q_lines += q.lines;
+            total_q_bytes += q.bytes;
+            eprintln!(
+                "{program}: {}: {} quarantined line(s), {} byte(s) (no matching store file)",
+                store.quarantine_path(stem).display(),
+                q.lines,
+                q.bytes
+            );
+        }
+    }
+    if total_q_lines > 0 {
+        eprintln!(
+            "{program}: {total_q_lines} quarantined line(s) in {total_q_bytes} byte(s) of \
+             sidecar evidence (--purge-quarantine reclaims them)"
+        );
+    }
     if compact {
         for name in &experiments {
             compact_one(program, &store, name);
@@ -1585,6 +1687,32 @@ fn store_main(args: &[String]) {
         }
         eprintln!("{program}: gc reclaimed {total_dropped} record(s), {total_bytes} byte(s)");
     }
+    if purge_quarantine {
+        let (mut purged_lines, mut purged_bytes, mut purged_files) = (0usize, 0u64, 0usize);
+        let mut names = experiments.clone();
+        names.extend(orphan_sidecars.iter().cloned());
+        for name in &names {
+            match store.purge_quarantine(name) {
+                Ok(stats) if stats.lines > 0 || stats.bytes > 0 => {
+                    purged_lines += stats.lines;
+                    purged_bytes += stats.bytes;
+                    purged_files += 1;
+                    eprintln!(
+                        "{program}: purged {}: {} quarantined line(s), {} byte(s)",
+                        store.quarantine_path(name).display(),
+                        stats.lines,
+                        stats.bytes
+                    );
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!("warning: cannot purge quarantine for {name}: {e}"),
+            }
+        }
+        eprintln!(
+            "{program}: purge-quarantine reclaimed {purged_lines} line(s), \
+             {purged_bytes} byte(s) across {purged_files} sidecar(s)"
+        );
+    }
     if verify {
         // Verify runs after --compact/--gc so it checks what is left on
         // disk, not what those passes were about to rewrite.
@@ -1621,7 +1749,7 @@ fn merge_main(args: &[String]) {
                 Some(v) => json = Some(v.clone()),
                 None => {
                     eprint!("{program}: --json requires a value\n\n{}", merge_usage());
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
             },
             "--jobs" => {
@@ -1634,16 +1762,16 @@ fn merge_main(args: &[String]) {
                             "{program}: --jobs requires a positive integer\n\n{}",
                             merge_usage()
                         );
-                        std::process::exit(2);
+                        std::process::exit(exit::USAGE);
                     });
             }
             "--help" | "-h" => {
                 print!("{}", merge_usage());
-                std::process::exit(0);
+                std::process::exit(exit::OK);
             }
             flag if flag.starts_with('-') => {
                 eprint!("{program}: unknown argument {flag:?}\n\n{}", merge_usage());
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
             file => files.push(file.to_owned()),
         }
@@ -1653,7 +1781,7 @@ fn merge_main(args: &[String]) {
             "{program}: merge needs at least one shard document\n\n{}",
             merge_usage()
         );
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     }
     let docs: Vec<Json> = files
         .iter()
@@ -1817,6 +1945,39 @@ mod tests {
     }
 
     #[test]
+    fn exit_codes_are_stable_and_documented() {
+        // The table below is a public contract (CI scripts and the
+        // result-service docs rely on it); renumbering is a break.
+        assert_eq!(exit::OK, 0);
+        assert_eq!(exit::FAILURE, 1);
+        assert_eq!(exit::USAGE, 2);
+        assert_eq!(exit::PARTIAL, 3);
+        let u = usage("gm-run", true);
+        assert!(u.contains("exit codes:"), "usage must print the table");
+        for line in [
+            "0  success",
+            "1  hard failure",
+            "2  usage error",
+            "3  partial success",
+        ] {
+            assert!(u.contains(line), "{line:?} missing from usage");
+        }
+    }
+
+    #[test]
+    fn remote_requires_a_store() {
+        let e = parse(&args(&["--remote", "127.0.0.1:4460"]), false).unwrap_err();
+        assert!(e.contains("--store"), "{e}");
+        let o = parse(
+            &args(&["--store", ".gm-store", "--remote", "127.0.0.1:4460"]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(o.remote.as_deref(), Some("127.0.0.1:4460"));
+        assert!(parse(&args(&["--remote"]), false).is_err());
+    }
+
+    #[test]
     fn store_sync_requires_a_store() {
         let e = parse(&args(&["--store-sync"]), false).unwrap_err();
         assert!(e.contains("--store"), "{e}");
@@ -1873,6 +2034,7 @@ mod tests {
             "--strict",
             "--inject",
             "--store-sync",
+            "--remote",
             "merge",
             "bench",
             "store",
@@ -1880,6 +2042,7 @@ mod tests {
             "--check",
             "--gc",
             "--verify",
+            "--purge-quarantine",
         ] {
             assert!(u.contains(flag), "{flag} missing from usage");
         }

@@ -1,0 +1,559 @@
+//! The resilient client side of the result service: a remote,
+//! best-effort tier over the local [`crate::ResultStore`].
+//!
+//! A [`RemoteStore`] never owns correctness — the local store and the
+//! simulator do. It is a cache accelerator with three failure rules:
+//!
+//! 1. **Bounded, deterministic retries.** Every operation makes at
+//!    most [`RetryPolicy::attempts`] exchanges, sleeping an
+//!    exponentially growing backoff between them with jitter derived
+//!    from a SplitMix64 stream seeded by [`RetryPolicy::seed`] — the
+//!    same policy always waits the same schedule.
+//! 2. **A trip-once circuit breaker.** After
+//!    [`RetryPolicy::breaker_threshold`] *consecutive* operations
+//!    exhaust their retries, the remote is marked degraded: every
+//!    later operation short-circuits to a local miss without touching
+//!    the network, a single warning lands on stderr, and the harness
+//!    can report the event once (see
+//!    [`RemoteStore::take_degradation_event`]). The sweep continues
+//!    local-only; its reports do not change by a byte.
+//! 3. **Distrust of every byte received.** A response that does not
+//!    parse, a record whose SHA-256 does not match the one the server
+//!    claimed, or a record keyed under the wrong fingerprint is
+//!    quarantined client-side (see [`RemoteStore::with_quarantine`])
+//!    and treated as a miss — the job re-simulates. Garbled data never
+//!    reaches the local store or a report.
+
+use crate::hash::sha256_hex;
+use crate::net::{NetIo, NetTimeouts, TcpIo};
+use crate::protocol::{Request, Response};
+use crate::record::record_fingerprint;
+use gm_stats::Json;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Retry, backoff, and circuit-breaker settings for a [`RemoteStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Exchanges one operation may make before giving up (≥ 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; each later attempt doubles
+    /// it. Jitter in `[0, base_backoff)` is added from the seeded
+    /// stream. Zero disables sleeping entirely (tests).
+    pub base_backoff: Duration,
+    /// Seed of the jitter stream — same seed, same schedule.
+    pub seed: u64,
+    /// Consecutive failed operations (retries exhausted) before the
+    /// breaker trips and the remote is marked degraded.
+    pub breaker_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            seed: 0x6d69_6e69_6f6e, // "minion"
+            breaker_threshold: 3,
+        }
+    }
+}
+
+/// A snapshot of a [`RemoteStore`]'s operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemoteCounters {
+    /// `Get`s answered with a verified record.
+    pub hits: u64,
+    /// `Get`s answered `NotFound`.
+    pub misses: u64,
+    /// `Put`s the server acknowledged as stored.
+    pub pushes: u64,
+    /// `Put`s that failed (rejected, transport error, or degraded).
+    pub push_failures: u64,
+    /// Responses quarantined client-side: unparseable, checksum
+    /// mismatch, or wrong fingerprint.
+    pub garbled: u64,
+    /// Extra exchanges made beyond each operation's first attempt.
+    pub retries: u64,
+    /// Operations short-circuited by the tripped breaker.
+    pub short_circuits: u64,
+}
+
+/// How one operation's exchange concluded, internally.
+enum ExchangeError {
+    /// The breaker was already tripped; no exchange was made.
+    ShortCircuit,
+    /// Every attempt failed at the transport layer.
+    Transport,
+    /// The remote answered, but with bytes that failed validation;
+    /// they were quarantined.
+    Garbled,
+}
+
+/// SplitMix64, as in [`crate::faults`].
+fn mix(seed: u64, n: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The client of one `gm-serve` daemon. Thread-safe: the runner's
+/// worker threads share one instance.
+pub struct RemoteStore {
+    addr: String,
+    io: Box<dyn NetIo>,
+    policy: RetryPolicy,
+    /// Where client-side quarantined payloads are appended, if set.
+    quarantine: Option<PathBuf>,
+    degraded: AtomicBool,
+    /// Set when the breaker trips, taken once by the harness for the
+    /// `remote_degraded` telemetry span.
+    degradation_unreported: AtomicBool,
+    warned: AtomicBool,
+    consecutive_failures: AtomicU32,
+    /// Position in the jitter stream.
+    backoff_seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    pushes: AtomicU64,
+    push_failures: AtomicU64,
+    garbled: AtomicU64,
+    retries: AtomicU64,
+    short_circuits: AtomicU64,
+}
+
+impl std::fmt::Debug for RemoteStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteStore")
+            .field("addr", &self.addr)
+            .field("policy", &self.policy)
+            .field("degraded", &self.degraded.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteStore {
+    /// A client of the daemon at `addr` with production transport
+    /// ([`TcpIo`]) and the default [`RetryPolicy`].
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self::with_io(addr, Box::new(TcpIo::new(NetTimeouts::default())))
+    }
+
+    /// A client with a caller-supplied [`NetIo`] — the fault-injection
+    /// seam used by the network crash tests.
+    pub fn with_io(addr: impl Into<String>, io: Box<dyn NetIo>) -> Self {
+        Self {
+            addr: addr.into(),
+            io,
+            policy: RetryPolicy::default(),
+            quarantine: None,
+            degraded: AtomicBool::new(false),
+            degradation_unreported: AtomicBool::new(false),
+            warned: AtomicBool::new(false),
+            consecutive_failures: AtomicU32::new(0),
+            backoff_seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            pushes: AtomicU64::new(0),
+            push_failures: AtomicU64::new(0),
+            garbled: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            short_circuits: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the retry/breaker policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Appends client-side quarantined payloads (garbled responses,
+    /// checksum mismatches) to `path` as JSON lines.
+    pub fn with_quarantine(mut self, path: impl Into<PathBuf>) -> Self {
+        self.quarantine = Some(path.into());
+        self
+    }
+
+    /// The daemon address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the circuit breaker has tripped.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` exactly once after the breaker trips — the hook
+    /// the harness uses to emit one `remote_degraded` telemetry span.
+    pub fn take_degradation_event(&self) -> bool {
+        self.degradation_unreported.swap(false, Ordering::Relaxed)
+    }
+
+    /// A snapshot of the operation counters.
+    pub fn counters(&self) -> RemoteCounters {
+        RemoteCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            pushes: self.pushes.load(Ordering::Relaxed),
+            push_failures: self.push_failures.load(Ordering::Relaxed),
+            garbled: self.garbled.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            short_circuits: self.short_circuits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The deterministic backoff before `attempt` (2-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.policy.base_backoff;
+        if base.is_zero() {
+            return Duration::ZERO;
+        }
+        let seq = self.backoff_seq.fetch_add(1, Ordering::Relaxed);
+        let jitter_us = mix(self.policy.seed, seq) % base.as_micros().max(1) as u64;
+        base * 2u32.saturating_pow(attempt.saturating_sub(2)) + Duration::from_micros(jitter_us)
+    }
+
+    /// One operation's consecutive failure landed: count it and trip
+    /// the breaker at the threshold.
+    fn note_failure(&self) {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= self.policy.breaker_threshold.max(1)
+            && !self.degraded.swap(true, Ordering::Relaxed)
+        {
+            self.degradation_unreported.store(true, Ordering::Relaxed);
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: remote store {}: {failures} consecutive failed \
+                     operation(s); marking remote degraded — continuing local-only",
+                    self.addr
+                );
+            }
+        }
+    }
+
+    /// Appends a quarantined payload line, if a quarantine path is
+    /// configured. Never propagates errors: the quarantine is
+    /// evidence, not data the run depends on.
+    fn quarantine_payload(&self, reason: &str, payload: &[u8]) {
+        let Some(path) = &self.quarantine else {
+            return;
+        };
+        let mut line = Json::object();
+        let lossy: String = String::from_utf8_lossy(payload).chars().take(512).collect();
+        line.set("addr", self.addr.as_str())
+            .set("reason", reason)
+            .set("payload", lossy.as_str());
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{}", line.render()));
+        if let Err(e) = write {
+            eprintln!("warning: remote quarantine to {path:?} failed: {e}");
+        }
+    }
+
+    /// Performs one request with retries, backoff, and the breaker.
+    fn request(&self, request: &Request) -> Result<Response, ExchangeError> {
+        if self.degraded() {
+            self.short_circuits.fetch_add(1, Ordering::Relaxed);
+            return Err(ExchangeError::ShortCircuit);
+        }
+        let payload = request.encode();
+        for attempt in 1..=self.policy.attempts.max(1) {
+            if attempt > 1 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                let pause = self.backoff(attempt);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            match self.io.exchange(&self.addr, &payload) {
+                Ok(bytes) => {
+                    // The remote answered: the link is alive, whatever
+                    // the payload says.
+                    self.consecutive_failures.store(0, Ordering::Relaxed);
+                    return match Response::decode(&bytes) {
+                        Ok(resp) => Ok(resp),
+                        Err(reason) => {
+                            // Garbage is data damage, not a transport
+                            // blip: retrying would re-trust a channel
+                            // that just lied. Quarantine and miss.
+                            self.garbled.fetch_add(1, Ordering::Relaxed);
+                            self.quarantine_payload(&reason, &bytes);
+                            Err(ExchangeError::Garbled)
+                        }
+                    };
+                }
+                Err(_) => continue,
+            }
+        }
+        self.note_failure();
+        Err(ExchangeError::Transport)
+    }
+
+    /// Fetches the record stored under (`experiment`, `fingerprint`).
+    /// `None` is a miss of any flavour — not stored, remote degraded,
+    /// transport failure, or a response that failed validation (which
+    /// is also quarantined). The caller re-simulates; it never needs
+    /// to know why.
+    pub fn get(&self, experiment: &str, fingerprint: &str) -> Option<Json> {
+        let resp = match self.request(&Request::Get {
+            experiment: experiment.to_owned(),
+            fingerprint: fingerprint.to_owned(),
+        }) {
+            Ok(resp) => resp,
+            Err(_) => return None,
+        };
+        match resp {
+            Response::Found { record, sha } => {
+                let body = record.render();
+                let verified = sha256_hex(body.as_bytes()) == sha
+                    && record_fingerprint(&record) == Ok(fingerprint);
+                if !verified {
+                    self.garbled.fetch_add(1, Ordering::Relaxed);
+                    self.quarantine_payload(
+                        "record failed client-side verification",
+                        body.as_bytes(),
+                    );
+                    return None;
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(record)
+            }
+            Response::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            // A server-side rejection or an off-shape answer: miss.
+            _ => None,
+        }
+    }
+
+    /// Offers `record` (which must carry a fingerprint and no `"sha"`
+    /// field) for appending to `experiment`'s shard on the remote.
+    /// Returns whether the server acknowledged it as stored. Failure
+    /// is never fatal: the record is already durable locally.
+    pub fn put(&self, experiment: &str, record: &Json) -> bool {
+        let sha = sha256_hex(record.render().as_bytes());
+        let stored = matches!(
+            self.request(&Request::Put {
+                experiment: experiment.to_owned(),
+                sha,
+                record: record.clone(),
+            }),
+            Ok(Response::Stored)
+        );
+        if stored {
+            self.pushes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.push_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{FaultyNet, NetFaultControl};
+    use std::io;
+    use std::sync::Mutex;
+
+    /// An in-memory "server": one (experiment, fingerprint) → record
+    /// map behind the real protocol encode/decode path.
+    struct MapServer {
+        records: Mutex<Vec<(String, Json)>>,
+    }
+
+    impl MapServer {
+        fn with(records: Vec<(String, Json)>) -> Self {
+            Self {
+                records: Mutex::new(records),
+            }
+        }
+    }
+
+    impl NetIo for MapServer {
+        fn exchange(&self, _addr: &str, request: &[u8]) -> io::Result<Vec<u8>> {
+            let resp = match Request::decode(request) {
+                Ok(Request::Get { fingerprint, .. }) => {
+                    let records = self.records.lock().unwrap();
+                    match records.iter().find(|(fp, _)| *fp == fingerprint) {
+                        Some((_, record)) => Response::Found {
+                            sha: sha256_hex(record.render().as_bytes()),
+                            record: record.clone(),
+                        },
+                        None => Response::NotFound,
+                    }
+                }
+                Ok(Request::Put { sha, record, .. }) => {
+                    if sha256_hex(record.render().as_bytes()) != sha {
+                        Response::Error {
+                            message: "checksum mismatch".into(),
+                        }
+                    } else {
+                        let fp = record
+                            .get("fingerprint")
+                            .and_then(Json::as_str)
+                            .unwrap_or("")
+                            .to_owned();
+                        self.records.lock().unwrap().push((fp, record));
+                        Response::Stored
+                    }
+                }
+                Ok(_) => Response::Health {
+                    status: "serving".into(),
+                },
+                Err(e) => Response::Error { message: e },
+            };
+            Ok(resp.encode())
+        }
+    }
+
+    fn rec(fp: &str, cycles: u64) -> Json {
+        let mut j = Json::object();
+        j.set("fingerprint", fp).set("cycles", cycles);
+        j
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 2,
+            base_backoff: Duration::ZERO,
+            seed: 1,
+            breaker_threshold: 2,
+        }
+    }
+
+    #[test]
+    fn get_and_put_round_trip_through_the_protocol() {
+        let fp = "aa".repeat(32);
+        let server = MapServer::with(vec![(fp.clone(), rec(&fp, 7))]);
+        let remote = RemoteStore::with_io("test", Box::new(server)).with_policy(fast_policy());
+        assert_eq!(
+            remote.get("fig6", &fp).unwrap().render(),
+            rec(&fp, 7).render()
+        );
+        let fp2 = "bb".repeat(32);
+        assert!(remote.get("fig6", &fp2).is_none());
+        assert!(remote.put("fig6", &rec(&fp2, 9)));
+        assert_eq!(
+            remote.get("fig6", &fp2).unwrap().render(),
+            rec(&fp2, 9).render()
+        );
+        let c = remote.counters();
+        assert_eq!((c.hits, c.misses, c.pushes), (2, 1, 1));
+        assert!(!remote.degraded());
+    }
+
+    #[test]
+    fn transient_faults_heal_within_the_retry_budget() {
+        let fp = "aa".repeat(32);
+        let ctl = NetFaultControl::new();
+        let server = MapServer::with(vec![(fp.clone(), rec(&fp, 7))]);
+        let net = FaultyNet::new(Box::new(server), ctl.clone());
+        let remote = RemoteStore::with_io("test", Box::new(net)).with_policy(fast_policy());
+        ctl.drop_next();
+        assert!(remote.get("fig6", &fp).is_some(), "retry absorbs one drop");
+        assert_eq!(remote.counters().retries, 1);
+        assert!(!remote.degraded());
+    }
+
+    #[test]
+    fn the_breaker_trips_once_and_short_circuits() {
+        let ctl = NetFaultControl::new();
+        let server = MapServer::with(Vec::new());
+        let net = FaultyNet::new(Box::new(server), ctl.clone());
+        let remote = RemoteStore::with_io("test", Box::new(net)).with_policy(fast_policy());
+        ctl.refuse_all();
+        let fp = "aa".repeat(32);
+        // Two operations × two attempts exhaust the breaker threshold.
+        assert!(remote.get("fig6", &fp).is_none());
+        assert!(!remote.degraded(), "one failed operation is not enough");
+        assert!(!remote.put("fig6", &rec(&fp, 1)));
+        assert!(remote.degraded());
+        assert!(remote.take_degradation_event(), "reported exactly once");
+        assert!(!remote.take_degradation_event());
+        // Later operations never touch the network again.
+        let before = ctl.exchanges();
+        assert!(remote.get("fig6", &fp).is_none());
+        assert!(!remote.put("fig6", &rec(&fp, 1)));
+        assert_eq!(ctl.exchanges(), before);
+        assert_eq!(remote.counters().short_circuits, 2);
+    }
+
+    #[test]
+    fn garbled_responses_quarantine_and_miss_without_retrying() {
+        let fp = "aa".repeat(32);
+        let ctl = NetFaultControl::new();
+        let server = MapServer::with(vec![(fp.clone(), rec(&fp, 7))]);
+        let net = FaultyNet::new(Box::new(server), ctl.clone());
+        let dir = std::env::temp_dir().join(format!("gm-remote-quar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let qpath = dir.join("remote.quarantine");
+        let remote = RemoteStore::with_io("test", Box::new(net))
+            .with_policy(fast_policy())
+            .with_quarantine(&qpath);
+        ctl.garble_next();
+        assert!(remote.get("fig6", &fp).is_none(), "garbage is a miss");
+        let c = remote.counters();
+        assert_eq!((c.garbled, c.retries), (1, 0), "no retry on garbage");
+        assert!(
+            !remote.degraded(),
+            "the remote answered; not a breaker event"
+        );
+        let q = std::fs::read_to_string(&qpath).unwrap();
+        assert_eq!(q.lines().count(), 1);
+        assert!(q.contains("unparseable"));
+        // A half-closed (truncated) response takes the same path.
+        ctl.half_close_next(3);
+        assert!(remote.get("fig6", &fp).is_none());
+        assert_eq!(remote.counters().garbled, 2);
+        // And a clean exchange still works afterwards.
+        assert!(remote.get("fig6", &fp).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_lying_server_fails_client_side_verification() {
+        let fp = "aa".repeat(32);
+        let other = "bb".repeat(32);
+        // Server returns a record keyed under the wrong fingerprint.
+        let server = MapServer::with(vec![(fp.clone(), rec(&other, 7))]);
+        let remote = RemoteStore::with_io("test", Box::new(server)).with_policy(fast_policy());
+        assert!(remote.get("fig6", &fp).is_none());
+        assert_eq!(remote.counters().garbled, 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_grows() {
+        let remote =
+            RemoteStore::with_io("test", Box::new(TcpIo::default())).with_policy(RetryPolicy {
+                attempts: 4,
+                base_backoff: Duration::from_millis(10),
+                seed: 42,
+                breaker_threshold: 3,
+            });
+        let again =
+            RemoteStore::with_io("test", Box::new(TcpIo::default())).with_policy(RetryPolicy {
+                attempts: 4,
+                base_backoff: Duration::from_millis(10),
+                seed: 42,
+                breaker_threshold: 3,
+            });
+        for attempt in 2..=4 {
+            let a = remote.backoff(attempt);
+            assert_eq!(a, again.backoff(attempt), "same seed, same schedule");
+            assert!(a >= Duration::from_millis(10) * 2u32.pow(attempt - 2));
+            assert!(a < Duration::from_millis(10) * (2u32.pow(attempt - 2) + 1));
+        }
+    }
+}

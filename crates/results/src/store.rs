@@ -215,6 +215,16 @@ pub struct GcStats {
     pub reclaimed_bytes: u64,
 }
 
+/// What a quarantine sidecar currently holds (see
+/// [`ResultStore::quarantine_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuarantineStats {
+    /// Quarantined lines in the sidecar.
+    pub lines: usize,
+    /// Bytes the sidecar occupies on disk.
+    pub bytes: u64,
+}
+
 /// A directory of per-experiment JSON-lines result files.
 ///
 /// ```
@@ -305,6 +315,33 @@ impl ResultStore {
     /// lists it.
     pub fn quarantine_path(&self, experiment: &str) -> PathBuf {
         self.dir.join(format!("{experiment}.quarantine"))
+    }
+
+    /// Size of `experiment`'s quarantine sidecar — the evidence
+    /// `compact`/`gc` deliberately leave behind. A missing sidecar is
+    /// zero, not an error.
+    pub fn quarantine_stats(&self, experiment: &str) -> io::Result<QuarantineStats> {
+        let qpath = self.quarantine_path(experiment);
+        let text = match self.io.read_to_string(&qpath) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(QuarantineStats::default()),
+            Err(e) => return Err(e),
+        };
+        Ok(QuarantineStats {
+            lines: text.lines().filter(|l| !l.trim().is_empty()).count(),
+            bytes: text.len() as u64,
+        })
+    }
+
+    /// Removes `experiment`'s quarantine sidecar, reporting what was
+    /// reclaimed. The explicit counterpart to the automatic
+    /// quarantining: damage is never deleted implicitly.
+    pub fn purge_quarantine(&self, experiment: &str) -> io::Result<QuarantineStats> {
+        let stats = self.quarantine_stats(experiment)?;
+        if stats.bytes > 0 || self.quarantine_path(experiment).exists() {
+            self.io.remove_file(&self.quarantine_path(experiment))?;
+        }
+        Ok(stats)
     }
 
     /// Loads every record of `experiment`. A missing file is an empty
@@ -976,6 +1013,119 @@ mod tests {
         let shard = store.load("fig6").unwrap();
         assert_eq!(shard.records.len(), 2);
         assert_eq!(shard.checksummed, 2);
+    }
+
+    #[test]
+    fn quarantine_stats_and_purge_report_and_reclaim_sidecars() {
+        let s = Scratch::new("quarantine-stats");
+        let store = ResultStore::open(&s.0).unwrap();
+        assert_eq!(
+            store.quarantine_stats("fig6").unwrap(),
+            QuarantineStats::default(),
+            "no sidecar, zero stats"
+        );
+        store.append("fig6", &rec("aa", 1)).unwrap();
+        let path = store.path("fig6");
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("not json\n{\"no_fingerprint\":1}\n");
+        fs::write(&path, text).unwrap();
+        store.load("fig6").unwrap();
+        let q = store.quarantine_stats("fig6").unwrap();
+        assert_eq!(q.lines, 2);
+        assert_eq!(
+            q.bytes,
+            fs::metadata(store.quarantine_path("fig6")).unwrap().len()
+        );
+        // compact heals the main file but leaves the evidence...
+        store.compact("fig6").unwrap();
+        assert_eq!(store.quarantine_stats("fig6").unwrap(), q);
+        // ...until it is purged explicitly.
+        let purged = store.purge_quarantine("fig6").unwrap();
+        assert_eq!(purged, q);
+        assert!(!store.quarantine_path("fig6").exists());
+        assert_eq!(
+            store.quarantine_stats("fig6").unwrap(),
+            QuarantineStats::default()
+        );
+        // Purging an absent sidecar is a clean no-op.
+        assert_eq!(
+            store.purge_quarantine("fig6").unwrap(),
+            QuarantineStats::default()
+        );
+        // The store file itself was never touched.
+        assert_eq!(store.load("fig6").unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn mixed_legacy_and_checksummed_lines_survive_compact_verify_reload() {
+        let s = Scratch::new("mixed-legacy");
+        let store = ResultStore::open(&s.0).unwrap();
+        // Interleave: legacy (sha-less) lines from a pre-checksum
+        // binary among modern checksummed appends, plus one superseded
+        // duplicate and one corrupt line.
+        store.append("fig6", &rec("aa", 1)).unwrap();
+        let legacy_b = "{\"fingerprint\":\"bb\",\"cycles\":2}";
+        let legacy_c = "{\"fingerprint\":\"cc\",\"cycles\":3}";
+        let path = store.path("fig6");
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str(legacy_b);
+        text.push('\n');
+        fs::write(&path, &text).unwrap();
+        store.append("fig6", &rec("aa", 9)).unwrap(); // supersedes aa
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str(legacy_c);
+        text.push_str("\nnot json\n");
+        fs::write(&path, &text).unwrap();
+
+        let before = store.load("fig6").unwrap();
+        assert_eq!(
+            (before.lines, before.checksummed, before.corrupt),
+            (4, 2, 1)
+        );
+
+        // Compact: dedups and heals, keeping surviving lines verbatim —
+        // a legacy line stays byte-identical (and sha-less), a
+        // checksummed line keeps its checksum.
+        let stats = store.compact("fig6").unwrap();
+        assert_eq!(
+            stats,
+            CompactStats {
+                kept: 3,
+                superseded: 1,
+                corrupt: 1
+            }
+        );
+        let compacted = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = compacted.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], legacy_b, "legacy line survives verbatim");
+        assert_eq!(lines[2], legacy_c, "legacy line survives verbatim");
+
+        // Verify: every surviving line classifies as a record, with
+        // checksum status preserved per line.
+        let verified: Vec<bool> = lines
+            .iter()
+            .map(|l| match parse_store_line(l) {
+                StoreLine::Record { checksummed, .. } => checksummed,
+                other => panic!("compacted line must verify: {other:?}"),
+            })
+            .collect();
+        assert_eq!(verified, [true, false, false]);
+
+        // Reload: bit-identical record set, same mixed checksum counts,
+        // and a second compact changes nothing.
+        let after = store.load("fig6").unwrap();
+        assert_eq!((after.lines, after.checksummed, after.corrupt), (3, 1, 0));
+        assert_eq!(after.records["aa"].render(), rec("aa", 9).render());
+        assert_eq!(after.records["bb"].render(), rec("bb", 2).render());
+        assert_eq!(after.records["cc"].render(), rec("cc", 3).render());
+        assert!(!after.needs_compaction());
+        store.compact("fig6").unwrap();
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            compacted,
+            "round-trip is bit-identical"
+        );
     }
 
     #[test]

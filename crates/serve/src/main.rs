@@ -1,0 +1,230 @@
+//! The `gm-serve` binary: the result-service daemon, plus the
+//! `--status` one-shot client.
+//!
+//! ```text
+//! gm-serve --store DIR [--listen ADDR] [--port-file PATH] [--sync] [--max-inflight N]
+//! gm-serve --status ADDR
+//! ```
+//!
+//! The daemon serves until SIGINT/SIGTERM, then drains: stops
+//! accepting, finishes in-flight connections, fsyncs the store, and
+//! exits 0. `--port-file` writes the bound address (useful with
+//! `--listen 127.0.0.1:0`) once the listener is up.
+//!
+//! Exit codes match `gm-run`: 0 success (including a graceful drain),
+//! 1 hard failure, 2 usage error.
+
+use gm_serve::{ServeConfig, Server, Shutdown};
+use gm_stats::Json;
+use std::time::Duration;
+
+fn usage(program: &str) -> String {
+    format!(
+        "usage: {program} --store DIR [options]\n\
+         \n\
+         Serves DIR's result store over TCP (see README \"Result service\").\n\
+         \n\
+         options:\n\
+         \x20 --store DIR         result store directory to serve (required)\n\
+         \x20 --listen ADDR       address to bind (default 127.0.0.1:4460; use :0 for ephemeral)\n\
+         \x20 --port-file PATH    write the bound address to PATH once listening\n\
+         \x20 --sync              fsync every accepted Put before acknowledging it\n\
+         \x20 --max-inflight N    serve at most N connections concurrently (default 32)\n\
+         \x20 --status ADDR       one-shot client: print the daemon's health and stats as JSON\n\
+         \x20 --help              this message\n\
+         \n\
+         exit codes: 0 success or graceful drain, 1 hard failure, 2 usage error\n"
+    )
+}
+
+struct Options {
+    store: Option<String>,
+    listen: String,
+    port_file: Option<String>,
+    sync: bool,
+    max_inflight: usize,
+    status: Option<String>,
+    help: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        store: None,
+        listen: "127.0.0.1:4460".to_owned(),
+        port_file: None,
+        sync: false,
+        max_inflight: 32,
+        status: None,
+        help: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs {what}"))
+        };
+        match arg.as_str() {
+            "--store" => opts.store = Some(value("a directory")?),
+            "--listen" => opts.listen = value("an address")?,
+            "--port-file" => opts.port_file = Some(value("a path")?),
+            "--sync" => opts.sync = true,
+            "--max-inflight" => {
+                opts.max_inflight = value("a count")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or("--max-inflight needs a positive integer")?;
+            }
+            "--status" => opts.status = Some(value("an address")?),
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if !opts.help && opts.status.is_none() && opts.store.is_none() {
+        return Err("--store is required (or use --status ADDR)".into());
+    }
+    if opts.status.is_some() && opts.store.is_some() {
+        return Err("--status is a client mode; it takes no --store".into());
+    }
+    Ok(opts)
+}
+
+/// `--status ADDR`: ask the daemon for `Health` and `Stats`, print one
+/// JSON object. Counters only — no wall-clock fields — so equal server
+/// states print equal bytes.
+fn status(addr: &str) -> Result<(), String> {
+    use gm_results::{NetIo, Request, Response, TcpIo};
+    let io = TcpIo::default();
+    let ask = |req: Request| -> Result<Response, String> {
+        let payload = io
+            .exchange(addr, &req.encode())
+            .map_err(|e| format!("{addr}: {e}"))?;
+        Response::decode(&payload)
+    };
+    let health = match ask(Request::Health)? {
+        Response::Health { status } => status,
+        other => return Err(format!("unexpected health answer: {other:?}")),
+    };
+    let stats = match ask(Request::Stats)? {
+        Response::Stats { stats } => stats,
+        other => return Err(format!("unexpected stats answer: {other:?}")),
+    };
+    let mut out = Json::object();
+    out.set("health", health.as_str()).set("stats", stats);
+    println!("{}", out.render());
+    Ok(())
+}
+
+/// Process-wide signal flag. The handler may only do async-signal-safe
+/// work, so it sets this and a watcher thread bridges it to the
+/// server's [`Shutdown`].
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // No libc crate in the offline build; `signal` declared
+        // directly. 2 = SIGINT, 15 = SIGTERM.
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let program = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("gm-serve")
+        .to_owned();
+    let opts = match parse(&args[1..]) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{program}: {e}");
+            eprint!("{}", usage(&program));
+            std::process::exit(2);
+        }
+    };
+    if opts.help {
+        print!("{}", usage(&program));
+        return;
+    }
+    if let Some(addr) = &opts.status {
+        if let Err(e) = status(addr) {
+            eprintln!("{program}: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let fail = |what: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("{program}: {what}: {e}");
+        std::process::exit(1);
+    };
+    let store_dir = opts.store.expect("checked by parse");
+    let store = match gm_results::ResultStore::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("opening store {store_dir:?}"), &e),
+    };
+
+    let shutdown = Shutdown::new();
+    #[cfg(unix)]
+    {
+        sig::install();
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || loop {
+            if sig::SIGNALLED.load(std::sync::atomic::Ordering::SeqCst) {
+                shutdown.trigger();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
+    let cfg = ServeConfig {
+        max_inflight: opts.max_inflight,
+        sync: opts.sync,
+        ..ServeConfig::default()
+    };
+    let server = match Server::bind(store, &opts.listen, cfg, shutdown) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("binding {:?}", opts.listen), &e),
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => fail("reading bound address", &e),
+    };
+    if let Some(path) = &opts.port_file {
+        // Written atomically (tmp + rename): a reader polling for the
+        // file never sees a half-written address.
+        let tmp = format!("{path}.tmp");
+        let write =
+            std::fs::write(&tmp, format!("{addr}\n")).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            fail(&format!("writing port file {path:?}"), &e);
+        }
+    }
+    eprintln!("gm-serve: serving {store_dir} on {addr} (SIGTERM/ctrl-c drains)");
+    match server.run() {
+        Ok(stats) => {
+            eprintln!(
+                "gm-serve: drained: {} request(s), {}/{} get hit(s), \
+                 {} put(s) accepted, {} rejected",
+                stats.requests, stats.hits, stats.gets, stats.puts_accepted, stats.puts_rejected
+            );
+        }
+        Err(e) => fail("serving", &e),
+    }
+}

@@ -1,0 +1,432 @@
+//! Fault injection across the result-service seam.
+//!
+//! These tests stand up the real [`gm_serve::Server`] in-process
+//! (bound to `127.0.0.1:0`) and drive [`gm_results::RemoteStore`]
+//! through the real TCP transport, with [`gm_results::NetFaultControl`]
+//! injecting network faults and [`gm_results::FaultControl`] injecting
+//! disk faults *behind* the server. The invariants proved:
+//!
+//! * a dead remote degrades to a completed local-only sweep whose
+//!   reports are bit-identical to a run where `--remote` was omitted;
+//! * a remote killed mid-`Put` leaves both replicas loadable (the
+//!   damage quarantines) and a retried sweep bit-identical;
+//! * a garbled response is quarantined client-side and the job simply
+//!   re-simulates;
+//! * the circuit breaker trips once, the rest of the sweep
+//!   short-circuits, and the telemetry stream stays validator-clean.
+
+use ghostminion::{Scheme, SystemConfig};
+use gm_bench::experiment::{Report, SchemeCol, Sweep};
+use gm_bench::report::{render_sweep, sweep_results_json};
+use gm_bench::telemetry::validate;
+use gm_bench::{Runner, Shard, SweepRun, Telemetry};
+use gm_results::{
+    FaultControl, FaultyIo, FaultyNet, NetFaultControl, NetTimeouts, RemoteStore, ResultStore,
+    RetryPolicy, TcpIo,
+};
+use gm_serve::{ServeConfig, ServeStats, Server, Shutdown};
+use gm_workloads::{Scale, Suite};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unique scratch directory under the system temp dir, removed on
+/// drop (the offline environment has no `tempfile` crate).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gm-remote-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir creates");
+        Self(dir)
+    }
+
+    fn store(&self, name: &str) -> ResultStore {
+        ResultStore::open(self.0.join(name)).expect("scratch store opens")
+    }
+
+    fn faulty_store(&self, name: &str, ctl: &FaultControl) -> ResultStore {
+        ResultStore::open_with_io(self.0.join(name), Box::new(FaultyIo::new(ctl.clone())))
+            .expect("faulty store opens")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn small_sweep() -> Sweep {
+    Sweep {
+        suite: Suite::Spec2006,
+        workloads: Some(vec!["gamess", "hmmer"]),
+        schemes: vec![
+            SchemeCol::named(Scheme::unsafe_baseline()),
+            SchemeCol::named(Scheme::ghost_minion()),
+        ],
+        report: Report::NormalizedTime,
+        config: SystemConfig::micro2021(),
+    }
+}
+
+/// Blanks every `"wall_us"` value so bit-identity checks compare
+/// everything except real wall-clock.
+fn strip_wall(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(at) = rest.find("\"wall_us\":") {
+        let end = at + "\"wall_us\":".len();
+        out.push_str(&rest[..end]);
+        rest = rest[end..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Starts the real server on an ephemeral port, returning its address,
+/// the shutdown handle, and the drain thread.
+fn spawn_server(store: ResultStore) -> (String, Shutdown, JoinHandle<std::io::Result<ServeStats>>) {
+    let shutdown = Shutdown::new();
+    let cfg = ServeConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(store, "127.0.0.1:0", cfg, shutdown.clone()).expect("server binds");
+    let addr = server.local_addr().expect("server addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, shutdown, handle)
+}
+
+/// Drains the server and returns its final stats.
+fn drain(shutdown: Shutdown, handle: JoinHandle<std::io::Result<ServeStats>>) -> ServeStats {
+    shutdown.trigger();
+    handle
+        .join()
+        .expect("server thread joins")
+        .expect("server drains cleanly")
+}
+
+/// An address nothing listens on: bind an ephemeral port, then drop
+/// the listener, so connecting yields an immediate refusal.
+fn dead_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    l.local_addr().expect("probe addr").to_string()
+}
+
+/// A retry policy that never sleeps and trips fast, for tests.
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 2,
+        base_backoff: Duration::ZERO,
+        seed: 7,
+        breaker_threshold: 2,
+    }
+}
+
+fn run_with(
+    runner: &Runner,
+    sweep: &Sweep,
+    store: &ResultStore,
+    tel: Option<&Telemetry>,
+) -> SweepRun {
+    runner
+        .run_sweep_shard(sweep, Scale::Test, "t", Some(store), Shard::full(), tel)
+        .expect("sweep completes")
+}
+
+fn table_of(sweep: &Sweep, run: &SweepRun) -> String {
+    let (_, table, _) = render_sweep(sweep, &run.to_results());
+    table.render()
+}
+
+#[test]
+fn a_dead_remote_degrades_to_a_bit_identical_local_run() {
+    let scratch = Scratch::new("dead");
+    let sweep = small_sweep();
+
+    // Reference: the same cold sweep with --remote omitted.
+    let base_store = scratch.store("base");
+    let base = run_with(&Runner::new(2), &sweep, &base_store, None);
+
+    let remote = Arc::new(
+        RemoteStore::new(dead_addr())
+            .with_policy(RetryPolicy {
+                attempts: 1,
+                breaker_threshold: 1,
+                ..fast_policy()
+            })
+            .with_quarantine(scratch.0.join("a").join("remote.quarantine")),
+    );
+    let store = scratch.store("a");
+    let run = run_with(
+        &Runner::new(2).with_remote(remote.clone()),
+        &sweep,
+        &store,
+        None,
+    );
+
+    // The sweep completed local-only; the breaker tripped exactly once
+    // and every later operation short-circuited without a connection.
+    assert!(run.failures.is_empty());
+    assert_eq!((run.cache.hits, run.cache.misses), (0, 4));
+    assert_eq!((run.cache.remote_hits, run.cache.remote_pushes), (0, 0));
+    assert!(remote.degraded(), "breaker tripped");
+    let c = remote.counters();
+    assert_eq!((c.hits, c.pushes), (0, 0));
+    assert!(
+        c.short_circuits >= 1,
+        "operations after the trip short-circuit: {c:?}"
+    );
+
+    // Reports are byte-identical to the no-remote run.
+    assert_eq!(table_of(&sweep, &base), table_of(&sweep, &run));
+    assert_eq!(
+        strip_wall(&sweep_results_json(&sweep, &base).render()),
+        strip_wall(&sweep_results_json(&sweep, &run).render()),
+    );
+    assert_eq!(store.load("t").unwrap().records.len(), 4, "locally durable");
+}
+
+#[test]
+fn a_second_machine_warms_its_cache_through_the_live_server() {
+    let scratch = Scratch::new("warm");
+    let sweep = small_sweep();
+    let (addr, shutdown, handle) = spawn_server(scratch.store("srv"));
+
+    // Machine A: cold run, every fresh result pushed to the service.
+    let store_a = scratch.store("a");
+    let remote_a = Arc::new(RemoteStore::new(addr.clone()));
+    let cold = run_with(
+        &Runner::new(2).with_remote(remote_a.clone()),
+        &sweep,
+        &store_a,
+        None,
+    );
+    assert_eq!((cold.cache.hits, cold.cache.misses), (0, 4));
+    assert_eq!((cold.cache.remote_hits, cold.cache.remote_pushes), (0, 4));
+    assert!(!remote_a.degraded());
+
+    // Machine B: fresh local store, warms entirely through the remote.
+    let store_b = scratch.store("b");
+    let remote_b = Arc::new(RemoteStore::new(addr));
+    let warm = run_with(
+        &Runner::new(2).with_remote(remote_b.clone()),
+        &sweep,
+        &store_b,
+        None,
+    );
+    assert_eq!((warm.cache.hits, warm.cache.misses), (4, 0));
+    assert_eq!((warm.cache.remote_hits, warm.cache.remote_pushes), (4, 0));
+    assert_eq!(remote_b.counters().hits, 4);
+
+    // A remote hit replays the stored wall_us, so the JSON report is
+    // bit-identical *including* wall-clock fields.
+    assert_eq!(
+        sweep_results_json(&sweep, &cold).render(),
+        sweep_results_json(&sweep, &warm).render(),
+    );
+    assert_eq!(table_of(&sweep, &cold), table_of(&sweep, &warm));
+
+    // Remote hits also landed in B's local store, so a third run is
+    // warm without any remote at all.
+    assert_eq!(store_b.load("t").unwrap().records.len(), 4);
+
+    // The drained server saw exactly the traffic above, and its own
+    // replica is durable and clean.
+    let stats = drain(shutdown, handle);
+    assert_eq!(stats.puts_accepted, 4);
+    assert_eq!(stats.puts_rejected, 0);
+    assert_eq!((stats.hits, stats.misses), (4, 4));
+    let srv = scratch.store("srv").load("t").unwrap();
+    assert_eq!((srv.records.len(), srv.corrupt), (4, 0));
+}
+
+#[test]
+fn a_server_torn_mid_put_rejects_the_ack_and_both_replicas_recover() {
+    let scratch = Scratch::new("torn");
+    let sweep = small_sweep();
+
+    // The server's disk tears the first append ten bytes in — the
+    // write that would ack the first Put dies under the handler.
+    let ctl = FaultControl::new();
+    let (addr, shutdown, handle) = spawn_server(scratch.faulty_store("srv", &ctl));
+    ctl.truncate_next_append(10);
+
+    let store_a = scratch.store("a");
+    let remote = Arc::new(RemoteStore::new(addr).with_policy(fast_policy()));
+    let run = run_with(
+        &Runner::new(1).with_remote(remote.clone()),
+        &sweep,
+        &store_a,
+        None,
+    );
+
+    // The sweep is unharmed: the failed ack is a push failure, not an
+    // error, and the record is already durable locally.
+    assert!(run.failures.is_empty());
+    assert_eq!((run.cache.hits, run.cache.misses), (0, 4));
+    assert_eq!(run.cache.remote_pushes, 3, "the torn Put was not acked");
+    assert_eq!(remote.counters().push_failures, 1);
+    assert_eq!(ctl.injected(), 1);
+    assert!(!remote.degraded(), "a server-side rejection is not a trip");
+
+    let stats = drain(shutdown, handle);
+    assert_eq!((stats.puts_accepted, stats.puts_rejected), (3, 1));
+
+    // Both replicas load: the client store is whole; the server store
+    // isolates the torn prefix as one corrupt line and keeps every
+    // acked record.
+    assert_eq!(store_a.load("t").unwrap().records.len(), 4);
+    let srv_store = scratch.store("srv");
+    let srv = srv_store.load("t").unwrap();
+    assert_eq!((srv.records.len(), srv.corrupt), (3, 1));
+    assert_eq!(srv_store.compact("t").unwrap().corrupt, 1);
+
+    // A fresh machine retried against the healed server re-simulates
+    // only the hole and matches machine A byte-for-byte (modulo the
+    // re-simulated job's real wall-clock).
+    let (addr2, shutdown2, handle2) = spawn_server(srv_store);
+    let store_b = scratch.store("b");
+    let remote_b = Arc::new(RemoteStore::new(addr2).with_policy(fast_policy()));
+    let retry = run_with(
+        &Runner::new(1).with_remote(remote_b),
+        &sweep,
+        &store_b,
+        None,
+    );
+    assert_eq!((retry.cache.hits, retry.cache.misses), (3, 1));
+    assert_eq!((retry.cache.remote_hits, retry.cache.remote_pushes), (3, 1));
+    assert_eq!(table_of(&sweep, &run), table_of(&sweep, &retry));
+    assert_eq!(
+        strip_wall(&sweep_results_json(&sweep, &run).render()),
+        strip_wall(&sweep_results_json(&sweep, &retry).render()),
+    );
+    let stats2 = drain(shutdown2, handle2);
+    assert_eq!(stats2.puts_accepted, 1, "only the hole was re-pushed");
+}
+
+#[test]
+fn a_garbled_response_is_quarantined_and_the_job_resimulates() {
+    let scratch = Scratch::new("garble");
+    let sweep = small_sweep();
+
+    // Pre-warm the server's replica with a clean cold run, then serve.
+    let srv_store = scratch.store("srv");
+    let warmup = run_with(&Runner::new(2), &sweep, &srv_store, None);
+    assert_eq!(warmup.cache.misses, 4);
+    let (addr, shutdown, handle) = spawn_server(srv_store);
+
+    // The client's wire garbles the first exchange's response.
+    let ctl = NetFaultControl::new();
+    let quarantine = scratch.0.join("a").join("remote.quarantine");
+    let remote = Arc::new(
+        RemoteStore::with_io(
+            addr,
+            Box::new(FaultyNet::new(
+                Box::new(TcpIo::new(NetTimeouts::default())),
+                ctl.clone(),
+            )),
+        )
+        .with_policy(fast_policy())
+        .with_quarantine(quarantine.clone()),
+    );
+    ctl.garble_next();
+
+    let store = scratch.store("a");
+    let run = run_with(
+        &Runner::new(1).with_remote(remote.clone()),
+        &sweep,
+        &store,
+        None,
+    );
+
+    // The garbled job re-simulated (and re-pushed); the rest hit.
+    assert!(run.failures.is_empty());
+    assert_eq!((run.cache.hits, run.cache.misses), (3, 1));
+    assert_eq!((run.cache.remote_hits, run.cache.remote_pushes), (3, 1));
+    assert_eq!(remote.counters().garbled, 1);
+    assert!(
+        !remote.degraded(),
+        "a garbled answer is not a transport trip"
+    );
+
+    // The poisoned bytes are preserved as evidence, never replayed.
+    let evidence = std::fs::read_to_string(&quarantine).expect("quarantine written");
+    assert!(!evidence.is_empty());
+
+    // The report matches the clean warm-up run exactly.
+    assert_eq!(table_of(&sweep, &warmup), table_of(&sweep, &run));
+    assert_eq!(
+        strip_wall(&sweep_results_json(&sweep, &warmup).render()),
+        strip_wall(&sweep_results_json(&sweep, &run).render()),
+    );
+    drain(shutdown, handle);
+}
+
+#[test]
+fn the_breaker_trips_once_and_the_telemetry_stream_validates() {
+    let scratch = Scratch::new("breaker");
+    let sweep = small_sweep();
+
+    let remote = Arc::new(RemoteStore::new(dead_addr()).with_policy(RetryPolicy {
+        attempts: 1,
+        breaker_threshold: 2,
+        ..fast_policy()
+    }));
+    let store = scratch.store("a");
+    let tel_path = scratch.0.join("events.jsonl");
+    let tel = Telemetry::create(tel_path.to_str().unwrap()).expect("telemetry file");
+    tel.emit("run_start", |j| {
+        j.set("program", "remote-test").set("scale", "test");
+    });
+    tel.emit("experiment_start", |j| {
+        j.set("experiment", "t");
+    });
+    let run = run_with(
+        &Runner::new(1).with_remote(remote.clone()),
+        &sweep,
+        &store,
+        Some(&tel),
+    );
+    tel.emit("experiment_end", |j| {
+        j.set("experiment", "t")
+            .set("jobs", 4u64)
+            .set("hits", run.cache.hits as u64)
+            .set("misses", run.cache.misses as u64)
+            .set("sim_wall_us", 0u64);
+    });
+    tel.emit("run_end", |j| {
+        j.set("experiments", 1u64);
+    });
+    tel.finish().expect("telemetry flushes");
+
+    // Job 1's get (1st consecutive failure) and put (2nd) trip the
+    // breaker; every later operation short-circuits without touching
+    // the network.
+    assert!(run.failures.is_empty());
+    assert_eq!((run.cache.hits, run.cache.misses), (0, 4));
+    assert!(remote.degraded());
+    let c = remote.counters();
+    assert_eq!(c.short_circuits, 6, "3 jobs × (get + put) after the trip");
+    assert!(
+        !remote.take_degradation_event(),
+        "the runner already consumed the one-shot degradation event"
+    );
+
+    // The stream validates end-to-end: four remote_miss spans inside
+    // their jobs, one remote_degraded after every span closed.
+    let text = std::fs::read_to_string(&tel_path).expect("telemetry readable");
+    let summary = validate(&text).expect("stream validates");
+    assert_eq!(summary.jobs, 4);
+    assert_eq!(summary.remote, 4, "one remote_miss per job");
+    assert_eq!(summary.degraded, 1);
+    assert!(text.contains("\"event\":\"remote_degraded\""));
+}
